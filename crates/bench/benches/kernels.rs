@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the pipeline's hot kernels:
+//! TF-IDF construction, one NMF iteration cycle, MABED detection,
+//! Word2Vec training steps and embedding cosine scans.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nd_embed::{Word2Vec, Word2VecConfig, Word2VecMode};
+use nd_events::{AnomalySource, Mabed, MabedConfig, SlicedCorpus, TimestampedDoc};
+use nd_linalg::rng::SplitMix64;
+use nd_linalg::vecops::cosine;
+use nd_topics::{Nmf, NmfConfig};
+use nd_vectorize::{DtmBuilder, Weighting};
+use std::hint::black_box;
+
+fn synth_docs(n: usize, vocab: usize, len: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| (0..len).map(|_| format!("w{}", rng.next_usize(vocab))).collect())
+        .collect()
+}
+
+fn bench_tfidf(c: &mut Criterion) {
+    let docs = synth_docs(2_000, 3_000, 80, 1);
+    c.bench_function("tfidf_build_2000x3000", |b| {
+        b.iter(|| {
+            let dtm = DtmBuilder::new().build(black_box(&docs));
+            black_box(dtm.weighted(Weighting::TfIdfNormalized))
+        })
+    });
+}
+
+fn bench_nmf(c: &mut Criterion) {
+    let docs = synth_docs(500, 800, 60, 2);
+    let dtm = DtmBuilder::new().build(&docs);
+    let a = dtm.weighted(Weighting::TfIdfNormalized);
+    c.bench_function("nmf_10topics_20iters", |b| {
+        b.iter(|| {
+            let nmf = Nmf::new(NmfConfig { n_topics: 10, max_iter: 20, tol: 0.0, seed: 3 });
+            black_box(nmf.fit(black_box(&a), dtm.vocab()))
+        })
+    });
+}
+
+fn bench_mabed(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(4);
+    let docs: Vec<TimestampedDoc> = (0..5_000)
+        .map(|i| {
+            let tokens =
+                (0..12).map(|_| format!("w{}", rng.next_usize(400))).collect::<Vec<_>>();
+            TimestampedDoc::new(i as u64 * 60, tokens, usize::from(rng.next_bool(0.5)))
+        })
+        .collect();
+    let sliced = SlicedCorpus::build(&docs, 1_800);
+    c.bench_function("mabed_detect_5000docs", |b| {
+        b.iter(|| {
+            let mabed = Mabed::new(MabedConfig {
+                n_events: 10,
+                min_word_docs: 20,
+                source: AnomalySource::Mentions,
+                ..Default::default()
+            });
+            black_box(mabed.detect(black_box(&sliced)))
+        })
+    });
+}
+
+fn bench_word2vec(c: &mut Criterion) {
+    let corpus = synth_docs(300, 500, 15, 5);
+    c.bench_function("word2vec_cbow_1epoch_dim64", |b| {
+        b.iter(|| {
+            let w2v = Word2Vec::new(Word2VecConfig {
+                dim: 64,
+                epochs: 1,
+                min_count: 1,
+                mode: Word2VecMode::Cbow,
+                ..Default::default()
+            });
+            black_box(w2v.train(black_box(&corpus)))
+        })
+    });
+}
+
+fn bench_cosine(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(6);
+    let a: Vec<f64> = (0..300).map(|_| rng.next_gaussian()).collect();
+    let vectors: Vec<Vec<f64>> =
+        (0..1_000).map(|_| (0..300).map(|_| rng.next_gaussian()).collect()).collect();
+    c.bench_function("cosine_scan_1000x300", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let best = vectors
+                    .iter()
+                    .map(|v| cosine(black_box(&a), v))
+                    .fold(f64::MIN, f64::max);
+                black_box(best)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tfidf, bench_nmf, bench_mabed, bench_word2vec, bench_cosine
+);
+criterion_main!(kernels);

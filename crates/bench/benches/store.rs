@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the embedded document store: inserts,
+//! filtered scans, index-accelerated range queries, and WAL replay.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nd_store::{Collection, Database, Filter};
+use serde_json::json;
+use std::hint::black_box;
+
+fn seeded_collection(n: usize) -> Collection {
+    let mut c = Collection::new("tweets");
+    for i in 0..n {
+        c.insert(json!({
+            "text": format!("tweet number {i} about topic {}", i % 17),
+            "likes": (i * 37) % 5_000,
+            "ts": 1_556_668_800u64 + i as u64 * 60,
+        }))
+        .unwrap();
+    }
+    c
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("store_insert_1000", |b| {
+        b.iter_batched(
+            || (),
+            |_| black_box(seeded_collection(1_000)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_scan_vs_index(c: &mut Criterion) {
+    let plain = seeded_collection(10_000);
+    let mut indexed = seeded_collection(10_000);
+    indexed.create_index("likes");
+    let filter = Filter::range("likes", Some(1_000.0), Some(1_200.0));
+    c.bench_function("store_range_fullscan_10k", |b| {
+        b.iter(|| black_box(plain.find(black_box(&filter))))
+    });
+    c.bench_function("store_range_indexed_10k", |b| {
+        b.iter(|| black_box(indexed.find(black_box(&filter))))
+    });
+}
+
+fn bench_wal_roundtrip(c: &mut Criterion) {
+    c.bench_function("store_persist_reopen_2k", |b| {
+        b.iter_batched(
+            || {
+                let dir = std::env::temp_dir()
+                    .join(format!("ndbench-{}-{}", std::process::id(), rand_suffix()));
+                std::fs::remove_dir_all(&dir).ok();
+                dir
+            },
+            |dir| {
+                {
+                    let mut db = Database::open(&dir).unwrap();
+                    for i in 0..2_000 {
+                        db.collection("t").insert(json!({"i": i})).unwrap();
+                    }
+                    db.persist().unwrap();
+                }
+                let db = Database::open(&dir).unwrap();
+                let n = db.get_collection("t").unwrap().len();
+                std::fs::remove_dir_all(&dir).ok();
+                black_box(n)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn rand_suffix() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+}
+
+criterion_group!(
+    name = store;
+    config = Criterion::default().sample_size(10);
+    targets = bench_insert, bench_scan_vs_index, bench_wal_roundtrip
+);
+criterion_main!(store);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of neural-network training: one epoch of the
+//! paper's MLP and CNN architectures at Table 10's dataset sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nd_core::predict::NetworkKind;
+use nd_linalg::rng::SplitMix64;
+use nd_linalg::Mat;
+use nd_neural::{Trainer, TrainerConfig};
+use std::hint::black_box;
+
+fn synth_xy(n: usize, dim: usize) -> (Mat, Vec<usize>) {
+    let mut rng = SplitMix64::new(11);
+    let mut x = Mat::zeros(n, dim);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        for c in 0..dim {
+            x.set(r, c, rng.next_gaussian());
+        }
+        y.push(rng.next_usize(3));
+    }
+    (x, y)
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_epoch");
+    group.sample_size(10);
+    for &n in &[500usize, 2_500] {
+        let (x, y) = synth_xy(n, 308);
+        for kind in [NetworkKind::Mlp1, NetworkKind::Cnn1] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name().replace(' ', ""), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut net = kind.build(308, 42);
+                        let mut opt = kind.optimizer();
+                        let trainer = Trainer::new(TrainerConfig {
+                            batch_size: 5_000,
+                            max_epochs: 1,
+                            early_stopping: None,
+                            seed: 1,
+                        });
+                        black_box(trainer.fit(&mut net, black_box(&x), &y, opt.as_mut()))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(training, bench_epoch);
+criterion_main!(training);

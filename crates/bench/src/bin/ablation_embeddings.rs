@@ -1,0 +1,87 @@
+//! Ablation: the §4.9 embedding design choice — the pretrained-model
+//! averaged embeddings (SW/RND/SWM, deployed) vs PVDM / PVDBOW
+//! paragraph vectors trained only on the collected tweets (which the
+//! paper rejects as unable to generalize).
+//!
+//! Each representation feeds the same MLP 1 likes predictor; the
+//! comparison is validation average accuracy.
+//! Scale via `NEWSDIFF_SCALE=quick|paper`.
+
+use nd_core::features::{build_dataset, Dataset, DatasetVariant};
+use nd_core::predict::{train_and_eval, NetworkKind, Target};
+use nd_core::report::render_table;
+use nd_embed::doc2vec::{Doc2Vec, Doc2VecConfig, Doc2VecMode};
+use nd_linalg::Mat;
+
+fn main() {
+    let scale = nd_bench::Scale::from_env();
+    let out = nd_bench::run_pipeline(scale);
+    let predict = scale.predict_config();
+
+    let mut rows = Vec::new();
+
+    // --- Averaged pretrained embeddings (the deployed A/B/C variants).
+    for variant in [DatasetVariant::A1, DatasetVariant::B1, DatasetVariant::C1] {
+        let ds = out.dataset(variant, 7);
+        let res = train_and_eval(&ds, NetworkKind::Mlp1, Target::Likes, &predict);
+        eprintln!("[ablation] {}: {:.3}", variant.name(), res.average_accuracy);
+        rows.push(vec![
+            format!("{} (pretrained avg)", ds.name),
+            format!("{:.3}", res.average_accuracy),
+        ]);
+    }
+
+    // --- Paragraph vectors trained on the event tweets themselves.
+    // Build the tweet corpus in the same sample order the datasets use.
+    let sample_tweets: Vec<Vec<String>> = out
+        .assignments
+        .iter()
+        .flat_map(|a| a.tweet_indices.iter().map(|&ti| out.tweet_tokens[ti].clone()))
+        .collect();
+    let reference = build_dataset(
+        DatasetVariant::A1,
+        &out.correlated_events,
+        &out.assignments,
+        &out.world.tweets,
+        &out.tweet_tokens,
+        &out.vectors,
+        7,
+    );
+    let dim = out.vectors.dim().min(100); // paragraph vectors stay small on small corpora
+
+    for mode in [Doc2VecMode::Pvdm, Doc2VecMode::Pvdbow] {
+        let model = Doc2Vec::new(Doc2VecConfig {
+            dim,
+            epochs: 15,
+            min_count: 2,
+            mode,
+            seed: 42,
+            ..Default::default()
+        })
+        .train(&sample_tweets);
+        let mut x = Mat::zeros(sample_tweets.len(), dim);
+        for (r, v) in model.doc_vectors.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(v);
+        }
+        let ds = Dataset {
+            name: match mode {
+                Doc2VecMode::Pvdm => "PVDM",
+                Doc2VecMode::Pvdbow => "PVDBOW",
+            },
+            x,
+            y_likes: reference.y_likes.clone(),
+            y_retweets: reference.y_retweets.clone(),
+        };
+        let res = train_and_eval(&ds, NetworkKind::Mlp1, Target::Likes, &predict);
+        eprintln!("[ablation] {}: {:.3}", ds.name, res.average_accuracy);
+        rows.push(vec![
+            format!("{} (trained on tweets)", ds.name),
+            format!("{:.3}", res.average_accuracy),
+        ]);
+    }
+
+    println!(
+        "Ablation: embedding choice for the likes predictor (paper S4.9 rejects PVDM/PVDBOW)\n{}",
+        render_table(&["Representation", "Avg accuracy (likes, MLP 1)"], &rows)
+    );
+}

@@ -1,0 +1,61 @@
+//! Ablation: optimizer sweep on the A2 likes predictor — SGD (the
+//! paper's MLP 1 / CNN 1 setting), SGD+momentum, ADAGRAD (Eq. 15) and
+//! ADADELTA (the paper's MLP 2 / CNN 2 setting), comparing accuracy
+//! and epochs to convergence. Scale via `NEWSDIFF_SCALE=quick|paper`.
+
+use nd_core::features::DatasetVariant;
+use nd_core::predict::{build_mlp, N_CLASSES};
+use nd_core::report::render_table;
+use nd_neural::train::train_val_split;
+use nd_neural::{Adadelta, Adagrad, Adam, Optimizer, Sgd, Trainer, TrainerConfig};
+
+fn main() {
+    let scale = nd_bench::Scale::from_env();
+    let out = nd_bench::run_pipeline(scale);
+    let ds = out.dataset(DatasetVariant::A2, 7);
+    let (tx, ty, vx, vy) = train_val_split(&ds.x, &ds.y_likes, 0.2, 42);
+    let predict = scale.predict_config();
+
+    let optimizers: Vec<Box<dyn Optimizer>> = vec![
+        Box::new(Sgd::new(0.5)),
+        Box::new(Sgd::with_momentum(0.1, 0.9)),
+        Box::new(Adagrad::new(0.1)),
+        Box::new(Adadelta::new(2.0)),
+        Box::new(Adam::new(0.001)),
+    ];
+
+    let mut rows = Vec::new();
+    for mut opt in optimizers {
+        let mut network = build_mlp(ds.x.cols(), 42);
+        let trainer = Trainer::new(TrainerConfig {
+            batch_size: predict.batch_size,
+            max_epochs: predict.max_epochs,
+            early_stopping: predict.early_stopping.clone(),
+            seed: 42,
+        });
+        let report = trainer.fit(&mut network, &tx, &ty, opt.as_mut());
+        let (avg, acc, _) = trainer.evaluate(&mut network, &vx, &vy, N_CLASSES);
+        eprintln!(
+            "[ablation] {}: avg {:.3} acc {:.3} in {} epochs",
+            opt.name(),
+            avg,
+            acc,
+            report.epochs
+        );
+        rows.push(vec![
+            opt.name(),
+            format!("{avg:.3}"),
+            format!("{acc:.3}"),
+            format!("{}", report.epochs),
+            format!("{:.1}", report.mean_epoch_ms()),
+        ]);
+    }
+
+    println!(
+        "Ablation: optimizer sweep on the A2 likes MLP (paper uses SGD lr=0.5 and ADADELTA lr=2)\n{}",
+        render_table(
+            &["Optimizer", "Avg accuracy", "Accuracy", "Epochs", "Ms/epoch"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,19 @@
+//! Figure 4 alone (likes metadata comparison); shares the Table 8
+//! computation. Scale via NEWSDIFF_SCALE=quick|paper.
+
+use nd_bench::figures::metadata_comparison_figure;
+use nd_bench::tables::accuracy_grid;
+use nd_core::predict::Target;
+
+fn main() {
+    let scale = nd_bench::Scale::from_env();
+    let out = nd_bench::run_pipeline(scale);
+    let cells = accuracy_grid(&out, Target::Likes, &scale.predict_config());
+    println!(
+        "{}",
+        metadata_comparison_figure(
+            "Figure 4: Likes accuracy — without metadata (x1) vs with metadata (x2)",
+            &cells
+        )
+    );
+}

@@ -1,0 +1,19 @@
+//! Figure 5 alone (retweets metadata comparison); shares the Table 9
+//! computation. Scale via NEWSDIFF_SCALE=quick|paper.
+
+use nd_bench::figures::metadata_comparison_figure;
+use nd_bench::tables::accuracy_grid;
+use nd_core::predict::Target;
+
+fn main() {
+    let scale = nd_bench::Scale::from_env();
+    let out = nd_bench::run_pipeline(scale);
+    let cells = accuracy_grid(&out, Target::Retweets, &scale.predict_config());
+    println!(
+        "{}",
+        metadata_comparison_figure(
+            "Figure 5: Retweets accuracy — without metadata (x1) vs with metadata (x2)",
+            &cells
+        )
+    );
+}

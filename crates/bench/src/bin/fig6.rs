@@ -1,0 +1,15 @@
+//! Figure 6 alone (epoch-time scaling at 300 dimensions); shares the
+//! Table 10 computation. Scale via NEWSDIFF_SCALE=quick|paper.
+
+use nd_bench::figures::epoch_time_figure;
+use nd_bench::runtime::run_table10;
+
+fn main() {
+    let scale = nd_bench::Scale::from_env();
+    let out = nd_bench::run_pipeline(scale);
+    let rows = run_table10(&out, scale == nd_bench::Scale::Quick);
+    println!(
+        "{}",
+        epoch_time_figure("Figure 6: Performance time, 300-dimension Doc2Vec", &rows, 300)
+    );
+}

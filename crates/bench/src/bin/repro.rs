@@ -1,0 +1,97 @@
+//! Runs the complete reproduction — every table and figure of the
+//! paper's evaluation section — off a single pipeline run, printing
+//! EXPERIMENTS.md-ready output. Scale via `NEWSDIFF_SCALE=quick|paper`.
+
+use nd_bench::figures::{epoch_time_figure, metadata_comparison_figure, metadata_lift};
+use nd_bench::runtime::{render_table10, run_table10};
+use nd_bench::tables::{
+    accuracy_grid, render_accuracy_table, table3, table4, table5, table6, table7,
+};
+use nd_core::predict::Target;
+
+fn main() {
+    let scale = nd_bench::Scale::from_env();
+    let started = std::time::Instant::now();
+    let out = nd_bench::run_pipeline(scale);
+
+    println!("# newsdiff full reproduction ({scale:?} scale)\n");
+    println!(
+        "corpus: {} news articles, {} tweets over {} simulated days; {} users\n",
+        out.world.articles.len(),
+        out.world.tweets.len(),
+        out.world.config.days,
+        out.world.users.len()
+    );
+
+    println!("{}\n", table3(&out));
+    println!("{}\n", table4(&out));
+    println!("{}\n", table5(&out));
+    println!("{}\n", table6(&out));
+    println!("{}\n", table7(&out));
+
+    // Headline §5.5 properties.
+    let matched: std::collections::HashSet<usize> =
+        out.correlation.pairs.iter().map(|p| p.trending_idx).collect();
+    println!(
+        "S5.5 checks: trending topics = {}, correlated pairs = {}, \
+         every trending topic matched = {}, unmatched Twitter events = {}, \
+         reverse pair set identical = {}\n",
+        out.trending.len(),
+        out.correlation.pairs.len(),
+        (0..out.trending.len()).all(|i| matched.contains(&i)),
+        out.correlation.unmatched_twitter.len(),
+        {
+            let mut f: Vec<_> = out
+                .correlation
+                .pairs
+                .iter()
+                .map(|p| (p.trending_idx, p.twitter_idx))
+                .collect();
+            let mut r: Vec<_> = out
+                .reverse_correlation
+                .pairs
+                .iter()
+                .map(|p| (p.trending_idx, p.twitter_idx))
+                .collect();
+            f.sort_unstable();
+            r.sort_unstable();
+            f == r
+        }
+    );
+
+    let predict = scale.predict_config();
+    let likes = accuracy_grid(&out, Target::Likes, &predict);
+    println!("{}\n", render_accuracy_table("Table 8: Likes accuracy of correlated results", &likes));
+    println!(
+        "{}",
+        metadata_comparison_figure(
+            "Figure 4: Likes accuracy — without metadata (x1) vs with metadata (x2)",
+            &likes
+        )
+    );
+
+    let retweets = accuracy_grid(&out, Target::Retweets, &predict);
+    println!(
+        "{}\n",
+        render_accuracy_table("Table 9: Retweets accuracy of correlated results", &retweets)
+    );
+    println!(
+        "{}",
+        metadata_comparison_figure(
+            "Figure 5: Retweets accuracy — without metadata (x1) vs with metadata (x2)",
+            &retweets
+        )
+    );
+
+    let rows = run_table10(&out, scale == nd_bench::Scale::Quick);
+    println!("{}\n", render_table10(&rows));
+    println!("{}", epoch_time_figure("Figure 6: Performance time, 300-dimension Doc2Vec", &rows, 300));
+    println!("{}", epoch_time_figure("Figure 7: Performance time, 308-dimension Doc2Vec", &rows, 308));
+
+    println!(
+        "summary: likes metadata lift {:+.3}, retweets metadata lift {:+.3}, total wall clock {:.1}s",
+        metadata_lift(&likes),
+        metadata_lift(&retweets),
+        started.elapsed().as_secs_f64()
+    );
+}

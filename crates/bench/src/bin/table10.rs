@@ -1,0 +1,23 @@
+//! Reproduces Table 10 (runtime evaluation: epochs, ms/epoch, total
+//! seconds across event counts, input sizes and networks) and prints
+//! Figures 6–7 (epoch-time scaling). Scale via
+//! `NEWSDIFF_SCALE=quick|paper`.
+
+use nd_bench::figures::epoch_time_figure;
+use nd_bench::runtime::{render_table10, run_table10};
+
+fn main() {
+    let scale = nd_bench::Scale::from_env();
+    let out = nd_bench::run_pipeline(scale);
+    let rows = run_table10(&out, scale == nd_bench::Scale::Quick);
+    println!("{}", render_table10(&rows));
+    println!();
+    println!(
+        "{}",
+        epoch_time_figure("Figure 6: Performance time, 300-dimension Doc2Vec", &rows, 300)
+    );
+    println!(
+        "{}",
+        epoch_time_figure("Figure 7: Performance time, 308-dimension Doc2Vec", &rows, 308)
+    );
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's Table 7. Scale via NEWSDIFF_SCALE=quick|paper.
+
+fn main() {
+    let out = nd_bench::run_pipeline(nd_bench::Scale::from_env());
+    println!("{}", nd_bench::tables::table7(&out));
+}

@@ -1,0 +1,25 @@
+//! Reproduces Table 9 (retweets accuracy over datasets A1–D2 × the
+//! four network configurations) and prints the Figure 5 comparison.
+//! Scale via `NEWSDIFF_SCALE=quick|paper`.
+
+use nd_bench::figures::metadata_comparison_figure;
+use nd_bench::tables::{accuracy_grid, render_accuracy_table};
+use nd_core::predict::Target;
+
+fn main() {
+    let scale = nd_bench::Scale::from_env();
+    let out = nd_bench::run_pipeline(scale);
+    let cells = accuracy_grid(&out, Target::Retweets, &scale.predict_config());
+    println!(
+        "{}",
+        render_accuracy_table("Table 9: Retweets accuracy of correlated results", &cells)
+    );
+    println!();
+    println!(
+        "{}",
+        metadata_comparison_figure(
+            "Figure 5: Retweets accuracy — without metadata (x1) vs with metadata (x2)",
+            &cells
+        )
+    );
+}

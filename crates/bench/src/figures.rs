@@ -1,0 +1,115 @@
+//! Figures 4–7 as ASCII charts plus CSV series.
+
+use crate::runtime::RuntimeRow;
+use crate::tables::AccuracyCell;
+use nd_core::report::render_bars;
+
+/// Figure 4/5: accuracy without metadata (x1 variants) vs with
+/// metadata (x2 variants), averaged over the four networks.
+pub fn metadata_comparison_figure(title: &str, cells: &[AccuracyCell]) -> String {
+    let mut entries = Vec::new();
+    for ds in ["A1", "A2", "B1", "B2", "C1", "C2", "D1", "D2"] {
+        let of_ds: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.dataset == ds)
+            .map(|c| c.average_accuracy)
+            .collect();
+        if !of_ds.is_empty() {
+            let mean = of_ds.iter().sum::<f64>() / of_ds.len() as f64;
+            entries.push((ds.to_string(), mean));
+        }
+    }
+    let chart = render_bars(title, &entries, 48);
+    let lift = metadata_lift(cells);
+    format!("{chart}  mean metadata lift (x2 - x1): {lift:+.3}\n")
+}
+
+/// Mean average-accuracy lift of the metadata variants (A2,B2,C2,D2)
+/// over their embedding-only counterparts (A1,B1,C1,D1).
+pub fn metadata_lift(cells: &[AccuracyCell]) -> f64 {
+    let mean_of = |names: [&str; 4]| {
+        let vals: Vec<f64> = cells
+            .iter()
+            .filter(|c| names.contains(&c.dataset))
+            .map(|c| c.average_accuracy)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    mean_of(["A2", "B2", "C2", "D2"]) - mean_of(["A1", "B1", "C1", "D1"])
+}
+
+/// Figure 6/7: per-epoch time vs number of events for one input size.
+pub fn epoch_time_figure(title: &str, rows: &[RuntimeRow], doc2vec_size: usize) -> String {
+    let mut entries = Vec::new();
+    for row in rows.iter().filter(|r| r.doc2vec_size == doc2vec_size) {
+        entries.push((format!("{} @ {} events", row.network, row.n_events), row.ms_per_epoch));
+    }
+    let mut out = render_bars(title, &entries, 48);
+    out.push_str("  csv: network,n_events,ms_per_epoch\n");
+    for row in rows.iter().filter(|r| r.doc2vec_size == doc2vec_size) {
+        out.push_str(&format!("  csv: {},{},{:.2}\n", row.network, row.n_events, row.ms_per_epoch));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells() -> Vec<AccuracyCell> {
+        let mut v = Vec::new();
+        for (ds, acc) in [("A1", 0.74), ("A2", 0.83), ("B1", 0.75), ("B2", 0.84)] {
+            v.push(AccuracyCell {
+                dataset: match ds {
+                    "A1" => "A1",
+                    "A2" => "A2",
+                    "B1" => "B1",
+                    _ => "B2",
+                },
+                network: "MLP 1",
+                average_accuracy: acc,
+                epochs: 100,
+            });
+        }
+        v
+    }
+
+    #[test]
+    fn metadata_lift_computed() {
+        let lift = metadata_lift(&cells());
+        assert!((lift - 0.09).abs() < 1e-9, "lift {lift}");
+    }
+
+    #[test]
+    fn figure_renders_with_lift_line() {
+        let f = metadata_comparison_figure("Figure 4", &cells());
+        assert!(f.contains("Figure 4"));
+        assert!(f.contains("A1"));
+        assert!(f.contains("lift"));
+    }
+
+    #[test]
+    fn epoch_time_figure_filters_by_size() {
+        let rows = vec![
+            RuntimeRow {
+                n_events: 500,
+                doc2vec_size: 300,
+                network: "CNN 1",
+                epochs: 6,
+                ms_per_epoch: 100.0,
+                runtime_secs: 0.6,
+            },
+            RuntimeRow {
+                n_events: 500,
+                doc2vec_size: 308,
+                network: "CNN 1",
+                epochs: 6,
+                ms_per_epoch: 120.0,
+                runtime_secs: 0.7,
+            },
+        ];
+        let f = epoch_time_figure("Figure 6", &rows, 300);
+        assert!(f.contains("100.00"));
+        assert!(!f.contains("120.00"));
+    }
+}

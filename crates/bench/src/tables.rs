@@ -1,0 +1,253 @@
+//! Renderers for the paper's Tables 3–9.
+
+use nd_core::features::DatasetVariant;
+use nd_core::pipeline::PipelineOutput;
+use nd_core::predict::{train_and_eval, NetworkKind, PredictConfig, Target};
+use nd_core::report::{fmt2, render_table};
+use nd_events::Event;
+use nd_synth::time::format_ts;
+
+fn keywords_of(event: &Event) -> String {
+    event.related.iter().map(|(w, _)| w.as_str()).collect::<Vec<_>>().join(" ")
+}
+
+/// Table 3: news topics extracted by NMF.
+pub fn table3(out: &PipelineOutput) -> String {
+    let rows: Vec<Vec<String>> = out
+        .topics
+        .topics
+        .iter()
+        .map(|t| vec![format!("{}", t.id + 1), t.keywords.join(" ")])
+        .collect();
+    format!("Table 3: News topics\n{}", render_table(&["#NT", "Keywords"], &rows))
+}
+
+/// Table 4: news events detected by MABED.
+pub fn table4(out: &PipelineOutput) -> String {
+    let rows: Vec<Vec<String>> = out
+        .news_events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            vec![
+                format!("{}", i + 1),
+                format_ts(e.start),
+                format_ts(e.end),
+                e.main_word.clone(),
+                keywords_of(e),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 4: News events\n{}",
+        render_table(&["#NE", "Start Date", "End Date", "Label", "Keywords"], &rows)
+    )
+}
+
+/// Table 5: Twitter events detected by MABED.
+pub fn table5(out: &PipelineOutput) -> String {
+    let rows: Vec<Vec<String>> = out
+        .twitter_events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            vec![
+                format!("{}", i + 1),
+                format_ts(e.start),
+                format_ts(e.end),
+                e.main_word.clone(),
+                keywords_of(e),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 5: Twitter events\n{}",
+        render_table(&["#TE", "Start Date", "End Date", "Label", "Keywords"], &rows)
+    )
+}
+
+/// Index of a news event inside the pipeline's news-event list.
+fn news_event_index(out: &PipelineOutput, event: &Event) -> Option<usize> {
+    out.news_events
+        .iter()
+        .position(|e| e.main_word == event.main_word && e.start == event.start)
+}
+
+/// Table 6: correlation between topics and events — for each trending
+/// news topic, the topic↔news-event similarity and its best Twitter-
+/// event similarity.
+pub fn table6(out: &PipelineOutput) -> String {
+    let mut rows = Vec::new();
+    for (ti, trending) in out.trending.iter().enumerate() {
+        let ne_idx = news_event_index(out, &trending.event).map(|i| i + 1).unwrap_or(0);
+        // Best Twitter match for this trending topic.
+        let best = out
+            .correlation
+            .pairs
+            .iter()
+            .filter(|p| p.trending_idx == ti)
+            .max_by(|a, b| a.similarity.partial_cmp(&b.similarity).unwrap());
+        let (te_label, te_sim) = match best {
+            Some(p) => (format!("{}", p.twitter_idx + 1), fmt2(p.similarity)),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        rows.push(vec![
+            format!("{}", trending.topic_id + 1),
+            format!("{ne_idx}"),
+            te_label,
+            fmt2(trending.similarity),
+            te_sim,
+        ]);
+    }
+    format!(
+        "Table 6: Correlation between topics and events\n{}",
+        render_table(&["#NT", "#NE", "#TE", "Sim NT NE", "Sim NE TE"], &rows)
+    )
+}
+
+/// Table 7: Twitter events unrelated to any trending news topic.
+pub fn table7(out: &PipelineOutput) -> String {
+    let rows: Vec<Vec<String>> = out
+        .correlation
+        .unmatched_twitter
+        .iter()
+        .map(|&i| {
+            let e = &out.twitter_events[i];
+            vec![
+                format!("{}", i + 1),
+                format_ts(e.start),
+                format_ts(e.end),
+                e.main_word.clone(),
+                keywords_of(e),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 7: Unrelated Twitter events\n{}",
+        render_table(&["#TE", "Start Date", "End Date", "Label", "Keywords"], &rows)
+    )
+}
+
+/// One cell of the Tables 8–9 grid.
+#[derive(Debug, Clone)]
+pub struct AccuracyCell {
+    /// Dataset label (A1…D2).
+    pub dataset: &'static str,
+    /// Network label.
+    pub network: &'static str,
+    /// Eq. (17) average accuracy on the validation split.
+    pub average_accuracy: f64,
+    /// Epochs the run took (feeds the Table 10 discussion).
+    pub epochs: usize,
+}
+
+/// Computes the accuracy grid behind Table 8 (likes) or Table 9
+/// (retweets): 8 dataset variants × 4 network configurations.
+pub fn accuracy_grid(
+    out: &PipelineOutput,
+    target: Target,
+    config: &PredictConfig,
+) -> Vec<AccuracyCell> {
+    let mut cells = Vec::new();
+    for variant in DatasetVariant::ALL {
+        let ds = out.dataset(variant, 7);
+        for kind in NetworkKind::ALL {
+            let started = std::time::Instant::now();
+            let res = train_and_eval(&ds, kind, target, config);
+            eprintln!(
+                "[nd-bench] {} × {} ({}): avg acc {:.3} in {} epochs ({:.1}s)",
+                variant.name(),
+                kind.name(),
+                match target {
+                    Target::Likes => "likes",
+                    Target::Retweets => "retweets",
+                },
+                res.average_accuracy,
+                res.report.epochs,
+                started.elapsed().as_secs_f64(),
+            );
+            cells.push(AccuracyCell {
+                dataset: variant.name(),
+                network: kind.name(),
+                average_accuracy: res.average_accuracy,
+                epochs: res.report.epochs,
+            });
+        }
+    }
+    cells
+}
+
+/// Renders an accuracy grid in the paper's Tables 8–9 layout.
+pub fn render_accuracy_table(title: &str, cells: &[AccuracyCell]) -> String {
+    let mut rows = Vec::new();
+    for variant in DatasetVariant::ALL {
+        let mut row = vec![variant.name().to_string()];
+        for kind in NetworkKind::ALL {
+            let cell = cells
+                .iter()
+                .find(|c| c.dataset == variant.name() && c.network == kind.name());
+            row.push(cell.map(|c| fmt2(c.average_accuracy)).unwrap_or_else(|| "-".into()));
+        }
+        rows.push(row);
+    }
+    format!(
+        "{title}\n{}",
+        render_table(&["Dataset", "MLP 1", "MLP 2", "CNN 1", "CNN 2"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_core::pipeline::{Pipeline, PipelineConfig};
+    use std::sync::OnceLock;
+
+    fn out() -> &'static PipelineOutput {
+        static OUT: OnceLock<PipelineOutput> = OnceLock::new();
+        OUT.get_or_init(|| Pipeline::new(PipelineConfig::small()).run().unwrap())
+    }
+
+    #[test]
+    fn tables_3_to_7_render() {
+        let o = out();
+        for (n, t) in [
+            ("Table 3", table3(o)),
+            ("Table 4", table4(o)),
+            ("Table 5", table5(o)),
+            ("Table 6", table6(o)),
+            ("Table 7", table7(o)),
+        ] {
+            assert!(t.starts_with(n), "{t}");
+            assert!(t.lines().count() > 4, "{n} looks empty:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table6_similarities_at_thresholds() {
+        let o = out();
+        let t = table6(o);
+        // Every listed NT↔NE similarity must be >= 0.70 by construction.
+        for line in t.lines().skip(4) {
+            let cols: Vec<&str> = line.split('|').map(str::trim).collect();
+            if cols.len() >= 6 {
+                if let Ok(sim) = cols[4].parse::<f64>() {
+                    assert!(sim >= 0.70 - 1e-9, "NT-NE sim below threshold: {line}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_table_layout() {
+        let cells = vec![
+            AccuracyCell { dataset: "A1", network: "MLP 1", average_accuracy: 0.74, epochs: 10 },
+            AccuracyCell { dataset: "A2", network: "CNN 2", average_accuracy: 0.84, epochs: 7 },
+        ];
+        let t = render_accuracy_table("Table 8: Likes accuracy", &cells);
+        assert!(t.contains("0.74"));
+        assert!(t.contains("0.84"));
+        assert!(t.contains("A1"));
+        assert!(t.contains("D2"));
+        assert!(t.contains("-"), "missing cells render as dashes");
+    }
+}

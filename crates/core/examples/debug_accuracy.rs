@@ -1,0 +1,52 @@
+//! Developer diagnostics: metadata-lift calibration check (Table 8/9
+//! shape) on a small world.
+
+use nd_core::features::DatasetVariant;
+use nd_core::pipeline::{Pipeline, PipelineConfig};
+use nd_core::predict::{train_and_eval, NetworkKind, PredictConfig, Target};
+
+fn main() {
+    let out = Pipeline::new(PipelineConfig::small()).run().expect("pipeline");
+    // Virality distribution over the tweets that end up in datasets.
+    let mut vir: Vec<f64> = Vec::new();
+    for a in &out.assignments {
+        for &ti in &a.tweet_indices {
+            vir.push(out.world.tweets[ti].gt_virality);
+        }
+    }
+    vir.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if !vir.is_empty() {
+        println!(
+            "virality over dataset tweets: min={:.3} p25={:.3} med={:.3} p75={:.3} max={:.3}",
+            vir[0],
+            vir[vir.len() / 4],
+            vir[vir.len() / 2],
+            vir[3 * vir.len() / 4],
+            vir[vir.len() - 1]
+        );
+    }
+    let cfg = PredictConfig { batch_size: 512, max_epochs: 120, ..Default::default() };
+    for variant in [DatasetVariant::A1, DatasetVariant::A2, DatasetVariant::B1, DatasetVariant::B2] {
+        let ds = out.dataset(variant, 7);
+        println!("dataset {} samples={} dims={}", ds.name, ds.len(), ds.x.cols());
+        // Label distribution.
+        let mut counts = [0usize; 3];
+        for &y in &ds.y_likes {
+            counts[y] += 1;
+        }
+        println!("  likes label distribution: {counts:?}");
+        for kind in [NetworkKind::Mlp1, NetworkKind::Cnn1] {
+            let likes = train_and_eval(&ds, kind, Target::Likes, &cfg);
+            let rts = train_and_eval(&ds, kind, Target::Retweets, &cfg);
+            println!(
+                "  {}: likes acc={:.3} avg={:.3} epochs={} | retweets acc={:.3} avg={:.3}",
+                kind.name(),
+                likes.accuracy,
+                likes.average_accuracy,
+                likes.report.epochs,
+                rts.accuracy,
+                rts.average_accuracy,
+            );
+        }
+    }
+}

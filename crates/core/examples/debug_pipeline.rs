@@ -1,0 +1,58 @@
+//! Developer diagnostics: dump every pipeline stage for a small run.
+
+use nd_core::pipeline::{Pipeline, PipelineConfig};
+
+fn main() {
+    let out = Pipeline::new(PipelineConfig::small()).run().expect("pipeline");
+    println!("== topics ==");
+    for t in &out.topics.topics {
+        println!("  NT{}: {}", t.id, t.keywords.join(" "));
+    }
+    println!("== news events ({}) ==", out.news_events.len());
+    for e in &out.news_events {
+        println!(
+            "  {} mag={:.1} docs={} [{}..{}] related: {}",
+            e.main_word,
+            e.magnitude,
+            e.n_docs,
+            e.start,
+            e.end,
+            e.related.iter().map(|(w, _)| w.as_str()).collect::<Vec<_>>().join(" ")
+        );
+    }
+    println!("== twitter events ({}) ==", out.twitter_events.len());
+    for e in &out.twitter_events {
+        println!(
+            "  {} mag={:.1} docs={} [{}..{}] related: {}",
+            e.main_word,
+            e.magnitude,
+            e.n_docs,
+            e.start,
+            e.end,
+            e.related.iter().map(|(w, _)| w.as_str()).collect::<Vec<_>>().join(" ")
+        );
+    }
+    println!("== trending ({}) ==", out.trending.len());
+    for (i, t) in out.trending.iter().enumerate() {
+        println!(
+            "  TT{i}: topic NT{} ~ event '{}' sim={:.2} start={}",
+            t.topic_id, t.event.main_word, t.similarity, t.event.start
+        );
+    }
+    println!("== correlation pairs ({}) ==", out.correlation.pairs.len());
+    for p in &out.correlation.pairs {
+        println!(
+            "  TT{} ~ TE{} ({}) sim={:.2}",
+            p.trending_idx, p.twitter_idx, out.twitter_events[p.twitter_idx].main_word, p.similarity
+        );
+    }
+    println!("== unmatched twitter events: {:?}", out.correlation.unmatched_twitter);
+    println!("== assignments: {} events with >=10 tweets", out.assignments.len());
+    for a in &out.assignments {
+        println!(
+            "  event '{}' -> {} tweets",
+            out.correlated_events[a.event_idx].main_word,
+            a.tweet_indices.len()
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Model checkpointing (paper §4.9).
+//!
+//! The deployed system refreshes its datasets every two hours and
+//! "uses checkpoints to continue the training as new data is added in
+//! real time", swapping models in as retraining finishes. This module
+//! provides that mechanism over the embedded document store: trained
+//! network parameters are saved as versioned documents in a `models`
+//! collection and restored into architecture-compatible networks, so a
+//! restarted process resumes from the last checkpoint instead of
+//! retraining from scratch.
+
+use crate::error::{CoreError, Result};
+use nd_neural::Network;
+use nd_store::{Database, Filter};
+use serde_json::json;
+
+/// Collection holding model checkpoints.
+pub const MODELS_COLLECTION: &str = "models";
+
+/// Saves a network checkpoint under `name`, returning its version
+/// (monotonically increasing per name).
+pub fn save_checkpoint(db: &mut Database, name: &str, network: &Network) -> Result<u64> {
+    let version = latest_version(db, name).map(|v| v + 1).unwrap_or(1);
+    let params = network.export_params();
+    db.collection(MODELS_COLLECTION).insert(json!({
+        "name": name,
+        "version": version,
+        "n_layers": params.len(),
+        "params": params,
+    }))?;
+    db.persist()?;
+    Ok(version)
+}
+
+/// Highest checkpoint version stored under `name`, if any.
+pub fn latest_version(db: &Database, name: &str) -> Option<u64> {
+    let coll = db.get_collection(MODELS_COLLECTION)?;
+    coll.find(&Filter::eq("name", name))
+        .iter()
+        .filter_map(|d| d["version"].as_u64())
+        .max()
+}
+
+/// Loads the newest checkpoint for `name` into `network` (which must
+/// have the same architecture it was saved from). Returns the restored
+/// version.
+///
+/// # Errors
+/// [`CoreError::NoOutput`] when no checkpoint exists;
+/// [`CoreError::EmptyInput`] when the stored parameters do not fit the
+/// network.
+pub fn load_checkpoint(db: &Database, name: &str, network: &mut Network) -> Result<u64> {
+    let coll = db
+        .get_collection(MODELS_COLLECTION)
+        .ok_or(CoreError::NoOutput("checkpoint load: no models collection"))?;
+    let docs = coll.find(&Filter::eq("name", name));
+    let doc = docs
+        .iter()
+        .max_by_key(|d| d["version"].as_u64().unwrap_or(0))
+        .ok_or(CoreError::NoOutput("checkpoint load: name not found"))?;
+    let params: Vec<Vec<f64>> = doc["params"]
+        .as_array()
+        .ok_or(CoreError::EmptyInput("checkpoint load: malformed params"))?
+        .iter()
+        .map(|layer| {
+            layer
+                .as_array()
+                .map(|vals| vals.iter().filter_map(|v| v.as_f64()).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+    network
+        .import_params(&params)
+        .map_err(|_| CoreError::EmptyInput("checkpoint load: architecture mismatch"))?;
+    Ok(doc["version"].as_u64().unwrap_or(0))
+}
+
+/// Removes all but the newest `keep` checkpoints of `name` (the 2-hour
+/// retraining loop would otherwise grow the collection without bound).
+pub fn prune_checkpoints(db: &mut Database, name: &str, keep: usize) -> Result<usize> {
+    let coll = db.collection(MODELS_COLLECTION);
+    let mut versions: Vec<(u64, u64)> = coll
+        .find(&Filter::eq("name", name))
+        .iter()
+        .filter_map(|d| Some((d["version"].as_u64()?, d["_id"].as_u64()?)))
+        .collect();
+    versions.sort_by(|a, b| b.0.cmp(&a.0));
+    let mut removed = 0;
+    for &(_, id) in versions.iter().skip(keep) {
+        coll.delete(id)?;
+        removed += 1;
+    }
+    db.persist()?;
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::build_mlp;
+    use nd_linalg::Mat;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("ndckpt-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip_across_reopen() {
+        let dir = tmpdir("roundtrip");
+        let mut original = build_mlp(12, 1);
+        let x = Mat::random_normal(4, 12, 0.0, 1.0, 2);
+        let expected = original.predict(&x);
+        {
+            let mut db = Database::open(&dir).unwrap();
+            assert_eq!(save_checkpoint(&mut db, "likes-mlp", &original).unwrap(), 1);
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            let mut restored = build_mlp(12, 999); // different init seed
+            let v = load_checkpoint(&db, "likes-mlp", &mut restored).unwrap();
+            assert_eq!(v, 1);
+            assert_eq!(restored.predict(&x), expected);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn versions_increase_and_latest_wins() {
+        let dir = tmpdir("versions");
+        let mut db = Database::open(&dir).unwrap();
+        let net_a = build_mlp(6, 1);
+        let net_b = build_mlp(6, 2);
+        assert_eq!(save_checkpoint(&mut db, "m", &net_a).unwrap(), 1);
+        assert_eq!(save_checkpoint(&mut db, "m", &net_b).unwrap(), 2);
+        assert_eq!(latest_version(&db, "m"), Some(2));
+
+        let mut restored = build_mlp(6, 3);
+        load_checkpoint(&db, "m", &mut restored).unwrap();
+        assert_eq!(restored.export_params(), net_b.export_params());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_and_mismatched_checkpoints_error() {
+        let dir = tmpdir("missing");
+        let mut db = Database::open(&dir).unwrap();
+        let mut net = build_mlp(6, 1);
+        assert!(load_checkpoint(&db, "ghost", &mut net).is_err());
+        // Save a 6-input model, try restoring into an 8-input one.
+        save_checkpoint(&mut db, "m", &net).unwrap();
+        let mut wrong = build_mlp(8, 1);
+        assert!(load_checkpoint(&db, "m", &mut wrong).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = tmpdir("prune");
+        let mut db = Database::open(&dir).unwrap();
+        let net = build_mlp(4, 1);
+        for _ in 0..5 {
+            save_checkpoint(&mut db, "m", &net).unwrap();
+        }
+        let removed = prune_checkpoints(&mut db, "m", 2).unwrap();
+        assert_eq!(removed, 3);
+        assert_eq!(latest_version(&db, "m"), Some(5));
+        assert_eq!(
+            db.get_collection(MODELS_COLLECTION).unwrap().count(&Filter::eq("name", "m")),
+            2
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn names_are_namespaced() {
+        let dir = tmpdir("names");
+        let mut db = Database::open(&dir).unwrap();
+        let net = build_mlp(4, 1);
+        save_checkpoint(&mut db, "likes", &net).unwrap();
+        save_checkpoint(&mut db, "retweets", &net).unwrap();
+        save_checkpoint(&mut db, "likes", &net).unwrap();
+        assert_eq!(latest_version(&db, "likes"), Some(2));
+        assert_eq!(latest_version(&db, "retweets"), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,214 @@
+//! Correlation module (paper §4.6, §5.5).
+//!
+//! Matches *trending news topics* to *Twitter events*: a Twitter event
+//! is a candidate when its start date falls within five days of the
+//! news event's start (`S_TE ∈ [S_NE, S_NE + 5 days]` — "a Twitter
+//! event can appear on social media as soon as the news appears in the
+//! mass media, but it can also be some delay"), and the pair is kept
+//! when the embedding cosine similarity reaches the threshold
+//! (paper: 0.65). The reverse correlation (`Twitter events → trending
+//! news topics`) uses the same constraints and, as §5.8 reports, must
+//! yield the same pair set.
+
+use crate::trending::{embed_terms, TrendingTopic};
+use nd_embed::WordVectors;
+use nd_events::Event;
+use nd_linalg::vecops::cosine;
+
+/// Five days, the paper's start-date window.
+pub const START_WINDOW: u64 = 5 * 86_400;
+
+/// A correlated `<trending news topic, Twitter event>` pair.
+#[derive(Debug, Clone)]
+pub struct CorrelatedPair {
+    /// Index into the trending-topic list.
+    pub trending_idx: usize,
+    /// Index into the Twitter-event list.
+    pub twitter_idx: usize,
+    /// Cosine similarity between the news-event and Twitter-event
+    /// embeddings.
+    pub similarity: f64,
+}
+
+/// Result of the correlation stage.
+#[derive(Debug, Clone)]
+pub struct CorrelationResult {
+    /// Pairs satisfying the time constraint and similarity threshold.
+    pub pairs: Vec<CorrelatedPair>,
+    /// Twitter events (by index) that matched no trending topic —
+    /// the paper's Table 7 set.
+    pub unmatched_twitter: Vec<usize>,
+}
+
+fn time_ok(news_event: &Event, twitter_event: &Event) -> bool {
+    twitter_event.start >= news_event.start
+        && twitter_event.start <= news_event.start + START_WINDOW
+}
+
+/// Forward correlation: trending news topics → Twitter events.
+pub fn correlate(
+    trending: &[TrendingTopic],
+    twitter_events: &[Event],
+    vectors: &WordVectors,
+    threshold: f64,
+) -> CorrelationResult {
+    let te_embeddings: Vec<Vec<f64>> =
+        twitter_events.iter().map(|e| embed_terms(vectors, &e.all_terms())).collect();
+    let tt_embeddings: Vec<Vec<f64>> =
+        trending.iter().map(|t| embed_terms(vectors, &t.event.all_terms())).collect();
+
+    let mut pairs = Vec::new();
+    for (ti, tt) in trending.iter().enumerate() {
+        for (ei, te) in twitter_events.iter().enumerate() {
+            if !time_ok(&tt.event, te) {
+                continue;
+            }
+            let sim = cosine(&tt_embeddings[ti], &te_embeddings[ei]);
+            if sim >= threshold {
+                pairs.push(CorrelatedPair { trending_idx: ti, twitter_idx: ei, similarity: sim });
+            }
+        }
+    }
+    let matched: std::collections::HashSet<usize> =
+        pairs.iter().map(|p| p.twitter_idx).collect();
+    let unmatched_twitter =
+        (0..twitter_events.len()).filter(|i| !matched.contains(i)).collect();
+    CorrelationResult { pairs, unmatched_twitter }
+}
+
+/// Reverse correlation: Twitter events → trending news topics. Same
+/// constraints, iterated from the Twitter side; §5.8 observes the
+/// resulting pair set is identical to the forward direction (our
+/// integration tests assert it).
+pub fn correlate_reverse(
+    trending: &[TrendingTopic],
+    twitter_events: &[Event],
+    vectors: &WordVectors,
+    threshold: f64,
+) -> CorrelationResult {
+    let te_embeddings: Vec<Vec<f64>> =
+        twitter_events.iter().map(|e| embed_terms(vectors, &e.all_terms())).collect();
+    let tt_embeddings: Vec<Vec<f64>> =
+        trending.iter().map(|t| embed_terms(vectors, &t.event.all_terms())).collect();
+
+    let mut pairs = Vec::new();
+    for (ei, te) in twitter_events.iter().enumerate() {
+        for (ti, tt) in trending.iter().enumerate() {
+            if !time_ok(&tt.event, te) {
+                continue;
+            }
+            let sim = cosine(&te_embeddings[ei], &tt_embeddings[ti]);
+            if sim >= threshold {
+                pairs.push(CorrelatedPair { trending_idx: ti, twitter_idx: ei, similarity: sim });
+            }
+        }
+    }
+    pairs.sort_by_key(|p| (p.trending_idx, p.twitter_idx));
+    let matched: std::collections::HashSet<usize> =
+        pairs.iter().map(|p| p.twitter_idx).collect();
+    let unmatched_twitter =
+        (0..twitter_events.len()).filter(|i| !matched.contains(i)).collect();
+    CorrelationResult { pairs, unmatched_twitter }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_events::Event;
+
+    fn vectors() -> WordVectors {
+        let mut wv = WordVectors::new(3);
+        wv.insert("brexit", &[1.0, 0.0, 0.0]);
+        wv.insert("vote", &[0.9, 0.1, 0.0]);
+        wv.insert("party", &[0.95, 0.05, 0.0]);
+        wv.insert("thrones", &[0.0, 0.0, 1.0]);
+        wv.insert("episode", &[0.0, 0.1, 0.9]);
+        wv
+    }
+
+    fn event(main: &str, related: &[&str], start: u64) -> Event {
+        Event {
+            main_word: main.to_string(),
+            related: related.iter().map(|w| (w.to_string(), 0.8)).collect(),
+            start,
+            end: start + 86_400,
+            magnitude: 5.0,
+            n_docs: 30,
+        }
+    }
+
+    fn trending_for(ev: Event) -> TrendingTopic {
+        TrendingTopic {
+            topic_id: 0,
+            keywords: ev.all_terms(),
+            event: ev,
+            similarity: 0.9,
+        }
+    }
+
+    #[test]
+    fn forward_matches_in_window() {
+        let nt = trending_for(event("brexit", &["vote"], 1_000_000));
+        let te_close = event("party", &["brexit", "vote"], 1_000_000 + 86_400);
+        let te_late = event("party", &["brexit", "vote"], 1_000_000 + 6 * 86_400);
+        let te_offtopic = event("thrones", &["episode"], 1_000_000 + 86_400);
+        let result = correlate(
+            &[nt],
+            &[te_close.clone(), te_late, te_offtopic],
+            &vectors(),
+            0.65,
+        );
+        assert_eq!(result.pairs.len(), 1);
+        assert_eq!(result.pairs[0].twitter_idx, 0);
+        // Off-topic and too-late events are unmatched (Table 7 set).
+        assert_eq!(result.unmatched_twitter, vec![1, 2]);
+    }
+
+    #[test]
+    fn twitter_event_before_news_event_rejected() {
+        let nt = trending_for(event("brexit", &["vote"], 1_000_000));
+        let te_early = event("party", &["brexit"], 1_000_000 - 3_600);
+        let result = correlate(&[nt], &[te_early], &vectors(), 0.5);
+        assert!(result.pairs.is_empty());
+    }
+
+    #[test]
+    fn reverse_gives_same_pair_set() {
+        let nts = vec![
+            trending_for(event("brexit", &["vote"], 1_000_000)),
+            trending_for(event("thrones", &["episode"], 1_000_000)),
+        ];
+        let tes = vec![
+            event("party", &["brexit", "vote"], 1_000_000 + 3_600),
+            event("episode", &["thrones"], 1_000_000 + 7_200),
+        ];
+        let fwd = correlate(&nts, &tes, &vectors(), 0.6);
+        let rev = correlate_reverse(&nts, &tes, &vectors(), 0.6);
+        let f: Vec<(usize, usize)> =
+            fwd.pairs.iter().map(|p| (p.trending_idx, p.twitter_idx)).collect();
+        let mut r: Vec<(usize, usize)> =
+            rev.pairs.iter().map(|p| (p.trending_idx, p.twitter_idx)).collect();
+        r.sort_unstable();
+        let mut f_sorted = f.clone();
+        f_sorted.sort_unstable();
+        assert_eq!(f_sorted, r);
+    }
+
+    #[test]
+    fn one_trending_topic_can_match_multiple_twitter_events() {
+        let nt = trending_for(event("brexit", &["vote", "party"], 1_000_000));
+        let tes = vec![
+            event("vote", &["brexit"], 1_000_000 + 3_600),
+            event("party", &["brexit", "vote"], 1_000_000 + 2 * 86_400),
+        ];
+        let result = correlate(&[nt], &tes, &vectors(), 0.6);
+        assert_eq!(result.pairs.len(), 2, "intertwined events (paper §5.8)");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let result = correlate(&[], &[], &vectors(), 0.65);
+        assert!(result.pairs.is_empty());
+        assert!(result.unmatched_twitter.is_empty());
+    }
+}

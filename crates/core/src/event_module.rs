@@ -1,0 +1,136 @@
+//! Event Detection module (paper §4.4, §5.3–5.4).
+//!
+//! Runs MABED twice: over the NewsED corpus with 60-minute time
+//! slices (presence anomaly — articles have no mentions) and over the
+//! TwitterED corpus with 30-minute slices (mention anomaly, the
+//! original MABED formulation). Twitter events with fewer than 10
+//! associated tweets are dropped (§4.7).
+
+use nd_events::{AnomalySource, Event, Mabed, MabedConfig, SlicedCorpus, TimestampedDoc};
+
+/// Event-module configuration.
+#[derive(Debug, Clone)]
+pub struct EventModuleConfig {
+    /// Events to extract from the news corpus (paper: top 1000).
+    pub n_news_events: usize,
+    /// Events to extract from the Twitter corpus (paper: top 5000).
+    pub n_twitter_events: usize,
+    /// News slice width in seconds (paper: 60 minutes).
+    pub news_slice_secs: u64,
+    /// Twitter slice width in seconds (paper: 30 minutes).
+    pub twitter_slice_secs: u64,
+    /// Related-word weight threshold `theta`.
+    pub theta: f64,
+    /// Minimum documents for a main word.
+    pub min_word_docs: u64,
+    /// Maximum related words per event.
+    pub max_related: usize,
+}
+
+impl Default for EventModuleConfig {
+    fn default() -> Self {
+        EventModuleConfig {
+            n_news_events: 20,
+            n_twitter_events: 30,
+            news_slice_secs: 3600,
+            twitter_slice_secs: 1800,
+            theta: 0.6,
+            min_word_docs: 10,
+            max_related: 10,
+        }
+    }
+}
+
+/// Detects news events (60-min slices, presence anomaly).
+pub fn detect_news_events(corpus: &[TimestampedDoc], config: &EventModuleConfig) -> Vec<Event> {
+    let sliced = SlicedCorpus::build(corpus, config.news_slice_secs);
+    Mabed::new(MabedConfig {
+        n_events: config.n_news_events,
+        max_related: config.max_related,
+        theta: config.theta,
+        min_word_docs: config.min_word_docs,
+        source: AnomalySource::Presence,
+        ..Default::default()
+    })
+    .detect(&sliced)
+}
+
+/// Detects Twitter events (30-min slices, mention anomaly), dropping
+/// events with fewer than `min_docs` matching tweets (paper §4.7:
+/// "an event is considered of interest if there are at least 10
+/// records associated to it").
+pub fn detect_twitter_events(
+    corpus: &[TimestampedDoc],
+    config: &EventModuleConfig,
+) -> Vec<Event> {
+    let sliced = SlicedCorpus::build(corpus, config.twitter_slice_secs);
+    let events = Mabed::new(MabedConfig {
+        n_events: config.n_twitter_events,
+        max_related: config.max_related,
+        theta: config.theta,
+        min_word_docs: config.min_word_docs,
+        source: AnomalySource::Mentions,
+        ..Default::default()
+    })
+    .detect(&sliced);
+    events.into_iter().filter(|e| e.n_docs >= 10).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{build_news_ed, build_twitter_ed};
+    use nd_synth::{World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig::small())
+    }
+
+    #[test]
+    fn news_events_detected_around_planted_bursts() {
+        let w = world();
+        let corpus = build_news_ed(&w.articles);
+        let events = detect_news_events(&corpus, &EventModuleConfig::default());
+        assert!(!events.is_empty(), "no news events detected");
+
+        // The strongest event's main word should belong to some
+        // planted news topic's pool.
+        let pools: Vec<&[&str]> = w.topics.iter().map(|t| t.keywords).collect();
+        let top = &events[0];
+        assert!(
+            pools.iter().any(|p| p.contains(&top.main_word.as_str())),
+            "main word {} not in any planted pool",
+            top.main_word
+        );
+    }
+
+    #[test]
+    fn twitter_events_detected_with_min_docs() {
+        let w = world();
+        let corpus = build_twitter_ed(&w.tweets);
+        let events = detect_twitter_events(&corpus, &EventModuleConfig::default());
+        assert!(!events.is_empty(), "no twitter events detected");
+        for e in &events {
+            assert!(e.n_docs >= 10, "event {} has only {} docs", e.main_word, e.n_docs);
+        }
+    }
+
+    #[test]
+    fn event_periods_overlap_ground_truth() {
+        let w = world();
+        let corpus = build_news_ed(&w.articles);
+        let events = detect_news_events(&corpus, &EventModuleConfig::default());
+        // The top event should overlap a planted window for a topic
+        // containing its main word.
+        let top = &events[0];
+        let topic_idx = w
+            .topics
+            .iter()
+            .position(|t| t.keywords.contains(&top.main_word.as_str()))
+            .expect("main word belongs to a planted topic");
+        let overlaps = w.events.iter().any(|g| {
+            g.topic == topic_idx && g.start < top.end && top.start < g.end
+        });
+        assert!(overlaps, "top event period matches no planted burst");
+    }
+}

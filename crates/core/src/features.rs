@@ -1,0 +1,461 @@
+//! Feature Creation module (paper §4.7).
+//!
+//! * Tweets are assigned to the Twitter events detected by the
+//!   correlation module with the paper's rule: posted inside the event
+//!   period, containing the main word and ≥ 20% of the related words;
+//!   events keep ≥ 10 tweets.
+//! * Each `(event, tweet)` pair is embedded by averaging pretrained
+//!   word vectors over the tweet's terms *present in the event
+//!   vocabulary* (main + related terms), under one of the three
+//!   strategies SW / RND / SWM.
+//! * The metadata vector (size 8) holds a 7-dimension one-hot encoding
+//!   of the author's follower magnitude (the "influencer" signal) and
+//!   one element for the day of the week.
+//! * Labels are the Table 2 buckets of likes and retweets.
+//!
+//! The eight dataset variants of §5.6 (A1–D2) come out of
+//! [`DatasetVariant`] × [`build_dataset`].
+
+use nd_embed::{doc_embedding, AverageStrategy, WordVectors};
+use nd_events::Event;
+use nd_linalg::Mat;
+use nd_synth::{bucket_count, day_of_week, Tweet};
+use std::collections::{HashMap, HashSet};
+
+/// Fraction of related words a tweet must contain (paper: 20%).
+pub const RELATED_FRACTION: f64 = 0.2;
+/// Minimum tweets for an event to be "of interest" (paper: 10).
+pub const MIN_EVENT_TWEETS: usize = 10;
+
+/// Tweets assigned to one Twitter event.
+#[derive(Debug, Clone)]
+pub struct EventAssignment {
+    /// Index into the Twitter-event list.
+    pub event_idx: usize,
+    /// Indices into the tweet corpus.
+    pub tweet_indices: Vec<usize>,
+}
+
+/// Assigns tweets to events with the paper's membership rule.
+/// `tweet_tokens` must align with `tweets` (the TwitterED token
+/// streams). Events with fewer than [`MIN_EVENT_TWEETS`] matches are
+/// dropped.
+pub fn assign_tweets(
+    events: &[Event],
+    tweets: &[Tweet],
+    tweet_tokens: &[Vec<String>],
+) -> Vec<EventAssignment> {
+    debug_assert_eq!(tweets.len(), tweet_tokens.len());
+    let mut out = Vec::new();
+    for (event_idx, event) in events.iter().enumerate() {
+        let tweet_indices: Vec<usize> = tweets
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| {
+                event.matches_document(t.timestamp, &tweet_tokens[*i], RELATED_FRACTION)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if tweet_indices.len() >= MIN_EVENT_TWEETS {
+            out.push(EventAssignment { event_idx, tweet_indices });
+        }
+    }
+    out
+}
+
+/// Size of the metadata vector (7-d follower one-hot + day of week).
+pub const METADATA_DIM: usize = 8;
+
+/// Follower-magnitude bin (7 bins by decimal order of magnitude).
+pub fn follower_bin(followers: u64) -> usize {
+    match followers {
+        0..=9 => 0,
+        10..=99 => 1,
+        100..=999 => 2,
+        1_000..=9_999 => 3,
+        10_000..=99_999 => 4,
+        100_000..=999_999 => 5,
+        _ => 6,
+    }
+}
+
+/// Builds the 8-dimension metadata vector of §5.6: one-hot follower
+/// magnitude (the influencer signal) plus the normalized day of week.
+pub fn metadata_vector(followers: u64, timestamp: u64) -> [f64; METADATA_DIM] {
+    let mut v = [0.0; METADATA_DIM];
+    v[follower_bin(followers)] = 1.0;
+    v[7] = day_of_week(timestamp) as f64 / 6.0;
+    v
+}
+
+/// The eight dataset variants of §5.6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetVariant {
+    /// SW_Doc2Vec only.
+    A1,
+    /// SW_Doc2Vec + metadata.
+    A2,
+    /// RND_Doc2Vec only.
+    B1,
+    /// RND_Doc2Vec + metadata.
+    B2,
+    /// SWM_Doc2Vec only.
+    C1,
+    /// SWM_Doc2Vec + metadata.
+    C2,
+    /// SW_Doc2Vec only (the D baseline).
+    D1,
+    /// SW_Doc2Vec + metadata + raw follower count.
+    D2,
+}
+
+impl DatasetVariant {
+    /// All variants, in the paper's table order.
+    pub const ALL: [DatasetVariant; 8] = [
+        DatasetVariant::A1,
+        DatasetVariant::A2,
+        DatasetVariant::B1,
+        DatasetVariant::B2,
+        DatasetVariant::C1,
+        DatasetVariant::C2,
+        DatasetVariant::D1,
+        DatasetVariant::D2,
+    ];
+
+    /// Paper label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetVariant::A1 => "A1",
+            DatasetVariant::A2 => "A2",
+            DatasetVariant::B1 => "B1",
+            DatasetVariant::B2 => "B2",
+            DatasetVariant::C1 => "C1",
+            DatasetVariant::C2 => "C2",
+            DatasetVariant::D1 => "D1",
+            DatasetVariant::D2 => "D2",
+        }
+    }
+
+    /// Embedding strategy.
+    pub fn strategy(&self) -> AverageStrategy {
+        match self {
+            DatasetVariant::A1 | DatasetVariant::A2 | DatasetVariant::D1 | DatasetVariant::D2 => {
+                AverageStrategy::SkipWords
+            }
+            DatasetVariant::B1 | DatasetVariant::B2 => AverageStrategy::RandomForMissing,
+            DatasetVariant::C1 | DatasetVariant::C2 => AverageStrategy::ScaledByMagnitude,
+        }
+    }
+
+    /// Whether the metadata vector is concatenated.
+    pub fn with_metadata(&self) -> bool {
+        matches!(
+            self,
+            DatasetVariant::A2 | DatasetVariant::B2 | DatasetVariant::C2 | DatasetVariant::D2
+        )
+    }
+
+    /// Whether the raw follower-count feature is appended (D2 only).
+    pub fn with_follower_count(&self) -> bool {
+        matches!(self, DatasetVariant::D2)
+    }
+
+    /// Feature dimensionality for a given embedding size.
+    pub fn dim(&self, embedding_dim: usize) -> usize {
+        embedding_dim
+            + if self.with_metadata() { METADATA_DIM } else { 0 }
+            + if self.with_follower_count() { 1 } else { 0 }
+    }
+}
+
+/// A training dataset: features plus both label sets.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Variant label (A1…D2).
+    pub name: &'static str,
+    /// Feature matrix (`rows` = event-tweet pairs).
+    pub x: Mat,
+    /// Table 2 likes buckets.
+    pub y_likes: Vec<usize>,
+    /// Table 2 retweets buckets.
+    pub y_retweets: Vec<usize>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+}
+
+/// Builds one dataset variant from the event assignments.
+///
+/// A tweet belonging to several events contributes one sample per
+/// event ("as some tweets can belong to multiple events, the size of
+/// the Twitter dataset increases" — §5.6).
+pub fn build_dataset(
+    variant: DatasetVariant,
+    events: &[Event],
+    assignments: &[EventAssignment],
+    tweets: &[Tweet],
+    tweet_tokens: &[Vec<String>],
+    vectors: &WordVectors,
+    seed: u64,
+) -> Dataset {
+    let emb_dim = vectors.dim();
+    let dim = variant.dim(emb_dim);
+    let n_samples: usize = assignments.iter().map(|a| a.tweet_indices.len()).sum();
+    let mut x = Mat::zeros(n_samples, dim);
+    let mut y_likes = Vec::with_capacity(n_samples);
+    let mut y_retweets = Vec::with_capacity(n_samples);
+
+    let mut row = 0usize;
+    for assignment in assignments {
+        let event = &events[assignment.event_idx];
+        let vocab: HashSet<&str> = event.all_terms_set();
+        // SWM magnitudes: related-word weights; main word = 1.
+        let mut magnitudes: HashMap<String, f64> = HashMap::new();
+        magnitudes.insert(event.main_word.clone(), 1.0);
+        for (w, weight) in &event.related {
+            magnitudes.insert(w.clone(), *weight);
+        }
+
+        for &ti in &assignment.tweet_indices {
+            let tweet = &tweets[ti];
+            // Restrict the tweet to the event vocabulary (§4.7).
+            let tokens: Vec<String> = tweet_tokens[ti]
+                .iter()
+                .filter(|t| vocab.contains(t.as_str()))
+                .cloned()
+                .collect();
+            let emb = doc_embedding(vectors, &tokens, variant.strategy(), &magnitudes, seed);
+            let out = x.row_mut(row);
+            out[..emb_dim].copy_from_slice(&emb);
+            let mut offset = emb_dim;
+            if variant.with_metadata() {
+                let meta = metadata_vector(tweet.author_followers, tweet.timestamp);
+                out[offset..offset + METADATA_DIM].copy_from_slice(&meta);
+                offset += METADATA_DIM;
+            }
+            if variant.with_follower_count() {
+                // log-scaled raw follower count, normalized to ~[0, 1].
+                out[offset] = ((tweet.author_followers as f64 + 1.0).log10() / 7.0).min(1.0);
+            }
+            y_likes.push(bucket_count(tweet.likes) as usize);
+            y_retweets.push(bucket_count(tweet.retweets) as usize);
+            row += 1;
+        }
+    }
+
+    Dataset { name: variant.name(), x, y_likes, y_retweets }
+}
+
+/// Extension trait: the event vocabulary as a set (main + related).
+trait EventVocab {
+    fn all_terms_set(&self) -> HashSet<&str>;
+}
+
+impl EventVocab for Event {
+    fn all_terms_set(&self) -> HashSet<&str> {
+        let mut s: HashSet<&str> =
+            self.related.iter().map(|(w, _)| w.as_str()).collect();
+        s.insert(self.main_word.as_str());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_embed::WordVectors;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn event() -> Event {
+        Event {
+            main_word: "brexit".into(),
+            related: vec![
+                ("vote".into(), 0.9),
+                ("party".into(), 0.8),
+                ("poll".into(), 0.7),
+                ("seat".into(), 0.7),
+                ("leader".into(), 0.65),
+            ],
+            start: 1_000,
+            end: 100_000,
+            magnitude: 12.0,
+            n_docs: 40,
+        }
+    }
+
+    fn tweet(id: u64, ts: u64, followers: u64, likes: u64, retweets: u64) -> Tweet {
+        Tweet {
+            id,
+            timestamp: ts,
+            author_id: id as u32,
+            author_handle: format!("u{id}"),
+            author_followers: followers,
+            text: String::new(),
+            likes,
+            retweets,
+            gt_topic: 0,
+            gt_virality: 0.5,
+        }
+    }
+
+    fn vectors() -> WordVectors {
+        let mut wv = WordVectors::new(4);
+        for (i, w) in ["brexit", "vote", "party", "poll"].iter().enumerate() {
+            let mut v = vec![0.0; 4];
+            v[i] = 1.0;
+            wv.insert(*w, &v);
+        }
+        wv
+    }
+
+    #[test]
+    fn assignment_respects_membership_rule() {
+        let events = vec![event()];
+        // 12 matching tweets, 1 out-of-window, 1 missing main word.
+        let mut tweets = Vec::new();
+        let mut tokens = Vec::new();
+        for i in 0..12 {
+            tweets.push(tweet(i, 5_000 + i, 50, 10, 5));
+            tokens.push(toks(&["brexit", "vote", "noise"]));
+        }
+        tweets.push(tweet(100, 500_000, 50, 10, 5));
+        tokens.push(toks(&["brexit", "vote"]));
+        tweets.push(tweet(101, 5_000, 50, 10, 5));
+        tokens.push(toks(&["vote", "party"]));
+
+        let assignments = assign_tweets(&events, &tweets, &tokens);
+        assert_eq!(assignments.len(), 1);
+        assert_eq!(assignments[0].tweet_indices.len(), 12);
+    }
+
+    #[test]
+    fn small_events_dropped() {
+        let events = vec![event()];
+        let tweets: Vec<Tweet> = (0..5).map(|i| tweet(i, 5_000, 50, 1, 1)).collect();
+        let tokens: Vec<Vec<String>> =
+            (0..5).map(|_| toks(&["brexit", "vote"])).collect();
+        assert!(assign_tweets(&events, &tweets, &tokens).is_empty());
+    }
+
+    #[test]
+    fn metadata_vector_layout() {
+        // 2019-05-04 is a Saturday (weekday 5).
+        let sat = nd_synth::time::MAY_2019 + 3 * nd_synth::time::DAY;
+        let v = metadata_vector(5_000, sat);
+        assert_eq!(v.len(), 8);
+        assert_eq!(v[follower_bin(5_000)], 1.0);
+        assert_eq!(v.iter().take(7).sum::<f64>(), 1.0, "one-hot");
+        assert!((v[7] - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn follower_bins() {
+        assert_eq!(follower_bin(0), 0);
+        assert_eq!(follower_bin(99), 1);
+        assert_eq!(follower_bin(100), 2);
+        assert_eq!(follower_bin(9_999), 3);
+        assert_eq!(follower_bin(1_000_000), 6);
+    }
+
+    #[test]
+    fn variant_dimensions() {
+        assert_eq!(DatasetVariant::A1.dim(300), 300);
+        assert_eq!(DatasetVariant::A2.dim(300), 308);
+        assert_eq!(DatasetVariant::D2.dim(300), 309);
+        assert!(!DatasetVariant::C1.with_metadata());
+        assert!(DatasetVariant::C2.with_metadata());
+        assert_eq!(DatasetVariant::B1.strategy(), nd_embed::AverageStrategy::RandomForMissing);
+    }
+
+    #[test]
+    fn dataset_built_with_labels_and_features() {
+        let events = vec![event()];
+        let tweets: Vec<Tweet> =
+            (0..12).map(|i| tweet(i, 5_000, if i % 2 == 0 { 50 } else { 5_000 }, 500, 5)).collect();
+        let tokens: Vec<Vec<String>> =
+            (0..12).map(|_| toks(&["brexit", "vote", "offvocab"])).collect();
+        let assignments = assign_tweets(&events, &tweets, &tokens);
+        let ds = build_dataset(
+            DatasetVariant::A2,
+            &events,
+            &assignments,
+            &tweets,
+            &tokens,
+            &vectors(),
+            0,
+        );
+        assert_eq!(ds.len(), 12);
+        assert_eq!(ds.x.cols(), 4 + 8);
+        assert!(ds.y_likes.iter().all(|&y| y == 1), "500 likes -> bucket 1");
+        assert!(ds.y_retweets.iter().all(|&y| y == 0), "5 retweets -> bucket 0");
+        // Embedding half: average of brexit+vote = [0.5, 0.5, 0, 0].
+        assert!((ds.x.get(0, 0) - 0.5).abs() < 1e-12);
+        assert!((ds.x.get(0, 1) - 0.5).abs() < 1e-12);
+        // Metadata half: follower one-hot differs between rows.
+        assert_ne!(ds.x.row(0)[4..11], ds.x.row(1)[4..11]);
+    }
+
+    #[test]
+    fn swm_scales_by_event_weights() {
+        let events = vec![event()];
+        let tweets: Vec<Tweet> = (0..10).map(|i| tweet(i, 5_000, 50, 10, 5)).collect();
+        let tokens: Vec<Vec<String>> = (0..10).map(|_| toks(&["brexit", "vote"])).collect();
+        let assignments = assign_tweets(&events, &tweets, &tokens);
+        let sw = build_dataset(
+            DatasetVariant::A1,
+            &events,
+            &assignments,
+            &tweets,
+            &tokens,
+            &vectors(),
+            0,
+        );
+        let swm = build_dataset(
+            DatasetVariant::C1,
+            &events,
+            &assignments,
+            &tweets,
+            &tokens,
+            &vectors(),
+            0,
+        );
+        // SW: avg(1, 1)/2 = 0.5 per hot dim. SWM: brexit×1, vote×0.9.
+        assert!((sw.x.get(0, 1) - 0.5).abs() < 1e-12);
+        assert!((swm.x.get(0, 1) - 0.45).abs() < 1e-12);
+        assert!((swm.x.get(0, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tweet_in_two_events_duplicated() {
+        let mut e2 = event();
+        e2.main_word = "vote".into();
+        e2.related = vec![("brexit".into(), 0.9)];
+        let events = vec![event(), e2];
+        let tweets: Vec<Tweet> = (0..12).map(|i| tweet(i, 5_000, 50, 10, 5)).collect();
+        let tokens: Vec<Vec<String>> = (0..12).map(|_| toks(&["brexit", "vote"])).collect();
+        let assignments = assign_tweets(&events, &tweets, &tokens);
+        assert_eq!(assignments.len(), 2);
+        let ds = build_dataset(
+            DatasetVariant::A1,
+            &events,
+            &assignments,
+            &tweets,
+            &tokens,
+            &vectors(),
+            0,
+        );
+        assert_eq!(ds.len(), 24, "dataset grows when tweets belong to multiple events");
+    }
+}

@@ -1,0 +1,43 @@
+//! # nd-core
+//!
+//! The paper's proposed solution (§4, Figure 1), assembled from the
+//! workspace substrates. Each module mirrors one box of the
+//! architecture diagram:
+//!
+//! | paper module | here |
+//! |---|---|
+//! | Data Collection | [`collect`] |
+//! | Storage (MongoDB) | [`collect`] writing into `nd-store` |
+//! | Preprocessing (NewsTM / NewsED / TwitterED) | [`preprocess`] |
+//! | Topic Modeling (TFIDF_N + NMF) | [`topic_module`] |
+//! | Event Detection (MABED ×2) | [`event_module`] |
+//! | Trending News (topic↔news-event correlation) | [`trending`] |
+//! | Correlation (trending ↔ Twitter events) | [`correlate`] |
+//! | Feature Creation (SW/RND/SWM + metadata, Table 2) | [`features`] |
+//! | Audience Interest Prediction (MLP / CNN) | [`predict`] |
+//!
+//! [`pipeline`] runs the whole thing on a synthetic world;
+//! [`matching`] implements the minimum-cost-flow matching the paper
+//! lists as future work; [`report`] renders the tables the benches
+//! print.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod checkpoint;
+pub mod collect;
+pub mod correlate;
+pub mod error;
+pub mod event_module;
+pub mod features;
+pub mod matching;
+pub mod pipeline;
+pub mod predict;
+pub mod preprocess;
+pub mod pretrained;
+pub mod report;
+pub mod topic_module;
+pub mod trending;
+
+pub use error::{CoreError, Result};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineOutput};

@@ -1,0 +1,234 @@
+//! Minimum-cost bipartite matching (paper §6 future work).
+//!
+//! The paper's conclusions propose replacing the greedy best-cosine
+//! topic↔event matching with Minimum Cost Flow. For the bipartite
+//! one-to-one case that reduces to the assignment problem; we
+//! implement the Hungarian algorithm (Jonker–Volgenant style
+//! shortest augmenting paths) over a dense cost matrix.
+//!
+//! `min_cost_assignment` takes *costs* (lower = better); callers
+//! matching by similarity pass `1 - similarity`. Pairs whose
+//! similarity falls below the caller's threshold can be forbidden with
+//! [`FORBIDDEN`].
+
+/// Cost marking a forbidden pairing.
+pub const FORBIDDEN: f64 = 1e9;
+
+/// Solves the rectangular assignment problem: returns, for each row,
+/// the column assigned to it (`None` when the row ends up unmatched or
+/// only forbidden pairings were available).
+///
+/// Runs the O(n³) shortest-augmenting-path algorithm on the implicit
+/// square matrix padded with `FORBIDDEN`.
+#[allow(clippy::needless_range_loop)] // Hungarian potentials index several parallel arrays
+pub fn min_cost_assignment(costs: &[Vec<f64>]) -> Vec<Option<usize>> {
+    let n_rows = costs.len();
+    let n_cols = costs.iter().map(Vec::len).max().unwrap_or(0);
+    if n_rows == 0 || n_cols == 0 {
+        return vec![None; n_rows];
+    }
+    let n = n_rows.max(n_cols);
+    let cost = |r: usize, c: usize| -> f64 {
+        if r < n_rows && c < costs[r].len() {
+            costs[r][c]
+        } else {
+            FORBIDDEN
+        }
+    };
+
+    // Jonker–Volgenant / Hungarian with potentials, 1-indexed helpers.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col (1-indexed)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![None; n_rows];
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i <= n_rows && j <= n_cols {
+            let c = cost(i - 1, j - 1);
+            if c < FORBIDDEN / 2.0 {
+                assignment[i - 1] = Some(j - 1);
+            }
+        }
+    }
+    assignment
+}
+
+/// Matches rows to columns by *similarity* (higher = better),
+/// one-to-one, refusing pairs below `threshold`. Returns
+/// `(row, col, similarity)` triples.
+pub fn match_by_similarity(
+    similarities: &[Vec<f64>],
+    threshold: f64,
+) -> Vec<(usize, usize, f64)> {
+    let costs: Vec<Vec<f64>> = similarities
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&s| if s >= threshold { 1.0 - s } else { FORBIDDEN })
+                .collect()
+        })
+        .collect();
+    min_cost_assignment(&costs)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(r, c)| c.map(|c| (r, c, similarities[r][c])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_cost(costs: &[Vec<f64>], assignment: &[Option<usize>]) -> f64 {
+        assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(r, c)| c.map(|c| costs[r][c]))
+            .sum()
+    }
+
+    #[test]
+    fn simple_square_case() {
+        // Optimal: (0,1), (1,0) with cost 2; greedy row-wise would pick
+        // (0,0) cost 1 then (1,1) cost 4 -> 5.
+        let costs = vec![vec![1.0, 1.5], vec![1.5, 4.0]];
+        let a = min_cost_assignment(&costs);
+        assert_eq!(a, vec![Some(1), Some(0)]);
+        assert_eq!(total_cost(&costs, &a), 3.0);
+    }
+
+    #[test]
+    fn identity_optimal() {
+        let costs = vec![
+            vec![0.0, 9.0, 9.0],
+            vec![9.0, 0.0, 9.0],
+            vec![9.0, 9.0, 0.0],
+        ];
+        assert_eq!(min_cost_assignment(&costs), vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn beats_greedy_on_crafted_instance() {
+        // Greedy picks (0,0)=1 then (1,1)=10 = 11; optimal is 2+2=4.
+        let costs = vec![vec![1.0, 2.0], vec![2.0, 10.0]];
+        let a = min_cost_assignment(&costs);
+        assert_eq!(total_cost(&costs, &a), 4.0);
+    }
+
+    #[test]
+    fn rectangular_more_rows_than_cols() {
+        let costs = vec![vec![5.0], vec![1.0], vec![3.0]];
+        let a = min_cost_assignment(&costs);
+        let matched: Vec<usize> =
+            a.iter().enumerate().filter(|(_, c)| c.is_some()).map(|(r, _)| r).collect();
+        assert_eq!(matched, vec![1], "only the cheapest row gets the single column");
+    }
+
+    #[test]
+    fn rectangular_more_cols_than_rows() {
+        let costs = vec![vec![4.0, 1.0, 7.0]];
+        assert_eq!(min_cost_assignment(&costs), vec![Some(1)]);
+    }
+
+    #[test]
+    fn forbidden_pairs_unmatched() {
+        let costs = vec![vec![FORBIDDEN, FORBIDDEN]];
+        assert_eq!(min_cost_assignment(&costs), vec![None]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(min_cost_assignment(&[]).is_empty());
+        let empty_rows: Vec<Vec<f64>> = vec![vec![], vec![]];
+        assert_eq!(min_cost_assignment(&empty_rows), vec![None, None]);
+    }
+
+    #[test]
+    fn similarity_wrapper_thresholds() {
+        let sims = vec![vec![0.9, 0.3], vec![0.8, 0.95]];
+        let matches = match_by_similarity(&sims, 0.5);
+        assert_eq!(matches.len(), 2);
+        // One-to-one: row 0 -> col 0, row 1 -> col 1 (sum 1.85 beats 1.1).
+        assert!(matches.contains(&(0, 0, 0.9)));
+        assert!(matches.contains(&(1, 1, 0.95)));
+        // With a high threshold row 1 keeps col 1, row 0 keeps col 0 only if >= thr.
+        let strict = match_by_similarity(&sims, 0.92);
+        assert_eq!(strict, vec![(1, 1, 0.95)]);
+    }
+
+    #[test]
+    fn random_instances_beat_or_tie_greedy() {
+        use nd_linalg::rng::SplitMix64;
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..20 {
+            let n = 2 + rng.next_usize(5);
+            let costs: Vec<Vec<f64>> =
+                (0..n).map(|_| (0..n).map(|_| rng.next_f64() * 10.0).collect()).collect();
+            let optimal = total_cost(&costs, &min_cost_assignment(&costs));
+            // Greedy: each row takes its cheapest unused column.
+            let mut used = vec![false; n];
+            let mut greedy = 0.0;
+            for row in &costs {
+                let (best, cost) = row
+                    .iter()
+                    .enumerate()
+                    .filter(|(c, _)| !used[*c])
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap();
+                used[best] = true;
+                greedy += cost;
+            }
+            assert!(optimal <= greedy + 1e-9, "optimal {optimal} vs greedy {greedy}");
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! End-to-end pipeline: the whole of paper Figure 1 on one world.
+
+use crate::correlate::{correlate, correlate_reverse, CorrelationResult};
+use crate::error::{CoreError, Result};
+use crate::event_module::{detect_news_events, detect_twitter_events, EventModuleConfig};
+use crate::features::{assign_tweets, build_dataset, Dataset, DatasetVariant, EventAssignment};
+use crate::preprocess::{build_news_ed, build_news_tm, build_twitter_ed};
+use crate::pretrained::{train_pretrained, PretrainedConfig};
+use crate::topic_module::{extract_topics, NewsTopics, TopicModuleConfig};
+use crate::trending::{extract_trending, TrendingTopic};
+use nd_embed::WordVectors;
+use nd_events::Event;
+use nd_synth::{World, WorldConfig};
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Synthetic-world parameters.
+    pub world: WorldConfig,
+    /// Topic-modeling parameters.
+    pub topic: TopicModuleConfig,
+    /// Event-detection parameters.
+    pub event: EventModuleConfig,
+    /// Pretrained-embedding parameters.
+    pub pretrained: PretrainedConfig,
+    /// News-topic ↔ news-event threshold (paper: 0.7).
+    pub trending_threshold: f64,
+    /// Trending ↔ Twitter-event threshold (paper: 0.65).
+    pub correlation_threshold: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            world: WorldConfig::default(),
+            topic: TopicModuleConfig::default(),
+            event: EventModuleConfig::default(),
+            pretrained: PretrainedConfig::default(),
+            trending_threshold: 0.7,
+            correlation_threshold: 0.65,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A fast configuration for tests and examples: two simulated
+    /// weeks, 32-dimension embeddings.
+    pub fn small() -> Self {
+        PipelineConfig {
+            world: WorldConfig::small(),
+            topic: TopicModuleConfig { n_topics: 10, max_iter: 120, ..Default::default() },
+            event: EventModuleConfig::default(),
+            pretrained: PretrainedConfig {
+                dim: 32,
+                n_sentences: 1_500,
+                epochs: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything the pipeline produced, stage by stage.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// The generated world (ground truth attached).
+    pub world: World,
+    /// NMF news topics.
+    pub topics: NewsTopics,
+    /// MABED news events.
+    pub news_events: Vec<Event>,
+    /// MABED Twitter events (≥ 10 tweets each).
+    pub twitter_events: Vec<Event>,
+    /// Trending news topics (topic ↔ news-event pairs ≥ 0.7).
+    pub trending: Vec<TrendingTopic>,
+    /// Forward correlation result (trending → Twitter events).
+    pub correlation: CorrelationResult,
+    /// Reverse correlation result (Twitter events → trending).
+    pub reverse_correlation: CorrelationResult,
+    /// Correlated Twitter events (the ones feeding feature creation).
+    pub correlated_events: Vec<Event>,
+    /// Tweet-to-event assignments over `correlated_events`.
+    pub assignments: Vec<EventAssignment>,
+    /// The pretrained word vectors.
+    pub vectors: WordVectors,
+    /// TwitterED token streams, aligned with `world.tweets`.
+    pub tweet_tokens: Vec<Vec<String>>,
+}
+
+/// The pipeline runner.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a runner.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// Runs every stage of Figure 1 and returns the intermediate and
+    /// final artifacts.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::NoOutput`] when a stage that later stages
+    /// depend on produces nothing (e.g. no Twitter events survive the
+    /// 10-tweet rule).
+    pub fn run(&self) -> Result<PipelineOutput> {
+        let cfg = &self.config;
+        // (1) Data generation / collection.
+        let world = World::generate(cfg.world.clone());
+        if world.articles.is_empty() || world.tweets.is_empty() {
+            return Err(CoreError::EmptyInput("world generation"));
+        }
+
+        // (2) Preprocessing: the three corpora.
+        let news_tm = build_news_tm(&world.articles);
+        let news_ed = build_news_ed(&world.articles);
+        let twitter_ed = build_twitter_ed(&world.tweets);
+        let tweet_tokens: Vec<Vec<String>> =
+            twitter_ed.iter().map(|d| d.tokens.clone()).collect();
+
+        // (3) Topic modeling.
+        let topics = extract_topics(&news_tm, &cfg.topic);
+
+        // (4) Event detection.
+        let news_events = detect_news_events(&news_ed, &cfg.event);
+        if news_events.is_empty() {
+            return Err(CoreError::NoOutput("news event detection"));
+        }
+        let twitter_events = detect_twitter_events(&twitter_ed, &cfg.event);
+        if twitter_events.is_empty() {
+            return Err(CoreError::NoOutput("twitter event detection"));
+        }
+
+        // (5) Pretrained embeddings.
+        let vectors = train_pretrained(&cfg.pretrained);
+
+        // (6) Trending news topics.
+        let trending =
+            extract_trending(&topics.topics, &news_events, &vectors, cfg.trending_threshold);
+        if trending.is_empty() {
+            return Err(CoreError::NoOutput("trending extraction"));
+        }
+
+        // (7) Correlation, both directions.
+        let correlation =
+            correlate(&trending, &twitter_events, &vectors, cfg.correlation_threshold);
+        let reverse_correlation =
+            correlate_reverse(&trending, &twitter_events, &vectors, cfg.correlation_threshold);
+
+        // (8) Feature creation inputs: the correlated Twitter events.
+        let mut correlated_idx: Vec<usize> =
+            correlation.pairs.iter().map(|p| p.twitter_idx).collect();
+        correlated_idx.sort_unstable();
+        correlated_idx.dedup();
+        let correlated_events: Vec<Event> =
+            correlated_idx.iter().map(|&i| twitter_events[i].clone()).collect();
+        let assignments = assign_tweets(&correlated_events, &world.tweets, &tweet_tokens);
+
+        Ok(PipelineOutput {
+            world,
+            topics,
+            news_events,
+            twitter_events,
+            trending,
+            correlation,
+            reverse_correlation,
+            correlated_events,
+            assignments,
+            vectors,
+            tweet_tokens,
+        })
+    }
+}
+
+impl PipelineOutput {
+    /// Builds one of the §5.6 dataset variants from this run.
+    pub fn dataset(&self, variant: DatasetVariant, seed: u64) -> Dataset {
+        build_dataset(
+            variant,
+            &self.correlated_events,
+            &self.assignments,
+            &self.world.tweets,
+            &self.tweet_tokens,
+            &self.vectors,
+            seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The small pipeline is expensive enough that tests share a run.
+    fn output() -> &'static PipelineOutput {
+        static OUT: OnceLock<PipelineOutput> = OnceLock::new();
+        OUT.get_or_init(|| Pipeline::new(PipelineConfig::small()).run().expect("pipeline"))
+    }
+
+    #[test]
+    fn all_stages_produce_output() {
+        let o = output();
+        assert!(!o.topics.topics.is_empty());
+        assert!(!o.news_events.is_empty());
+        assert!(!o.twitter_events.is_empty());
+        assert!(!o.trending.is_empty());
+        assert!(!o.correlation.pairs.is_empty());
+        assert!(!o.assignments.is_empty());
+    }
+
+    #[test]
+    fn every_trending_topic_matches_a_twitter_event() {
+        // Paper §5.5: "all the trending news topics have correlations
+        // with at least one Twitter event".
+        let o = output();
+        let matched: std::collections::HashSet<usize> =
+            o.correlation.pairs.iter().map(|p| p.trending_idx).collect();
+        for (i, t) in o.trending.iter().enumerate() {
+            assert!(
+                matched.contains(&i),
+                "trending topic {i} ({}) matches no Twitter event",
+                t.event.main_word
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_correlation_same_pair_set() {
+        // Paper §5.5/§5.8.
+        let o = output();
+        let mut fwd: Vec<(usize, usize)> =
+            o.correlation.pairs.iter().map(|p| (p.trending_idx, p.twitter_idx)).collect();
+        let mut rev: Vec<(usize, usize)> = o
+            .reverse_correlation
+            .pairs
+            .iter()
+            .map(|p| (p.trending_idx, p.twitter_idx))
+            .collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn some_twitter_events_unrelated_to_news() {
+        // Paper §5.5: "multiple Twitter events have no correlated
+        // trending news topics" (the Table 7 set).
+        let o = output();
+        assert!(
+            !o.correlation.unmatched_twitter.is_empty(),
+            "expected unmatched Twitter chatter events"
+        );
+    }
+
+    #[test]
+    fn datasets_build_with_expected_shapes() {
+        let o = output();
+        let a1 = o.dataset(DatasetVariant::A1, 0);
+        let a2 = o.dataset(DatasetVariant::A2, 0);
+        assert!(!a1.is_empty());
+        assert_eq!(a1.len(), a2.len());
+        assert_eq!(a2.x.cols(), a1.x.cols() + 8);
+        assert_eq!(a1.y_likes.len(), a1.len());
+        assert!(a1.y_likes.iter().all(|&y| y < 3));
+    }
+}

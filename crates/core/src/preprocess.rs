@@ -1,0 +1,121 @@
+//! Preprocessing module (paper §4.2): builds the three corpora.
+//!
+//! * **NewsTM** — per-article token streams for topic modeling
+//!   (entities-as-concepts, lemmas, no punctuation/stopwords);
+//! * **NewsED** — timestamped token streams for news event detection
+//!   (punctuation removal + tokenization only);
+//! * **TwitterED** — timestamped token streams for Twitter event
+//!   detection, with `@mention` counts preserved for MABED.
+
+use nd_events::TimestampedDoc;
+use nd_synth::{NewsArticle, Tweet};
+use nd_text::pipeline::{count_mentions, preprocess_event_detection};
+use nd_text::preprocess_topic_modeling;
+
+/// The NewsTM corpus: one token stream per article, aligned with the
+/// input order.
+pub fn build_news_tm(articles: &[NewsArticle]) -> Vec<Vec<String>> {
+    articles
+        .iter()
+        .map(|a| {
+            let text = format!("{}. {}", a.title, a.content);
+            preprocess_topic_modeling(&text)
+        })
+        .collect()
+}
+
+/// The NewsED corpus (news articles carry no mentions).
+pub fn build_news_ed(articles: &[NewsArticle]) -> Vec<TimestampedDoc> {
+    articles
+        .iter()
+        .map(|a| {
+            let text = format!("{} {}", a.title, a.content);
+            TimestampedDoc::new(a.timestamp, preprocess_event_detection(&text), 0)
+        })
+        .collect()
+}
+
+/// The TwitterED corpus, with per-tweet mention counts.
+pub fn build_twitter_ed(tweets: &[Tweet]) -> Vec<TimestampedDoc> {
+    tweets
+        .iter()
+        .map(|t| {
+            TimestampedDoc::new(
+                t.timestamp,
+                preprocess_event_detection(&t.text),
+                count_mentions(&t.text),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_synth::{World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig { days: 3, n_users: 50, min_influencers: 5, ..WorldConfig::small() })
+    }
+
+    #[test]
+    fn news_tm_aligned_and_clean() {
+        let w = world();
+        let corpus = build_news_tm(&w.articles);
+        assert_eq!(corpus.len(), w.articles.len());
+        for doc in corpus.iter().take(50) {
+            assert!(!doc.is_empty());
+            for tok in doc {
+                assert!(!nd_text::is_stopword(tok), "stopword {tok} survived");
+                assert!(!tok.contains(['.', ',', '!']), "punctuation {tok} survived");
+            }
+        }
+    }
+
+    #[test]
+    fn news_ed_keeps_stopwords() {
+        let w = world();
+        let corpus = build_news_ed(&w.articles);
+        let has_stopword = corpus
+            .iter()
+            .take(100)
+            .any(|d| d.tokens.iter().any(|t| nd_text::is_stopword(t)));
+        assert!(has_stopword, "ED pipeline must not remove stopwords");
+        assert!(corpus.iter().all(|d| d.mentions == 0));
+    }
+
+    #[test]
+    fn twitter_ed_counts_mentions() {
+        let w = world();
+        let corpus = build_twitter_ed(&w.tweets);
+        assert_eq!(corpus.len(), w.tweets.len());
+        let with_mentions = corpus.iter().filter(|d| d.mentions > 0).count();
+        assert!(
+            with_mentions as f64 / corpus.len() as f64 > 0.4,
+            "mentions preserved for MABED: {with_mentions}/{}",
+            corpus.len()
+        );
+    }
+
+    #[test]
+    fn timestamps_propagate() {
+        let w = world();
+        let corpus = build_twitter_ed(&w.tweets);
+        for (doc, tweet) in corpus.iter().zip(&w.tweets) {
+            assert_eq!(doc.timestamp, tweet.timestamp);
+        }
+    }
+
+    #[test]
+    fn urls_stripped_from_twitter_ed() {
+        let w = world();
+        let corpus = build_twitter_ed(&w.tweets);
+        for d in corpus.iter().take(300) {
+            assert!(
+                d.tokens.iter().all(|t| !t.contains("https") && !t.contains("t.co")),
+                "URL survived: {:?}",
+                d.tokens
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! ASCII table/figure rendering for the reproduction binaries.
+
+/// Renders an ASCII table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = headers.len().max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    let mut widths = vec![0usize; n_cols];
+    for (i, h) in headers.iter().enumerate() {
+        widths[i] = widths[i].max(h.chars().count());
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let sep = |ws: &[usize]| {
+        let mut s = String::from("+");
+        for w in ws {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let fmt_row = |cells: &[String], ws: &[usize]| {
+        let mut s = String::from("|");
+        for (i, w) in ws.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            s.push_str(&format!(" {cell:<w$} |", w = w));
+        }
+        s
+    };
+    let mut out = String::new();
+    out.push_str(&sep(&widths));
+    out.push('\n');
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&sep(&widths));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out.push_str(&sep(&widths));
+    out
+}
+
+/// Renders a horizontal ASCII bar chart (the textual stand-in for the
+/// paper's Figures 4–7). Values are scaled to `width` characters;
+/// each entry is `(label, value)`.
+pub fn render_bars(title: &str, entries: &[(String, f64)], width: usize) -> String {
+    let max = entries.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-12);
+    let label_w = entries.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, value) in entries {
+        let bar_len = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {label:<label_w$} | {} {value:.3}\n",
+            "█".repeat(bar_len),
+        ));
+    }
+    out
+}
+
+/// Formats a float to two decimals (the paper's accuracy precision).
+pub fn fmt2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["Dataset", "MLP 1"],
+            &[
+                vec!["A1".to_string(), "0.74".to_string()],
+                vec!["A2-long-name".to_string(), "0.83".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with('+'));
+        assert!(lines[1].contains("Dataset"));
+        assert!(lines[3].contains("A1"));
+        // All border lines equal length.
+        let len = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == len));
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let t = render_table(&["a", "b"], &[vec!["only-one".to_string()]]);
+        assert!(t.contains("only-one"));
+    }
+
+    #[test]
+    fn bars_scale_to_width() {
+        let b = render_bars(
+            "demo",
+            &[("x".to_string(), 1.0), ("y".to_string(), 0.5)],
+            10,
+        );
+        let lines: Vec<&str> = b.lines().collect();
+        assert!(lines[1].matches('█').count() == 10);
+        assert!(lines[2].matches('█').count() == 5);
+    }
+
+    #[test]
+    fn fmt2_precision() {
+        assert_eq!(fmt2(0.8375), "0.84");
+        assert_eq!(fmt2(0.7), "0.70");
+    }
+}

@@ -1,0 +1,144 @@
+//! Trending News module (paper §4.5).
+//!
+//! Correlates *news topics* (NMF keyword lists) with *news events*
+//! (MABED main + related terms): both are embedded with the averaged
+//! document embedding over the pretrained word vectors (the paper's
+//! NewsTopic2Vec / NewsEvent2Vec) and scored by cosine similarity.
+//! Pairs above the threshold become **trending news topics**.
+
+use nd_embed::{doc_embedding, AverageStrategy, WordVectors};
+use nd_events::Event;
+use nd_linalg::vecops::cosine;
+use nd_topics::Topic;
+use std::collections::HashMap;
+
+/// A `<news topic, news event>` pair above the similarity threshold.
+#[derive(Debug, Clone)]
+pub struct TrendingTopic {
+    /// Index of the news topic.
+    pub topic_id: usize,
+    /// The topic's keywords.
+    pub keywords: Vec<String>,
+    /// The matched news event.
+    pub event: Event,
+    /// Cosine similarity between topic and event embeddings.
+    pub similarity: f64,
+}
+
+/// Embeds a term list with the SW averaged embedding (the trending
+/// module has no OOV handling needs — both sides come from corpus
+/// vocabulary).
+pub fn embed_terms(vectors: &WordVectors, terms: &[String]) -> Vec<f64> {
+    doc_embedding(vectors, terms, AverageStrategy::SkipWords, &HashMap::new(), 0)
+}
+
+/// Correlates topics with news events; for each topic the best event
+/// at or above `threshold` (paper: 0.7) is kept.
+pub fn extract_trending(
+    topics: &[Topic],
+    news_events: &[Event],
+    vectors: &WordVectors,
+    threshold: f64,
+) -> Vec<TrendingTopic> {
+    let event_embeddings: Vec<Vec<f64>> =
+        news_events.iter().map(|e| embed_terms(vectors, &e.all_terms())).collect();
+
+    let mut out = Vec::new();
+    for topic in topics {
+        let t_emb = embed_terms(vectors, &topic.keywords);
+        let mut best: Option<(usize, f64)> = None;
+        for (ei, e_emb) in event_embeddings.iter().enumerate() {
+            let sim = cosine(&t_emb, e_emb);
+            if sim >= threshold && best.is_none_or(|(_, b)| sim > b) {
+                best = Some((ei, sim));
+            }
+        }
+        if let Some((ei, sim)) = best {
+            out.push(TrendingTopic {
+                topic_id: topic.id,
+                keywords: topic.keywords.clone(),
+                event: news_events[ei].clone(),
+                similarity: sim,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_embed::WordVectors;
+
+    fn vectors() -> WordVectors {
+        let mut wv = WordVectors::new(3);
+        // Two orthogonal topic clusters.
+        wv.insert("brexit", &[1.0, 0.1, 0.0]);
+        wv.insert("vote", &[0.9, 0.2, 0.0]);
+        wv.insert("election", &[0.95, 0.0, 0.1]);
+        wv.insert("derby", &[0.0, 1.0, 0.1]);
+        wv.insert("horse", &[0.1, 0.9, 0.0]);
+        wv.insert("race", &[0.0, 0.95, 0.1]);
+        wv
+    }
+
+    fn topic(id: usize, words: &[&str]) -> Topic {
+        Topic {
+            id,
+            keywords: words.iter().map(|s| s.to_string()).collect(),
+            weights: vec![1.0; words.len()],
+        }
+    }
+
+    fn event(main: &str, related: &[&str], start: u64) -> Event {
+        Event {
+            main_word: main.to_string(),
+            related: related.iter().map(|w| (w.to_string(), 0.8)).collect(),
+            start,
+            end: start + 3600,
+            magnitude: 10.0,
+            n_docs: 20,
+        }
+    }
+
+    #[test]
+    fn matches_topic_to_semantically_close_event() {
+        let topics = vec![topic(0, &["brexit", "vote"]), topic(1, &["derby", "horse"])];
+        let events =
+            vec![event("election", &["vote", "brexit"], 0), event("race", &["horse"], 0)];
+        let trending = extract_trending(&topics, &events, &vectors(), 0.7);
+        assert_eq!(trending.len(), 2);
+        assert_eq!(trending[0].topic_id, 0);
+        assert_eq!(trending[0].event.main_word, "election");
+        assert_eq!(trending[1].event.main_word, "race");
+        assert!(trending.iter().all(|t| t.similarity >= 0.7));
+    }
+
+    #[test]
+    fn below_threshold_topics_dropped() {
+        let topics = vec![topic(0, &["brexit", "vote"])];
+        let events = vec![event("race", &["horse", "derby"], 0)];
+        let trending = extract_trending(&topics, &events, &vectors(), 0.7);
+        assert!(trending.is_empty());
+    }
+
+    #[test]
+    fn picks_best_of_multiple_matches() {
+        let topics = vec![topic(0, &["brexit", "vote", "election"])];
+        let events = vec![
+            event("vote", &["derby"], 0),              // diluted
+            event("election", &["brexit", "vote"], 5), // pure
+        ];
+        let trending = extract_trending(&topics, &events, &vectors(), 0.5);
+        assert_eq!(trending.len(), 1);
+        assert_eq!(trending[0].event.main_word, "election");
+    }
+
+    #[test]
+    fn oov_only_topic_matches_nothing() {
+        let topics = vec![topic(0, &["zzz", "qqq"])];
+        let events = vec![event("election", &["vote"], 0)];
+        let trending = extract_trending(&topics, &events, &vectors(), 0.1);
+        assert!(trending.is_empty(), "zero embedding must not match");
+    }
+}

@@ -1,0 +1,217 @@
+//! The paper's custom averaged document embeddings (§4.7).
+//!
+//! Each tweet belonging to an event is encoded by averaging word
+//! vectors from the "pretrained" model, restricted to the tweet's
+//! terms that appear in the event vocabulary (main + related terms):
+//!
+//! * **SW_Doc2Vec** — only in-vocabulary word vectors are averaged;
+//! * **RND_Doc2Vec** — out-of-vocabulary terms contribute
+//!   deterministic pseudo-random vectors in `[-1, 1]`;
+//! * **SWM_Doc2Vec** — in-vocabulary vectors are scaled by the word's
+//!   *magnitude in the context of the event* (we use the MABED
+//!   related-word weight; the main word has magnitude 1) before
+//!   averaging.
+
+use crate::vectors::WordVectors;
+use nd_linalg::rng::SplitMix64;
+use std::collections::HashMap;
+
+/// Averaging strategy — the A/B/C dataset variants of §5.6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AverageStrategy {
+    /// SW_Doc2Vec: skip out-of-vocabulary words.
+    SkipWords,
+    /// RND_Doc2Vec: random vectors for out-of-vocabulary words.
+    RandomForMissing,
+    /// SWM_Doc2Vec: scale known vectors by event-context magnitude.
+    ScaledByMagnitude,
+}
+
+impl AverageStrategy {
+    /// Short name matching the paper's dataset labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AverageStrategy::SkipWords => "SW_Doc2Vec",
+            AverageStrategy::RandomForMissing => "RND_Doc2Vec",
+            AverageStrategy::ScaledByMagnitude => "SWM_Doc2Vec",
+        }
+    }
+}
+
+/// Deterministic pseudo-random vector for an out-of-vocabulary word:
+/// the same word always maps to the same vector (seeded by a hash of
+/// its bytes), with components uniform in `[-1, 1]`.
+pub fn random_vector_for(word: &str, dim: usize, seed: u64) -> Vec<f64> {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for b in word.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = SplitMix64::new(h);
+    (0..dim).map(|_| rng.next_range(-1.0, 1.0)).collect()
+}
+
+/// Computes a document embedding by averaging word vectors under the
+/// chosen strategy.
+///
+/// * `tokens` — the document's terms (already filtered to the event
+///   vocabulary by the caller, per §4.7).
+/// * `magnitudes` — per-term event-context magnitude; only used by
+///   [`AverageStrategy::ScaledByMagnitude`]; terms missing from the
+///   map default to 1.0.
+/// * `seed` — seed for the deterministic OOV vectors of
+///   [`AverageStrategy::RandomForMissing`].
+///
+/// Returns the zero vector when nothing contributes (e.g. all tokens
+/// OOV under `SkipWords`) — downstream cosine treats that as
+/// "matches nothing".
+pub fn doc_embedding(
+    vectors: &WordVectors,
+    tokens: &[String],
+    strategy: AverageStrategy,
+    magnitudes: &HashMap<String, f64>,
+    seed: u64,
+) -> Vec<f64> {
+    let dim = vectors.dim();
+    let mut acc = vec![0.0; dim];
+    let mut n = 0usize;
+    for tok in tokens {
+        match (vectors.get(tok), strategy) {
+            (Some(v), AverageStrategy::SkipWords | AverageStrategy::RandomForMissing) => {
+                for (a, &x) in acc.iter_mut().zip(v) {
+                    *a += x;
+                }
+                n += 1;
+            }
+            (Some(v), AverageStrategy::ScaledByMagnitude) => {
+                let m = magnitudes.get(tok).copied().unwrap_or(1.0);
+                for (a, &x) in acc.iter_mut().zip(v) {
+                    *a += m * x;
+                }
+                n += 1;
+            }
+            (None, AverageStrategy::RandomForMissing) => {
+                let rv = random_vector_for(tok, dim, seed);
+                for (a, x) in acc.iter_mut().zip(rv) {
+                    *a += x;
+                }
+                n += 1;
+            }
+            (None, _) => {}
+        }
+    }
+    if n > 0 {
+        let inv = 1.0 / n as f64;
+        acc.iter_mut().for_each(|a| *a *= inv);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> WordVectors {
+        let mut wv = WordVectors::new(2);
+        wv.insert("brexit", &[1.0, 0.0]);
+        wv.insert("vote", &[0.0, 1.0]);
+        wv
+    }
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn sw_averages_known_words_only() {
+        let e = doc_embedding(
+            &table(),
+            &toks(&["brexit", "vote", "unknown"]),
+            AverageStrategy::SkipWords,
+            &HashMap::new(),
+            0,
+        );
+        assert_eq!(e, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn sw_all_oov_gives_zero_vector() {
+        let e = doc_embedding(
+            &table(),
+            &toks(&["x", "y"]),
+            AverageStrategy::SkipWords,
+            &HashMap::new(),
+            0,
+        );
+        assert_eq!(e, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn rnd_contributes_for_missing_words() {
+        let known_only = doc_embedding(
+            &table(),
+            &toks(&["brexit"]),
+            AverageStrategy::RandomForMissing,
+            &HashMap::new(),
+            7,
+        );
+        let with_oov = doc_embedding(
+            &table(),
+            &toks(&["brexit", "zzz"]),
+            AverageStrategy::RandomForMissing,
+            &HashMap::new(),
+            7,
+        );
+        assert_ne!(known_only, with_oov);
+    }
+
+    #[test]
+    fn rnd_oov_vectors_deterministic_and_bounded() {
+        let a = random_vector_for("zzz", 16, 7);
+        let b = random_vector_for("zzz", 16, 7);
+        let c = random_vector_for("zzz", 16, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn swm_scales_by_magnitude() {
+        let mut mags = HashMap::new();
+        mags.insert("brexit".to_string(), 2.0);
+        mags.insert("vote".to_string(), 0.5);
+        let e = doc_embedding(
+            &table(),
+            &toks(&["brexit", "vote"]),
+            AverageStrategy::ScaledByMagnitude,
+            &mags,
+            0,
+        );
+        assert_eq!(e, vec![1.0, 0.25]);
+    }
+
+    #[test]
+    fn swm_missing_magnitude_defaults_to_one() {
+        let e = doc_embedding(
+            &table(),
+            &toks(&["brexit"]),
+            AverageStrategy::ScaledByMagnitude,
+            &HashMap::new(),
+            0,
+        );
+        assert_eq!(e, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_tokens_zero_vector() {
+        let e = doc_embedding(&table(), &[], AverageStrategy::SkipWords, &HashMap::new(), 0);
+        assert_eq!(e, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(AverageStrategy::SkipWords.name(), "SW_Doc2Vec");
+        assert_eq!(AverageStrategy::RandomForMissing.name(), "RND_Doc2Vec");
+        assert_eq!(AverageStrategy::ScaledByMagnitude.name(), "SWM_Doc2Vec");
+    }
+}

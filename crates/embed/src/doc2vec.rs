@@ -1,0 +1,338 @@
+//! Doc2Vec paragraph vectors (Le & Mikolov 2014).
+//!
+//! The paper (§3.4) describes both PVDM (the document vector joins the
+//! context when predicting the center word) and PVDBOW (the document
+//! vector alone predicts words sampled from the document). §4.9
+//! explains why the deployed system prefers averaged pretrained
+//! Word2Vecs over these models (small training corpora generalize
+//! poorly) — both are implemented here so the `ablation_embeddings`
+//! bench can quantify that design decision.
+
+use nd_linalg::rng::SplitMix64;
+use std::collections::HashMap;
+
+/// Doc2Vec architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Doc2VecMode {
+    /// Distributed Memory: doc vector + context average predicts the
+    /// center word.
+    Pvdm,
+    /// Distributed Bag-of-Words: doc vector predicts sampled words.
+    Pvdbow,
+}
+
+/// Doc2Vec hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct Doc2VecConfig {
+    /// Embedding dimensionality (documents and words share it).
+    pub dim: usize,
+    /// Context window radius (PVDM only).
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Minimum word count.
+    pub min_count: usize,
+    /// Architecture.
+    pub mode: Doc2VecMode,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Doc2VecConfig {
+    fn default() -> Self {
+        Doc2VecConfig {
+            dim: 100,
+            window: 5,
+            negative: 5,
+            epochs: 10,
+            learning_rate: 0.025,
+            min_count: 2,
+            mode: Doc2VecMode::Pvdm,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained Doc2Vec model: one vector per training document.
+#[derive(Debug, Clone)]
+pub struct Doc2VecModel {
+    /// Per-document vectors, aligned with the training corpus order.
+    pub doc_vectors: Vec<Vec<f64>>,
+    /// Dimensionality.
+    pub dim: usize,
+}
+
+impl Doc2VecModel {
+    /// Cosine similarity between two training documents.
+    pub fn similarity(&self, a: usize, b: usize) -> f64 {
+        nd_linalg::vecops::cosine(&self.doc_vectors[a], &self.doc_vectors[b])
+    }
+}
+
+/// The Doc2Vec trainer.
+#[derive(Debug, Clone)]
+pub struct Doc2Vec {
+    config: Doc2VecConfig,
+}
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x.clamp(-6.0, 6.0)).exp())
+}
+
+impl Doc2Vec {
+    /// Creates a trainer.
+    pub fn new(config: Doc2VecConfig) -> Self {
+        Doc2Vec { config }
+    }
+
+    /// Trains paragraph vectors over the corpus.
+    pub fn train(&self, corpus: &[Vec<String>]) -> Doc2VecModel {
+        let cfg = &self.config;
+        let dim = cfg.dim;
+        let n_docs = corpus.len();
+
+        // Vocabulary.
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for doc in corpus {
+            for t in doc {
+                *counts.entry(t.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut vocab: Vec<(&str, usize)> = counts
+            .iter()
+            .filter(|(_, &c)| c >= cfg.min_count)
+            .map(|(&w, &c)| (w, c))
+            .collect();
+        vocab.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let word_id: HashMap<&str, usize> =
+            vocab.iter().enumerate().map(|(i, &(w, _))| (w, i)).collect();
+        let v = vocab.len();
+
+        let mut rng = SplitMix64::new(cfg.seed);
+        let bound = 0.5 / dim as f64;
+        let mut doc_vecs: Vec<f64> =
+            (0..n_docs * dim).map(|_| rng.next_range(-bound, bound)).collect();
+
+        if v == 0 {
+            return Doc2VecModel {
+                doc_vectors: doc_vecs.chunks(dim.max(1)).map(|c| c.to_vec()).collect(),
+                dim,
+            };
+        }
+
+        let mut word_vecs: Vec<f64> =
+            (0..v * dim).map(|_| rng.next_range(-bound, bound)).collect();
+        let mut out_vecs: Vec<f64> = vec![0.0; v * dim];
+
+        // Unigram^0.75 table.
+        let pow_sum: f64 = vocab.iter().map(|&(_, c)| (c as f64).powf(0.75)).sum();
+        let table_size = 1 << 16;
+        let mut table = Vec::with_capacity(table_size);
+        {
+            let mut i = 0usize;
+            let mut cum = (vocab[0].1 as f64).powf(0.75) / pow_sum;
+            for t in 0..table_size {
+                table.push(i as u32);
+                if (t as f64 + 1.0) / table_size as f64 > cum && i + 1 < v {
+                    i += 1;
+                    cum += (vocab[i].1 as f64).powf(0.75) / pow_sum;
+                }
+            }
+        }
+
+        let encoded: Vec<Vec<u32>> = corpus
+            .iter()
+            .map(|doc| {
+                doc.iter()
+                    .filter_map(|t| word_id.get(t.as_str()).map(|&i| i as u32))
+                    .collect()
+            })
+            .collect();
+
+        let total_tokens: usize = encoded.iter().map(Vec::len).sum();
+        let total_steps = (cfg.epochs * total_tokens).max(1) as f64;
+        let mut step = 0usize;
+        let mut hidden = vec![0.0; dim];
+        let mut grad = vec![0.0; dim];
+
+        for _epoch in 0..cfg.epochs {
+            for (d, sent) in encoded.iter().enumerate() {
+                for (pos, &center) in sent.iter().enumerate() {
+                    step += 1;
+                    let lr = (cfg.learning_rate * (1.0 - step as f64 / (total_steps + 1.0)))
+                        .max(cfg.learning_rate * 1e-4);
+
+                    // Assemble the predictor vector.
+                    let mut n_inputs = 1usize;
+                    hidden.copy_from_slice(&doc_vecs[d * dim..(d + 1) * dim]);
+                    let context: Vec<u32> = if cfg.mode == Doc2VecMode::Pvdm {
+                        let lo = pos.saturating_sub(cfg.window);
+                        let hi = (pos + cfg.window).min(sent.len() - 1);
+                        (lo..=hi).filter(|&p| p != pos).map(|p| sent[p]).collect()
+                    } else {
+                        Vec::new()
+                    };
+                    for &c in &context {
+                        let row = &word_vecs[c as usize * dim..(c as usize + 1) * dim];
+                        for (h, &x) in hidden.iter_mut().zip(row) {
+                            *h += x;
+                        }
+                        n_inputs += 1;
+                    }
+                    if n_inputs > 1 {
+                        let inv = 1.0 / n_inputs as f64;
+                        hidden.iter_mut().for_each(|h| *h *= inv);
+                    }
+
+                    // Negative-sampling step on the center word.
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+                    for k in 0..=cfg.negative {
+                        let (word, label) = if k == 0 {
+                            (center as usize, 1.0)
+                        } else {
+                            (table[rng.next_usize(table.len())] as usize, 0.0)
+                        };
+                        if k > 0 && word == center as usize {
+                            continue;
+                        }
+                        let out = &mut out_vecs[word * dim..(word + 1) * dim];
+                        let mut dot = 0.0;
+                        for (h, o) in hidden.iter().zip(out.iter()) {
+                            dot += h * o;
+                        }
+                        let g = (label - sigmoid(dot)) * lr;
+                        for (gr, &o) in grad.iter_mut().zip(out.iter()) {
+                            *gr += g * o;
+                        }
+                        for (o, &h) in out.iter_mut().zip(hidden.iter()) {
+                            *o += g * h;
+                        }
+                    }
+
+                    // Propagate to the document vector (and context
+                    // words under PVDM).
+                    let dv = &mut doc_vecs[d * dim..(d + 1) * dim];
+                    for (x, &g) in dv.iter_mut().zip(&grad) {
+                        *x += g;
+                    }
+                    for &c in &context {
+                        let row =
+                            &mut word_vecs[c as usize * dim..(c as usize + 1) * dim];
+                        for (x, &g) in row.iter_mut().zip(&grad) {
+                            *x += g;
+                        }
+                    }
+                }
+            }
+        }
+
+        Doc2VecModel {
+            doc_vectors: doc_vecs.chunks(dim).map(|c| c.to_vec()).collect(),
+            dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grouped_corpus() -> Vec<Vec<String>> {
+        let pol = ["election", "vote", "party", "minister", "coalition"];
+        let spo = ["derby", "race", "horse", "jockey", "track"];
+        let mut rng = SplitMix64::new(3);
+        let mut corpus = Vec::new();
+        for i in 0..40 {
+            let pool: &[&str] = if i % 2 == 0 { &pol } else { &spo };
+            corpus.push(
+                (0..15).map(|_| pool[rng.next_usize(pool.len())].to_string()).collect(),
+            );
+        }
+        corpus
+    }
+
+    fn avg_sims(model: &Doc2VecModel) -> (f64, f64) {
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        let mut ni = 0;
+        let mut nx = 0;
+        for a in 0..20 {
+            for b in (a + 1)..20 {
+                let s = model.similarity(2 * a, 2 * b); // even = politics
+                intra += s;
+                ni += 1;
+                let s = model.similarity(2 * a, 2 * b + 1);
+                inter += s;
+                nx += 1;
+            }
+        }
+        (intra / ni as f64, inter / nx as f64)
+    }
+
+    #[test]
+    fn pvdm_groups_similar_documents() {
+        let model = Doc2Vec::new(Doc2VecConfig {
+            dim: 24,
+            epochs: 20,
+            mode: Doc2VecMode::Pvdm,
+            min_count: 1,
+            seed: 1,
+            ..Default::default()
+        })
+        .train(&grouped_corpus());
+        let (intra, inter) = avg_sims(&model);
+        assert!(intra > inter + 0.1, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn pvdbow_groups_similar_documents() {
+        let model = Doc2Vec::new(Doc2VecConfig {
+            dim: 24,
+            epochs: 20,
+            mode: Doc2VecMode::Pvdbow,
+            min_count: 1,
+            seed: 1,
+            ..Default::default()
+        })
+        .train(&grouped_corpus());
+        let (intra, inter) = avg_sims(&model);
+        assert!(intra > inter + 0.1, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn one_vector_per_document() {
+        let corpus = grouped_corpus();
+        let model =
+            Doc2Vec::new(Doc2VecConfig { dim: 8, epochs: 1, ..Default::default() }).train(&corpus);
+        assert_eq!(model.doc_vectors.len(), corpus.len());
+        assert!(model.doc_vectors.iter().all(|v| v.len() == 8));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = Doc2VecConfig { dim: 8, epochs: 2, seed: 11, ..Default::default() };
+        let a = Doc2Vec::new(cfg.clone()).train(&grouped_corpus());
+        let b = Doc2Vec::new(cfg).train(&grouped_corpus());
+        assert_eq!(a.doc_vectors, b.doc_vectors);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let model = Doc2Vec::new(Doc2VecConfig::default()).train(&[]);
+        assert!(model.doc_vectors.is_empty());
+    }
+
+    #[test]
+    fn vectors_finite() {
+        let model = Doc2Vec::new(Doc2VecConfig { dim: 8, epochs: 3, ..Default::default() })
+            .train(&grouped_corpus());
+        for v in &model.doc_vectors {
+            assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+}

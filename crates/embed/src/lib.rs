@@ -1,0 +1,30 @@
+//! # nd-embed
+//!
+//! Embeddings (paper §3.4): a from-scratch [Word2Vec](word2vec)
+//! trainer (CBOW and skip-gram, both with negative sampling), the two
+//! [Doc2Vec](doc2vec) paragraph-vector models the paper discusses
+//! (PVDM and PVDBOW), and the paper's three custom *averaged*
+//! document embeddings (§4.7):
+//!
+//! * **SW** — average of the in-vocabulary word vectors only;
+//! * **RND** — out-of-vocabulary words contribute deterministic random
+//!   vectors in `[-1, 1]` before averaging;
+//! * **SWM** — in-vocabulary word vectors scaled by the word's
+//!   magnitude in the event context before averaging.
+//!
+//! The "pretrained Google News model" of the paper is replaced by a
+//! Word2Vec trained on a synthetic background corpus (see `nd-synth`);
+//! this crate only sees the resulting [`WordVectors`] lookup table, so
+//! the substitution is invisible to the pipeline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod average;
+pub mod doc2vec;
+pub mod vectors;
+pub mod word2vec;
+
+pub use average::{doc_embedding, AverageStrategy};
+pub use vectors::WordVectors;
+pub use word2vec::{Word2Vec, Word2VecConfig, Word2VecMode};

@@ -1,0 +1,398 @@
+//! Word2Vec with negative sampling (Mikolov et al. 2013).
+//!
+//! Both architectures from the paper's §3.4 are implemented:
+//!
+//! * **CBOW** — the averaged context window predicts the center word;
+//! * **Skip-gram** — the center word predicts each context word.
+//!
+//! Training uses negative sampling with the standard unigram^0.75
+//! noise distribution, frequent-word subsampling, and a linearly
+//! decaying learning rate. All randomness is seeded.
+
+use crate::vectors::WordVectors;
+use nd_linalg::rng::SplitMix64;
+use std::collections::HashMap;
+
+/// Architecture selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Word2VecMode {
+    /// Continuous bag-of-words.
+    Cbow,
+    /// Skip-gram.
+    SkipGram,
+}
+
+/// Word2Vec hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct Word2VecConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to 1e-4 of itself).
+    pub learning_rate: f64,
+    /// Words occurring fewer times are dropped from the vocabulary.
+    pub min_count: usize,
+    /// Subsampling threshold for frequent words (`0.0` disables; the
+    /// classic value is `1e-3`..`1e-5`).
+    pub subsample: f64,
+    /// Architecture.
+    pub mode: Word2VecMode,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Word2VecConfig {
+            dim: 100,
+            window: 5,
+            negative: 5,
+            epochs: 5,
+            learning_rate: 0.025,
+            min_count: 2,
+            subsample: 1e-3,
+            mode: Word2VecMode::Cbow,
+            seed: 42,
+        }
+    }
+}
+
+/// The Word2Vec trainer.
+#[derive(Debug, Clone)]
+pub struct Word2Vec {
+    config: Word2VecConfig,
+}
+
+const UNIGRAM_TABLE_SIZE: usize = 1 << 17;
+const SIGMOID_CLAMP: f64 = 6.0;
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    let x = x.clamp(-SIGMOID_CLAMP, SIGMOID_CLAMP);
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Word2Vec {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: Word2VecConfig) -> Self {
+        Word2Vec { config }
+    }
+
+    /// Trains on a corpus of token streams, returning the input-side
+    /// word vectors.
+    pub fn train(&self, corpus: &[Vec<String>]) -> WordVectors {
+        let cfg = &self.config;
+        // --- Vocabulary with counts.
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for doc in corpus {
+            for tok in doc {
+                *counts.entry(tok.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut vocab: Vec<(&str, usize)> = counts
+            .iter()
+            .filter(|(_, &c)| c >= cfg.min_count)
+            .map(|(&w, &c)| (w, c))
+            .collect();
+        // Deterministic: count desc, then lexical.
+        vocab.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let word_id: HashMap<&str, usize> =
+            vocab.iter().enumerate().map(|(i, &(w, _))| (w, i)).collect();
+        let v = vocab.len();
+        if v == 0 {
+            return WordVectors::new(cfg.dim);
+        }
+        let total_tokens: usize = vocab.iter().map(|&(_, c)| c).sum();
+
+        // --- Unigram^0.75 table for negative sampling.
+        let pow_sum: f64 = vocab.iter().map(|&(_, c)| (c as f64).powf(0.75)).sum();
+        let mut table = Vec::with_capacity(UNIGRAM_TABLE_SIZE);
+        {
+            let mut i = 0usize;
+            let mut cum = (vocab[0].1 as f64).powf(0.75) / pow_sum;
+            for t in 0..UNIGRAM_TABLE_SIZE {
+                table.push(i as u32);
+                if (t as f64 + 1.0) / UNIGRAM_TABLE_SIZE as f64 > cum && i + 1 < v {
+                    i += 1;
+                    cum += (vocab[i].1 as f64).powf(0.75) / pow_sum;
+                }
+            }
+        }
+
+        // --- Parameter matrices: input (syn0) and output (syn1neg).
+        let mut rng = SplitMix64::new(cfg.seed);
+        let bound = 0.5 / cfg.dim as f64;
+        let mut syn0: Vec<f64> =
+            (0..v * cfg.dim).map(|_| rng.next_range(-bound, bound)).collect();
+        let mut syn1: Vec<f64> = vec![0.0; v * cfg.dim];
+
+        // --- Keep-probability for subsampling.
+        let keep_prob: Vec<f64> = vocab
+            .iter()
+            .map(|&(_, c)| {
+                if cfg.subsample <= 0.0 {
+                    1.0
+                } else {
+                    let f = c as f64 / total_tokens as f64;
+                    ((cfg.subsample / f).sqrt() + cfg.subsample / f).min(1.0)
+                }
+            })
+            .collect();
+
+        // --- Encode corpus as id streams.
+        let encoded: Vec<Vec<u32>> = corpus
+            .iter()
+            .map(|doc| {
+                doc.iter()
+                    .filter_map(|t| word_id.get(t.as_str()).map(|&i| i as u32))
+                    .collect()
+            })
+            .collect();
+
+        // --- Training loop.
+        let total_steps = (cfg.epochs * total_tokens).max(1) as f64;
+        let mut step = 0usize;
+        let mut neu1 = vec![0.0; cfg.dim];
+        let mut grad = vec![0.0; cfg.dim];
+
+        for epoch in 0..cfg.epochs {
+            for sent in &encoded {
+                // Subsample per epoch for variety.
+                let kept: Vec<u32> = sent
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        keep_prob[id as usize] >= 1.0
+                            || rng.next_f64() < keep_prob[id as usize]
+                    })
+                    .collect();
+                for (pos, &center) in kept.iter().enumerate() {
+                    step += 1;
+                    let lr = (cfg.learning_rate
+                        * (1.0 - step as f64 / (total_steps + 1.0)))
+                        .max(cfg.learning_rate * 1e-4);
+                    // Randomized effective window as in the reference
+                    // implementation.
+                    let b = rng.next_usize(cfg.window.max(1));
+                    let win = cfg.window - b;
+                    let lo = pos.saturating_sub(win);
+                    let hi = (pos + win).min(kept.len().saturating_sub(1));
+                    let context: Vec<u32> = (lo..=hi)
+                        .filter(|&p| p != pos)
+                        .map(|p| kept[p])
+                        .collect();
+                    if context.is_empty() {
+                        continue;
+                    }
+                    match cfg.mode {
+                        Word2VecMode::Cbow => {
+                            // Average context -> predict center.
+                            neu1.iter_mut().for_each(|x| *x = 0.0);
+                            for &c in &context {
+                                let row = &syn0[c as usize * cfg.dim..(c as usize + 1) * cfg.dim];
+                                for (a, &b) in neu1.iter_mut().zip(row) {
+                                    *a += b;
+                                }
+                            }
+                            let inv = 1.0 / context.len() as f64;
+                            neu1.iter_mut().for_each(|x| *x *= inv);
+                            grad.iter_mut().for_each(|x| *x = 0.0);
+                            self.negative_step(
+                                &neu1, &mut grad, &mut syn1, center, &table, &mut rng, lr,
+                                cfg.dim, cfg.negative, v,
+                            );
+                            for &c in &context {
+                                let row = &mut syn0
+                                    [c as usize * cfg.dim..(c as usize + 1) * cfg.dim];
+                                for (a, &g) in row.iter_mut().zip(&grad) {
+                                    *a += g;
+                                }
+                            }
+                        }
+                        Word2VecMode::SkipGram => {
+                            for &ctx in &context {
+                                let row_start = ctx as usize * cfg.dim;
+                                neu1.copy_from_slice(
+                                    &syn0[row_start..row_start + cfg.dim],
+                                );
+                                grad.iter_mut().for_each(|x| *x = 0.0);
+                                self.negative_step(
+                                    &neu1, &mut grad, &mut syn1, center, &table, &mut rng,
+                                    lr, cfg.dim, cfg.negative, v,
+                                );
+                                let row = &mut syn0[row_start..row_start + cfg.dim];
+                                for (a, &g) in row.iter_mut().zip(&grad) {
+                                    *a += g;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let _ = epoch;
+        }
+
+        // --- Export input vectors.
+        let mut out = WordVectors::new(cfg.dim);
+        for (i, &(w, _)) in vocab.iter().enumerate() {
+            out.insert(w, &syn0[i * cfg.dim..(i + 1) * cfg.dim]);
+        }
+        out
+    }
+
+    /// One negative-sampling update: `hidden` is the predictor vector,
+    /// `grad` accumulates its gradient, `syn1` holds output vectors.
+    #[allow(clippy::too_many_arguments)]
+    fn negative_step(
+        &self,
+        hidden: &[f64],
+        grad: &mut [f64],
+        syn1: &mut [f64],
+        target: u32,
+        table: &[u32],
+        rng: &mut SplitMix64,
+        lr: f64,
+        dim: usize,
+        negative: usize,
+        vocab_size: usize,
+    ) {
+        for k in 0..=negative {
+            let (word, label) = if k == 0 {
+                (target as usize, 1.0)
+            } else {
+                let mut w = table[rng.next_usize(table.len())] as usize;
+                if w == target as usize {
+                    w = (w + 1 + rng.next_usize(vocab_size.saturating_sub(1).max(1)))
+                        % vocab_size;
+                }
+                (w, 0.0)
+            };
+            let out_row = &mut syn1[word * dim..(word + 1) * dim];
+            let mut dot = 0.0;
+            for (h, o) in hidden.iter().zip(out_row.iter()) {
+                dot += h * o;
+            }
+            let g = (label - sigmoid(dot)) * lr;
+            for (gr, &o) in grad.iter_mut().zip(out_row.iter()) {
+                *gr += g * o;
+            }
+            for (o, &h) in out_row.iter_mut().zip(hidden) {
+                *o += g * h;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic corpus with two disjoint co-occurrence clusters.
+    fn clustered_corpus(n_sent: usize) -> Vec<Vec<String>> {
+        let cluster_a = ["king", "queen", "royal", "palace", "crown"];
+        let cluster_b = ["tariff", "trade", "import", "export", "market"];
+        let mut rng = SplitMix64::new(99);
+        let mut corpus = Vec::new();
+        for i in 0..n_sent {
+            let pool: &[&str] = if i % 2 == 0 { &cluster_a } else { &cluster_b };
+            let sent: Vec<String> =
+                (0..12).map(|_| pool[rng.next_usize(pool.len())].to_string()).collect();
+            corpus.push(sent);
+        }
+        corpus
+    }
+
+    fn train(mode: Word2VecMode, seed: u64) -> WordVectors {
+        Word2Vec::new(Word2VecConfig {
+            dim: 24,
+            window: 4,
+            negative: 5,
+            epochs: 12,
+            min_count: 1,
+            subsample: 0.0,
+            mode,
+            seed,
+            ..Default::default()
+        })
+        .train(&clustered_corpus(300))
+    }
+
+    fn check_clusters(wv: &WordVectors) {
+        // Intra-cluster similarity must exceed inter-cluster.
+        let intra = wv.similarity("king", "queen").unwrap();
+        let inter = wv.similarity("king", "tariff").unwrap();
+        assert!(
+            intra > inter + 0.2,
+            "intra {intra} should clearly exceed inter {inter}"
+        );
+    }
+
+    #[test]
+    fn cbow_learns_cooccurrence_structure() {
+        check_clusters(&train(Word2VecMode::Cbow, 1));
+    }
+
+    #[test]
+    fn skipgram_learns_cooccurrence_structure() {
+        check_clusters(&train(Word2VecMode::SkipGram, 1));
+    }
+
+    #[test]
+    fn most_similar_finds_cluster_mates() {
+        let wv = train(Word2VecMode::Cbow, 2);
+        let near: Vec<String> =
+            wv.most_similar("trade", 3).into_iter().map(|(w, _)| w).collect();
+        let trade_cluster = ["tariff", "import", "export", "market"];
+        let hits = near.iter().filter(|w| trade_cluster.contains(&w.as_str())).count();
+        assert!(hits >= 2, "neighbors of 'trade' were {near:?}");
+    }
+
+    #[test]
+    fn min_count_prunes() {
+        let mut corpus = clustered_corpus(50);
+        corpus.push(vec!["hapaxword".to_string()]);
+        let wv = Word2Vec::new(Word2VecConfig {
+            dim: 8,
+            epochs: 1,
+            min_count: 2,
+            ..Default::default()
+        })
+        .train(&corpus);
+        assert!(!wv.contains("hapaxword"));
+        assert!(wv.contains("king"));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = train(Word2VecMode::Cbow, 7);
+        let b = train(Word2VecMode::Cbow, 7);
+        assert_eq!(a.get("king"), b.get("king"));
+    }
+
+    #[test]
+    fn empty_corpus_gives_empty_table() {
+        let wv = Word2Vec::new(Word2VecConfig::default()).train(&[]);
+        assert!(wv.is_empty());
+        assert_eq!(wv.dim(), 100);
+    }
+
+    #[test]
+    fn vectors_finite() {
+        let wv = train(Word2VecMode::SkipGram, 5);
+        for (_, v) in wv.iter() {
+            assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+}

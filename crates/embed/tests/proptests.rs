@@ -1,0 +1,102 @@
+//! Property tests: embedding invariants.
+
+use nd_embed::{doc_embedding, AverageStrategy, Word2Vec, Word2VecConfig, WordVectors};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_table() -> impl Strategy<Value = WordVectors> {
+    prop::collection::vec(prop::collection::vec(-1.0f64..1.0, 4), 1..8).prop_map(|rows| {
+        let mut wv = WordVectors::new(4);
+        for (i, row) in rows.iter().enumerate() {
+            wv.insert(format!("w{i}"), row);
+        }
+        wv
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded(wv in arb_table()) {
+        let words: Vec<String> = wv.iter().map(|(w, _)| w.to_string()).collect();
+        for a in &words {
+            for b in &words {
+                let s1 = wv.similarity(a, b).unwrap();
+                let s2 = wv.similarity(b, a).unwrap();
+                prop_assert!((s1 - s2).abs() < 1e-12);
+                prop_assert!((-1.0..=1.0).contains(&s1));
+            }
+        }
+    }
+
+    #[test]
+    fn most_similar_excludes_self_and_is_sorted(wv in arb_table()) {
+        for (w, _) in wv.iter() {
+            let near = wv.most_similar(w, 10);
+            prop_assert!(near.iter().all(|(n, _)| n != w));
+            for pair in near.windows(2) {
+                prop_assert!(pair[0].1 >= pair[1].1 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn centering_preserves_pairwise_differences(wv in arb_table()) {
+        let mut centered = wv.clone();
+        centered.center();
+        let words: Vec<String> = wv.iter().map(|(w, _)| w.to_string()).collect();
+        if words.len() >= 2 {
+            let (a, b) = (&words[0], &words[1]);
+            let diff_before: Vec<f64> = wv
+                .get(a).unwrap().iter().zip(wv.get(b).unwrap()).map(|(x, y)| x - y).collect();
+            let diff_after: Vec<f64> = centered
+                .get(a).unwrap().iter().zip(centered.get(b).unwrap()).map(|(x, y)| x - y).collect();
+            for (x, y) in diff_before.iter().zip(&diff_after) {
+                prop_assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn doc_embedding_of_known_words_is_convex_average(
+        wv in arb_table(),
+        picks in prop::collection::vec(0usize..8, 1..6),
+    ) {
+        let tokens: Vec<String> = picks.iter().map(|i| format!("w{i}")).collect();
+        let emb = doc_embedding(&wv, &tokens, AverageStrategy::SkipWords, &HashMap::new(), 0);
+        // Components bounded by the extreme component over contributing words.
+        let known: Vec<&[f64]> =
+            tokens.iter().filter_map(|t| wv.get(t)).collect();
+        if known.is_empty() {
+            prop_assert!(emb.iter().all(|&v| v == 0.0));
+        } else {
+            for d in 0..4 {
+                let lo = known.iter().map(|v| v[d]).fold(f64::INFINITY, f64::min);
+                let hi = known.iter().map(|v| v[d]).fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(emb[d] >= lo - 1e-12 && emb[d] <= hi + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn word2vec_training_is_total(
+        sentences in prop::collection::vec(
+            prop::collection::vec("[a-c]", 1..6),
+            1..10,
+        )
+    ) {
+        let wv = Word2Vec::new(Word2VecConfig {
+            dim: 4,
+            epochs: 1,
+            min_count: 1,
+            window: 2,
+            negative: 2,
+            ..Default::default()
+        })
+        .train(&sentences);
+        for (_, v) in wv.iter() {
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # nd-events
+//!
+//! Event detection over timestamped document streams — the pyMABED
+//! substitute of DESIGN.md §1.
+//!
+//! The paper (§3.3, §4.4) detects *news events* and *Twitter events*
+//! with Mention-Anomaly-Based Event Detection (MABED, Guille & Favre
+//! 2014). An event is
+//!
+//! 1. a **main word** (the event label),
+//! 2. a set of weighted **related words**, and
+//! 3. the **period of time** when the topic is of interest.
+//!
+//! The pipeline: partition documents into fixed-width [time
+//! slices](timeslice), score every sufficiently-frequent word's
+//! mention-anomaly series, find the interval maximizing the magnitude
+//! of impact, then select related words whose count series co-move
+//! with the main word's over that interval — the weight of paper
+//! Eq. (9)–(10), computed with the Erdem first-order autocorrelation
+//! coefficient from `nd-linalg`.
+//!
+//! News articles carry no `@mentions`, so the detector also supports a
+//! presence-anomaly mode ([`AnomalySource::Presence`]) in which every
+//! document "engages"; this is how the paper's NewsED corpus is
+//! processed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod mabed;
+pub mod timeslice;
+
+pub use event::Event;
+pub use mabed::{AnomalySource, Mabed, MabedConfig};
+pub use timeslice::{SlicedCorpus, TimestampedDoc};

@@ -1,0 +1,245 @@
+//! Time-slicing of timestamped document streams.
+//!
+//! MABED operates on per-slice word statistics: the paper uses 60-min
+//! slices for news and 30-min slices for tweets (§5.3–5.4).
+
+use std::collections::HashMap;
+
+/// A preprocessed document with its publication timestamp.
+#[derive(Debug, Clone)]
+pub struct TimestampedDoc {
+    /// Unix timestamp (seconds).
+    pub timestamp: u64,
+    /// Preprocessed tokens (event-detection pipeline output).
+    pub tokens: Vec<String>,
+    /// Number of `@mentions` in the raw text (0 for news articles).
+    pub mentions: usize,
+}
+
+impl TimestampedDoc {
+    /// Convenience constructor.
+    pub fn new(timestamp: u64, tokens: Vec<String>, mentions: usize) -> Self {
+        TimestampedDoc { timestamp, tokens, mentions }
+    }
+}
+
+/// Per-word, per-slice statistics for one corpus.
+#[derive(Debug, Clone)]
+pub struct SlicedCorpus {
+    /// Slice width in seconds.
+    pub slice_secs: u64,
+    /// Timestamp where slice 0 begins.
+    pub origin: u64,
+    /// Number of slices.
+    pub n_slices: usize,
+    /// Total number of documents.
+    pub n_docs: usize,
+    /// Documents per slice.
+    pub docs_per_slice: Vec<u32>,
+    /// For each word: per-slice count of documents containing it
+    /// (`N_t^i` in the paper), plus the same restricted to documents
+    /// with ≥1 mention (`M_t^i`), plus totals.
+    words: HashMap<String, WordStats>,
+    /// Document index per slice (indices into the input corpus), used
+    /// to gather event keyword candidates.
+    slice_docs: Vec<Vec<u32>>,
+    /// Tokens of every document (deduplicated per doc), retained for
+    /// co-occurrence lookups.
+    doc_tokens: Vec<Vec<String>>,
+}
+
+/// Per-word statistics.
+#[derive(Debug, Clone, Default)]
+pub struct WordStats {
+    /// Documents containing the word, per slice (`N_t^i`).
+    pub presence: Vec<u32>,
+    /// Mentioning documents containing the word, per slice (`M_t^i`).
+    pub mention: Vec<u32>,
+    /// Total documents containing the word.
+    pub total_presence: u64,
+    /// Total mentioning documents containing the word.
+    pub total_mention: u64,
+}
+
+impl SlicedCorpus {
+    /// Builds slice statistics from documents.
+    ///
+    /// Empty corpora produce a zero-slice result. Slices cover
+    /// `[min_ts, max_ts]` inclusive at `slice_secs` width.
+    ///
+    /// # Panics
+    /// Panics if `slice_secs == 0` (a configuration error).
+    pub fn build(docs: &[TimestampedDoc], slice_secs: u64) -> Self {
+        assert!(slice_secs > 0, "slice width must be positive");
+        if docs.is_empty() {
+            return SlicedCorpus {
+                slice_secs,
+                origin: 0,
+                n_slices: 0,
+                n_docs: 0,
+                docs_per_slice: Vec::new(),
+                words: HashMap::new(),
+                slice_docs: Vec::new(),
+                doc_tokens: Vec::new(),
+            };
+        }
+        let origin = docs.iter().map(|d| d.timestamp).min().expect("non-empty");
+        let max_ts = docs.iter().map(|d| d.timestamp).max().expect("non-empty");
+        let n_slices = ((max_ts - origin) / slice_secs + 1) as usize;
+
+        let mut docs_per_slice = vec![0u32; n_slices];
+        let mut words: HashMap<String, WordStats> = HashMap::new();
+        let mut slice_docs: Vec<Vec<u32>> = vec![Vec::new(); n_slices];
+        let mut doc_tokens: Vec<Vec<String>> = Vec::with_capacity(docs.len());
+
+        for (doc_id, doc) in docs.iter().enumerate() {
+            let slice = ((doc.timestamp - origin) / slice_secs) as usize;
+            docs_per_slice[slice] += 1;
+            slice_docs[slice].push(doc_id as u32);
+            let has_mention = doc.mentions > 0;
+
+            // Unique tokens per document.
+            let mut uniq: Vec<String> = doc.tokens.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            for tok in &uniq {
+                let stats = words.entry(tok.clone()).or_insert_with(|| WordStats {
+                    presence: vec![0; n_slices],
+                    mention: vec![0; n_slices],
+                    total_presence: 0,
+                    total_mention: 0,
+                });
+                stats.presence[slice] += 1;
+                stats.total_presence += 1;
+                if has_mention {
+                    stats.mention[slice] += 1;
+                    stats.total_mention += 1;
+                }
+            }
+            doc_tokens.push(uniq);
+        }
+
+        SlicedCorpus {
+            slice_secs,
+            origin,
+            n_slices,
+            n_docs: docs.len(),
+            docs_per_slice,
+            words,
+            slice_docs,
+            doc_tokens,
+        }
+    }
+
+    /// Statistics for `word`, if it occurs in the corpus.
+    pub fn word(&self, word: &str) -> Option<&WordStats> {
+        self.words.get(word)
+    }
+
+    /// Iterator over `(word, stats)` pairs.
+    pub fn iter_words(&self) -> impl Iterator<Item = (&str, &WordStats)> {
+        self.words.iter().map(|(w, s)| (w.as_str(), s))
+    }
+
+    /// Number of distinct words.
+    pub fn n_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Document ids falling in slice range `[from, to]` (inclusive).
+    pub fn docs_in_slices(&self, from: usize, to: usize) -> Vec<u32> {
+        let to = to.min(self.n_slices.saturating_sub(1));
+        let mut out = Vec::new();
+        for s in from..=to {
+            out.extend_from_slice(&self.slice_docs[s]);
+        }
+        out
+    }
+
+    /// Unique tokens of document `doc_id`.
+    pub fn doc_tokens(&self, doc_id: u32) -> &[String] {
+        &self.doc_tokens[doc_id as usize]
+    }
+
+    /// Timestamp at which slice `i` begins.
+    pub fn slice_start(&self, i: usize) -> u64 {
+        self.origin + i as u64 * self.slice_secs
+    }
+
+    /// Timestamp at which slice `i` ends (exclusive).
+    pub fn slice_end(&self, i: usize) -> u64 {
+        self.slice_start(i) + self.slice_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(ts: u64, words: &[&str], mentions: usize) -> TimestampedDoc {
+        TimestampedDoc::new(ts, words.iter().map(|s| s.to_string()).collect(), mentions)
+    }
+
+    #[test]
+    fn slices_cover_time_range() {
+        let docs = vec![doc(100, &["a"], 0), doc(250, &["b"], 0), doc(399, &["c"], 0)];
+        let sc = SlicedCorpus::build(&docs, 100);
+        assert_eq!(sc.origin, 100);
+        assert_eq!(sc.n_slices, 3);
+        assert_eq!(sc.docs_per_slice, vec![1, 1, 1]);
+        assert_eq!(sc.slice_start(1), 200);
+        assert_eq!(sc.slice_end(1), 300);
+    }
+
+    #[test]
+    fn word_presence_counts() {
+        let docs = vec![
+            doc(0, &["brexit", "vote"], 1),
+            doc(10, &["brexit"], 0),
+            doc(100, &["brexit"], 1),
+        ];
+        let sc = SlicedCorpus::build(&docs, 100);
+        let w = sc.word("brexit").unwrap();
+        assert_eq!(w.presence, vec![2, 1]);
+        assert_eq!(w.mention, vec![1, 1]);
+        assert_eq!(w.total_presence, 3);
+        assert_eq!(w.total_mention, 2);
+        assert!(sc.word("unknown").is_none());
+    }
+
+    #[test]
+    fn duplicate_tokens_in_doc_counted_once() {
+        let docs = vec![doc(0, &["x", "x", "x"], 0)];
+        let sc = SlicedCorpus::build(&docs, 60);
+        assert_eq!(sc.word("x").unwrap().total_presence, 1);
+    }
+
+    #[test]
+    fn docs_in_slices_gathers_range() {
+        let docs = vec![doc(0, &["a"], 0), doc(150, &["b"], 0), doc(250, &["c"], 0)];
+        let sc = SlicedCorpus::build(&docs, 100);
+        assert_eq!(sc.docs_in_slices(0, 1), vec![0, 1]);
+        assert_eq!(sc.docs_in_slices(1, 99), vec![1, 2], "range end clamped");
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let sc = SlicedCorpus::build(&[], 60);
+        assert_eq!(sc.n_slices, 0);
+        assert_eq!(sc.n_docs, 0);
+        assert_eq!(sc.n_words(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice width")]
+    fn zero_slice_width_panics() {
+        SlicedCorpus::build(&[], 0);
+    }
+
+    #[test]
+    fn single_doc_single_slice() {
+        let sc = SlicedCorpus::build(&[doc(1_000_000, &["only"], 0)], 1800);
+        assert_eq!(sc.n_slices, 1);
+        assert_eq!(sc.docs_per_slice, vec![1]);
+    }
+}

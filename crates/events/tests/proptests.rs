@@ -1,0 +1,102 @@
+//! Property tests: MABED invariants over arbitrary corpora.
+
+use nd_events::{AnomalySource, Mabed, MabedConfig, SlicedCorpus, TimestampedDoc};
+use proptest::prelude::*;
+
+fn arb_docs() -> impl Strategy<Value = Vec<TimestampedDoc>> {
+    prop::collection::vec(
+        (
+            0u64..100_000,
+            prop::collection::vec("[a-e]{1,2}", 1..6),
+            0usize..3,
+        ),
+        1..60,
+    )
+    .prop_map(|items| {
+        items
+            .into_iter()
+            .map(|(ts, tokens, mentions)| TimestampedDoc::new(ts, tokens, mentions))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn slicing_partitions_every_document(docs in arb_docs()) {
+        let sc = SlicedCorpus::build(&docs, 3_600);
+        let total: u32 = sc.docs_per_slice.iter().sum();
+        prop_assert_eq!(total as usize, docs.len());
+        prop_assert_eq!(sc.n_docs, docs.len());
+        prop_assert_eq!(sc.docs_in_slices(0, sc.n_slices.saturating_sub(1)).len(), docs.len());
+    }
+
+    #[test]
+    fn word_stats_bounded_by_doc_count(docs in arb_docs()) {
+        let sc = SlicedCorpus::build(&docs, 3_600);
+        for (_, stats) in sc.iter_words() {
+            prop_assert!(stats.total_mention <= stats.total_presence);
+            prop_assert!(stats.total_presence as usize <= docs.len());
+            let per_slice: u64 = stats.presence.iter().map(|&v| v as u64).sum();
+            prop_assert_eq!(per_slice, stats.total_presence);
+        }
+    }
+
+    #[test]
+    fn detection_never_panics_and_events_are_wellformed(
+        docs in arb_docs(),
+        theta in 0.0f64..1.0,
+        n_events in 1usize..6,
+    ) {
+        let sc = SlicedCorpus::build(&docs, 1_800);
+        let events = Mabed::new(MabedConfig {
+            n_events,
+            theta,
+            min_word_docs: 1,
+            source: AnomalySource::Presence,
+            filter_stopwords: false,
+            ..Default::default()
+        })
+        .detect(&sc);
+        prop_assert!(events.len() <= n_events);
+        for e in &events {
+            prop_assert!(e.end > e.start);
+            prop_assert!(e.magnitude > 0.0);
+            for (_, w) in &e.related {
+                prop_assert!((theta..=1.0).contains(w), "related weight {w} below theta {theta}");
+            }
+            // Related words never repeat the main word.
+            prop_assert!(e.related.iter().all(|(w, _)| *w != e.main_word));
+        }
+        // Ranking is descending by magnitude.
+        for pair in events.windows(2) {
+            prop_assert!(pair[0].magnitude >= pair[1].magnitude);
+        }
+    }
+
+    #[test]
+    fn membership_rule_requires_window_and_main_word(
+        docs in arb_docs(),
+        ts in 0u64..200_000,
+    ) {
+        let sc = SlicedCorpus::build(&docs, 1_800);
+        let events = Mabed::new(MabedConfig {
+            n_events: 3,
+            theta: 0.3,
+            min_word_docs: 1,
+            source: AnomalySource::Presence,
+            filter_stopwords: false,
+            ..Default::default()
+        })
+        .detect(&sc);
+        for e in &events {
+            let toks = vec!["zzz".to_string()];
+            prop_assert!(!e.matches_document(ts, &toks, 0.2), "match without main word");
+            let with_main = vec![e.main_word.clone()];
+            if !e.contains_time(ts) {
+                prop_assert!(!e.matches_document(ts, &with_main, 0.2), "match out of window");
+            }
+        }
+    }
+}

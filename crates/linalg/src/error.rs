@@ -1,0 +1,101 @@
+//! Error types for linear-algebra operations.
+
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Errors produced by linear-algebra operations.
+///
+/// Dimension mismatches are the dominant failure mode; they are reported
+/// with both shapes so callers can log actionable diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix was constructed from data whose length does not match
+    /// `rows * cols`.
+    BadBuffer {
+        /// Requested shape.
+        shape: (usize, usize),
+        /// Actual buffer length.
+        len: usize,
+    },
+    /// An operation required a non-empty matrix or vector.
+    Empty(&'static str),
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Routine that failed (e.g. `"truncated_svd"`).
+        op: &'static str,
+        /// Number of iterations performed.
+        iters: usize,
+    },
+    /// An index was out of bounds.
+    OutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Exclusive bound.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::BadBuffer { shape, len } => write!(
+                f,
+                "buffer of length {len} cannot form a {}x{} matrix",
+                shape.0, shape.1
+            ),
+            LinalgError::Empty(op) => write!(f, "{op} requires non-empty input"),
+            LinalgError::NoConvergence { op, iters } => {
+                write!(f, "{op} did not converge after {iters} iterations")
+            }
+            LinalgError::OutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (< {bound} required)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(e.to_string(), "shape mismatch in matmul: lhs is 2x3, rhs is 4x5");
+    }
+
+    #[test]
+    fn display_bad_buffer() {
+        let e = LinalgError::BadBuffer { shape: (2, 2), len: 3 };
+        assert!(e.to_string().contains("length 3"));
+        assert!(e.to_string().contains("2x2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LinalgError::Empty("norm"));
+    }
+}

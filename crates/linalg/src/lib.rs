@@ -1,0 +1,35 @@
+//! # nd-linalg
+//!
+//! Dense linear-algebra substrate for the `newsdiff` workspace.
+//!
+//! Everything the higher layers (topic modeling, embeddings, neural
+//! networks) need is implemented here from scratch on top of `std`:
+//!
+//! * [`Mat`] — a row-major dense `f64` matrix with the usual algebra
+//!   (products, transposes, element-wise maps, reductions, slicing).
+//! * [`vecops`] — free functions over `&[f64]` slices (dot products,
+//!   norms, cosine similarity, softmax, …).
+//! * [`svd`] — truncated singular value decomposition via randomized
+//!   subspace iteration, used by the LSA topic model.
+//! * [`stats`] — descriptive statistics and correlation coefficients,
+//!   used by the MABED event-detection weights.
+//! * [`rng`] — small deterministic RNG helpers so every stochastic
+//!   component in the workspace is seedable and reproducible.
+//!
+//! The crate is deliberately dependency-light (only `rand`) and uses
+//! `f64` throughout: the workloads in this workspace are small enough
+//! that the precision/robustness win dominates the memory cost.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod mat;
+pub mod rng;
+pub mod stats;
+pub mod svd;
+pub mod vecops;
+
+pub use error::{LinalgError, Result};
+pub use mat::Mat;
+pub use svd::{truncated_svd, Svd};

@@ -1,0 +1,737 @@
+//! Row-major dense `f64` matrix.
+
+use crate::error::{LinalgError, Result};
+use crate::rng::SplitMix64;
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// `Mat` is the workhorse type shared by the NMF topic model, the
+/// embedding trainers, and the neural-network layers. It favours
+/// simple, predictable memory layout (one contiguous `Vec<f64>`)
+/// over cleverness; the hot paths (matrix products) use an `ikj`
+/// loop order so the inner loop streams both operands.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Mat { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::BadBuffer`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::BadBuffer { shape: (rows, cols), len: data.len() });
+        }
+        Ok(Mat { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::BadBuffer`] if the rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Mat::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(LinalgError::BadBuffer {
+                    shape: (rows.len(), cols),
+                    len: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Mat { rows: rows.len(), cols, data })
+    }
+
+    /// Creates a matrix where entry `(i, j)` is `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a matrix with entries drawn uniformly from `[lo, hi)`,
+    /// deterministically from `seed`.
+    pub fn random_uniform(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(lo + (hi - lo) * rng.next_f64());
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a matrix with entries drawn from a normal distribution
+    /// `N(mean, std^2)`, deterministically from `seed`.
+    pub fn random_normal(rows: usize, cols: usize, mean: f64, std: f64, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(mean + std * rng.next_gaussian());
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Entry at `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows` or `j >= cols`; out-of-bounds access is an
+    /// internal logic error, never a data-dependent condition.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the entry at `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Iterator over row slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses `ikj` loop order: the inner loop walks contiguous rows of
+    /// both the output and `rhs`, which is the standard cache-friendly
+    /// formulation for row-major data.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Mat) -> Result<Mat> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when `v.len() != self.cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok(self
+            .row_iter()
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on shape disagreement.
+    pub fn add(&self, rhs: &Mat) -> Result<Mat> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on shape disagreement.
+    pub fn sub(&self, rhs: &Mat) -> Result<Mat> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on shape disagreement.
+    pub fn hadamard(&self, rhs: &Mat) -> Result<Mat> {
+        self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    /// Element-wise quotient with an epsilon guard on the denominator:
+    /// `self[i] / (rhs[i] + eps)`. This is the exact form the NMF
+    /// multiplicative updates need to avoid division by zero.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on shape disagreement.
+    pub fn div_eps(&self, rhs: &Mat, eps: f64) -> Result<Mat> {
+        self.zip_with(rhs, "div_eps", |a, b| a / (b + eps))
+    }
+
+    fn zip_with(&self, rhs: &Mat, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Mat> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch { op, lhs: self.shape(), rhs: rhs.shape() });
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Mat { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// In-place element-wise addition.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on shape disagreement.
+    pub fn add_assign(&mut self, rhs: &Mat) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add_assign",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Returns `self * scalar`.
+    pub fn scale(&self, scalar: f64) -> Mat {
+        self.map(|v| v * scalar)
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale_assign(&mut self, scalar: f64) {
+        for v in &mut self.data {
+            *v *= scalar;
+        }
+    }
+
+    /// Returns a new matrix with `f` applied to every entry.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_assign(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Clamps every entry below `min` up to `min` (used to keep NMF
+    /// factors strictly non-negative in the face of rounding).
+    pub fn clamp_min_assign(&mut self, min: f64) {
+        for v in &mut self.data {
+            if *v < min {
+                *v = min;
+            }
+        }
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries; `0.0` for an empty matrix.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Frobenius norm `sqrt(sum of squared entries)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Squared Frobenius distance `||self - rhs||_F^2`, the NMF objective
+    /// of paper Eq. (6).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on shape disagreement.
+    pub fn frobenius_dist_sq(&self, rhs: &Mat) -> Result<f64> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "frobenius_dist_sq",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum())
+    }
+
+    /// Per-row sums.
+    pub fn row_sums(&self) -> Vec<f64> {
+        self.row_iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Per-column sums.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for row in self.row_iter() {
+            for (s, &v) in sums.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Index of the maximum entry in row `i` (ties resolve to the first).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::Empty`] when the matrix has zero columns.
+    pub fn row_argmax(&self, i: usize) -> Result<usize> {
+        if self.cols == 0 {
+            return Err(LinalgError::Empty("row_argmax"));
+        }
+        let row = self.row(i);
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Indices of the `k` largest entries of row `i`, descending by value.
+    pub fn row_top_k(&self, i: usize, k: usize) -> Vec<usize> {
+        let row = self.row(i);
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.truncate(k);
+        idx
+    }
+
+    /// Extracts a contiguous block of rows `[start, end)` as a new matrix.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::OutOfBounds`] when `end > rows` or
+    /// `start > end`.
+    pub fn row_block(&self, start: usize, end: usize) -> Result<Mat> {
+        if end > self.rows || start > end {
+            return Err(LinalgError::OutOfBounds { index: end, bound: self.rows + 1 });
+        }
+        Ok(Mat {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        })
+    }
+
+    /// Stacks two matrices vertically.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when column counts differ.
+    pub fn vstack(&self, below: &Mat) -> Result<Mat> {
+        if self.cols != below.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: below.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity(self.data.len() + below.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&below.data);
+        Ok(Mat { rows: self.rows + below.rows, cols: self.cols, data })
+    }
+
+    /// Concatenates two matrices horizontally.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when row counts differ.
+    pub fn hstack(&self, right: &Mat) -> Result<Mat> {
+        if self.rows != right.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: right.shape(),
+            });
+        }
+        let cols = self.cols + right.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.extend_from_slice(right.row(i));
+        }
+        Ok(Mat { rows: self.rows, cols, data })
+    }
+
+    /// Normalizes every row to unit ℓ² norm; rows with zero norm are left
+    /// untouched.
+    pub fn normalize_rows(&mut self) {
+        let cols = self.cols;
+        for i in 0..self.rows {
+            let row = &mut self.data[i * cols..(i + 1) * cols];
+            let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for v in row {
+                    *v /= norm;
+                }
+            }
+        }
+    }
+
+    /// `A^T * A` without materializing the transpose.
+    pub fn gram(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.cols);
+        for row in self.row_iter() {
+            for (k, &a) in row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * self.cols..(k + 1) * self.cols];
+                for (o, &b) in out_row.iter_mut().zip(row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Mat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            let row = self.row(i);
+            let cells: Vec<String> = row.iter().take(8).map(|v| format!("{v:>10.4}")).collect();
+            let ellipsis = if self.cols > 8 { " …" } else { "" };
+            writeln!(f, "  [{}{}]", cells.join(", "), ellipsis)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  … ({} more rows)", self.rows - show_rows)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat2x3() -> Mat {
+        Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = mat2x3();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(matches!(
+            Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0]),
+            Err(LinalgError::BadBuffer { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Mat::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+    }
+
+    #[test]
+    fn from_rows_empty_is_0x0() {
+        let m = Mat::from_rows(&[]).unwrap();
+        assert_eq!(m.shape(), (0, 0));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let m = mat2x3();
+        let i3 = Mat::eye(3);
+        assert_eq!(m.matmul(&i3).unwrap(), m);
+        let i2 = Mat::eye(2);
+        assert_eq!(i2.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Mat::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = mat2x3();
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = mat2x3();
+        let v = vec![1.0, 0.5, 2.0];
+        let got = a.matvec(&v).unwrap();
+        assert_eq!(got, vec![1.0 + 1.0 + 6.0, 4.0 + 2.5 + 12.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = mat2x3();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let m = mat2x3();
+        let s = m.add(&m).unwrap();
+        assert_eq!(s.get(1, 1), 10.0);
+        let d = m.sub(&m).unwrap();
+        assert_eq!(d.sum(), 0.0);
+        let h = m.hadamard(&m).unwrap();
+        assert_eq!(h.get(1, 2), 36.0);
+    }
+
+    #[test]
+    fn div_eps_guards_zero() {
+        let num = Mat::filled(1, 2, 1.0);
+        let den = Mat::from_vec(1, 2, vec![0.0, 2.0]).unwrap();
+        let q = num.div_eps(&den, 1e-9).unwrap();
+        assert!(q.get(0, 0).is_finite());
+        assert!((q.get(0, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frobenius_norm_and_distance() {
+        let m = Mat::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        let z = Mat::zeros(1, 2);
+        assert!((m.frobenius_dist_sq(&z).unwrap() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sums_and_argmax() {
+        let m = mat2x3();
+        assert_eq!(m.row_sums(), vec![6.0, 15.0]);
+        assert_eq!(m.col_sums(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(m.row_argmax(0).unwrap(), 2);
+        assert_eq!(m.row_top_k(1, 2), vec![2, 1]);
+    }
+
+    #[test]
+    fn row_argmax_ties_pick_first() {
+        let m = Mat::from_vec(1, 3, vec![2.0, 2.0, 1.0]).unwrap();
+        assert_eq!(m.row_argmax(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn stacking() {
+        let m = mat2x3();
+        let v = m.vstack(&m).unwrap();
+        assert_eq!(v.shape(), (4, 3));
+        assert_eq!(v.row(2), m.row(0));
+        let h = m.hstack(&m).unwrap();
+        assert_eq!(h.shape(), (2, 6));
+        assert_eq!(h.get(0, 3), 1.0);
+        assert!(m.vstack(&Mat::zeros(1, 2)).is_err());
+        assert!(m.hstack(&Mat::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn row_block_extraction() {
+        let m = mat2x3();
+        let b = m.row_block(1, 2).unwrap();
+        assert_eq!(b.shape(), (1, 3));
+        assert_eq!(b.row(0), m.row(1));
+        assert!(m.row_block(1, 5).is_err());
+    }
+
+    #[test]
+    fn normalize_rows_unit_norm_and_zero_row_safe() {
+        let mut m = Mat::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]).unwrap();
+        m.normalize_rows();
+        let n0: f64 = m.row(0).iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((n0 - 1.0).abs() < 1e-12);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gram_matches_explicit_transpose_product() {
+        let m = mat2x3();
+        let explicit = m.transpose().matmul(&m).unwrap();
+        let g = m.gram();
+        for (a, b) in g.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_matrices_deterministic_by_seed() {
+        let a = Mat::random_uniform(3, 3, -1.0, 1.0, 7);
+        let b = Mat::random_uniform(3, 3, -1.0, 1.0, 7);
+        let c = Mat::random_uniform(3, 3, -1.0, 1.0, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn random_normal_has_plausible_moments() {
+        let m = Mat::random_normal(100, 100, 2.0, 0.5, 42);
+        let mean = m.mean();
+        assert!((mean - 2.0).abs() < 0.05, "mean was {mean}");
+    }
+
+    #[test]
+    fn map_scale_clamp() {
+        let mut m = mat2x3();
+        let doubled = m.scale(2.0);
+        assert_eq!(doubled.get(0, 1), 4.0);
+        m.map_assign(|v| -v);
+        m.clamp_min_assign(-2.0);
+        assert_eq!(m.get(1, 2), -2.0);
+        assert_eq!(m.get(0, 0), -1.0);
+    }
+
+    #[test]
+    fn display_does_not_panic_on_large() {
+        let m = Mat::zeros(20, 20);
+        let s = format!("{m}");
+        assert!(s.contains("more rows"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Truncated singular value decomposition.
+//!
+//! The LSA topic model (one of the comparison points in the paper's
+//! §4.9 design discussion) needs the top-`k` singular triplets of a
+//! document-term matrix. We implement randomized subspace iteration
+//! (Halko, Martinsson & Tropp 2011): project onto a random sketch,
+//! orthonormalize, iterate a few power steps, then solve the small
+//! projected problem by Jacobi eigendecomposition of its Gram matrix.
+
+use crate::error::{LinalgError, Result};
+use crate::mat::Mat;
+
+/// Result of a truncated SVD: `A ≈ U * diag(S) * V^T`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m x k` (columns orthonormal).
+    pub u: Mat,
+    /// Singular values, descending, length `k`.
+    pub s: Vec<f64>,
+    /// Right singular vectors, `n x k` (columns orthonormal).
+    pub v: Mat,
+}
+
+/// Computes the top-`k` singular triplets of `a` using randomized
+/// subspace iteration.
+///
+/// * `k` — number of singular values requested (clamped to
+///   `min(rows, cols)`).
+/// * `n_iter` — power-iteration steps; 4–7 is plenty for topic-model
+///   spectra.
+/// * `seed` — sketch randomness; fixed seed ⇒ deterministic output.
+///
+/// # Errors
+/// Returns [`LinalgError::Empty`] for an empty matrix or `k == 0`.
+pub fn truncated_svd(a: &Mat, k: usize, n_iter: usize, seed: u64) -> Result<Svd> {
+    if a.rows() == 0 || a.cols() == 0 || k == 0 {
+        return Err(LinalgError::Empty("truncated_svd"));
+    }
+    let k = k.min(a.rows()).min(a.cols());
+    // Oversample the sketch for accuracy, then truncate at the end.
+    let p = (k + 8).min(a.rows()).min(a.cols());
+
+    let at = a.transpose();
+    // Random sketch: Y = A * Omega, Omega ~ N(0,1)^{n x p}.
+    let omega = Mat::random_normal(a.cols(), p, 0.0, 1.0, seed);
+    let mut y = a.matmul(&omega)?;
+    orthonormalize_cols(&mut y);
+    for _ in 0..n_iter {
+        let mut z = at.matmul(&y)?;
+        orthonormalize_cols(&mut z);
+        y = a.matmul(&z)?;
+        orthonormalize_cols(&mut y);
+    }
+    // B = Q^T A  (p x n); SVD of B gives the triplets of A.
+    let b = y.transpose().matmul(a)?;
+    // Eigendecompose B B^T (p x p, symmetric PSD).
+    let bbt = b.matmul(&b.transpose())?;
+    let (eigvals, eigvecs) = jacobi_eigen_symmetric(&bbt, 200);
+
+    // Sort by eigenvalue descending.
+    let mut order: Vec<usize> = (0..eigvals.len()).collect();
+    order.sort_by(|&i, &j| eigvals[j].partial_cmp(&eigvals[i]).unwrap_or(std::cmp::Ordering::Equal));
+    order.truncate(k);
+
+    let mut s = Vec::with_capacity(k);
+    let mut u = Mat::zeros(a.rows(), k);
+    let mut v = Mat::zeros(a.cols(), k);
+    for (out_col, &ei) in order.iter().enumerate() {
+        let sigma = eigvals[ei].max(0.0).sqrt();
+        s.push(sigma);
+        // Left singular vector of A: Q * w where w is the eigenvector.
+        let w = eigvecs.col(ei);
+        let qu = y.matvec_cols(&w);
+        for (i, &val) in qu.iter().enumerate() {
+            u.set(i, out_col, val);
+        }
+        // Right singular vector: v = A^T u / sigma.
+        if sigma > 1e-12 {
+            let av = at.matvec(&qu)?;
+            for (i, &val) in av.iter().enumerate() {
+                v.set(i, out_col, val / sigma);
+            }
+        }
+    }
+    Ok(Svd { u, s, v })
+}
+
+impl Mat {
+    /// `self * w` where `w` indexes columns of `self` — i.e. a linear
+    /// combination of this matrix's columns. Helper for SVD assembly.
+    fn matvec_cols(&self, w: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(w.len(), self.cols());
+        let mut out = vec![0.0; self.rows()];
+        for (i, row) in self.row_iter().enumerate() {
+            out[i] = row.iter().zip(w).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+}
+
+/// Modified Gram–Schmidt orthonormalization of a matrix's columns,
+/// in place. Columns that collapse to (near) zero are re-seeded with
+/// a deterministic pseudo-random direction and re-orthogonalized so
+/// the basis keeps full rank.
+fn orthonormalize_cols(m: &mut Mat) {
+    let (rows, cols) = m.shape();
+    for j in 0..cols {
+        // Subtract projections onto previous columns.
+        for prev in 0..j {
+            let mut proj = 0.0;
+            for i in 0..rows {
+                proj += m.get(i, j) * m.get(i, prev);
+            }
+            for i in 0..rows {
+                let v = m.get(i, j) - proj * m.get(i, prev);
+                m.set(i, j, v);
+            }
+        }
+        let mut norm = 0.0;
+        for i in 0..rows {
+            norm += m.get(i, j) * m.get(i, j);
+        }
+        norm = norm.sqrt();
+        if norm < 1e-12 {
+            // Degenerate column: replace with a fresh direction.
+            let mut rng = crate::rng::SplitMix64::new(0xC0FFEE ^ j as u64);
+            for i in 0..rows {
+                m.set(i, j, rng.next_gaussian());
+            }
+            // One re-orthogonalization pass is enough in practice.
+            for prev in 0..j {
+                let mut proj = 0.0;
+                for i in 0..rows {
+                    proj += m.get(i, j) * m.get(i, prev);
+                }
+                for i in 0..rows {
+                    let v = m.get(i, j) - proj * m.get(i, prev);
+                    m.set(i, j, v);
+                }
+            }
+            norm = 0.0;
+            for i in 0..rows {
+                norm += m.get(i, j) * m.get(i, j);
+            }
+            norm = norm.sqrt().max(1e-12);
+        }
+        for i in 0..rows {
+            let v = m.get(i, j) / norm;
+            m.set(i, j, v);
+        }
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvectors in columns.
+/// Convergence is declared when the off-diagonal Frobenius mass drops
+/// below `1e-12` of the total, or after `max_sweeps` sweeps.
+fn jacobi_eigen_symmetric(a: &Mat, max_sweeps: usize) -> (Vec<f64>, Mat) {
+    let n = a.rows();
+    debug_assert_eq!(n, a.cols());
+    let mut d = a.clone();
+    let mut v = Mat::eye(n);
+
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += d.get(i, j) * d.get(i, j);
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = d.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = d.get(p, p);
+                let aqq = d.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply Givens rotation to rows/cols p and q.
+                for i in 0..n {
+                    let dip = d.get(i, p);
+                    let diq = d.get(i, q);
+                    d.set(i, p, c * dip - s * diq);
+                    d.set(i, q, s * dip + c * diq);
+                }
+                for i in 0..n {
+                    let dpi = d.get(p, i);
+                    let dqi = d.get(q, i);
+                    d.set(p, i, c * dpi - s * dqi);
+                    d.set(q, i, s * dpi + c * dqi);
+                }
+                for i in 0..n {
+                    let vip = v.get(i, p);
+                    let viq = v.get(i, q);
+                    v.set(i, p, c * vip - s * viq);
+                    v.set(i, q, s * vip + c * viq);
+                }
+            }
+        }
+    }
+    let eigvals: Vec<f64> = (0..n).map(|i| d.get(i, i)).collect();
+    (eigvals, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+
+    fn reconstruct(svd: &Svd) -> Mat {
+        let k = svd.s.len();
+        let mut us = svd.u.clone();
+        for i in 0..us.rows() {
+            for j in 0..k {
+                let v = us.get(i, j) * svd.s[j];
+                us.set(i, j, v);
+            }
+        }
+        us.matmul(&svd.v.transpose()).unwrap()
+    }
+
+    #[test]
+    fn exact_recovery_of_low_rank_matrix() {
+        // Rank-2 matrix built from two outer products.
+        let u1 = [1.0, 2.0, 3.0, 4.0];
+        let u2 = [1.0, -1.0, 1.0, -1.0];
+        let v1 = [1.0, 0.0, 2.0];
+        let v2 = [0.0, 3.0, 1.0];
+        let a = Mat::from_fn(4, 3, |i, j| 5.0 * u1[i] * v1[j] + 2.0 * u2[i] * v2[j]);
+        let svd = truncated_svd(&a, 2, 7, 42).unwrap();
+        let approx = reconstruct(&svd);
+        let err = a.frobenius_dist_sq(&approx).unwrap().sqrt() / a.frobenius_norm();
+        assert!(err < 1e-8, "relative error {err}");
+        assert!(svd.s[0] >= svd.s[1]);
+    }
+
+    #[test]
+    fn singular_values_of_diagonal_matrix() {
+        let a = Mat::from_fn(3, 3, |i, j| if i == j { (3 - i) as f64 } else { 0.0 });
+        let svd = truncated_svd(&a, 3, 5, 1).unwrap();
+        assert!((svd.s[0] - 3.0).abs() < 1e-8);
+        assert!((svd.s[1] - 2.0).abs() < 1e-8);
+        assert!((svd.s[2] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn u_and_v_columns_orthonormal() {
+        let a = Mat::random_normal(20, 12, 0.0, 1.0, 3);
+        let svd = truncated_svd(&a, 4, 6, 9).unwrap();
+        for j1 in 0..4 {
+            for j2 in 0..4 {
+                let du = vecops::dot(&svd.u.col(j1), &svd.u.col(j2));
+                let dv = vecops::dot(&svd.v.col(j1), &svd.v.col(j2));
+                let expect = if j1 == j2 { 1.0 } else { 0.0 };
+                assert!((du - expect).abs() < 1e-6, "U^T U [{j1},{j2}] = {du}");
+                assert!((dv - expect).abs() < 1e-6, "V^T V [{j1},{j2}] = {dv}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_error_bounded_by_tail() {
+        let a = Mat::random_normal(30, 20, 0.0, 1.0, 5);
+        let full = truncated_svd(&a, 20, 10, 2).unwrap();
+        let k = 5;
+        let part = truncated_svd(&a, k, 10, 2).unwrap();
+        let approx = reconstruct(&part);
+        let err2 = a.frobenius_dist_sq(&approx).unwrap();
+        let tail2: f64 = full.s[k..].iter().map(|s| s * s).sum();
+        // Randomized SVD is near-optimal: error within 2x of the optimal tail.
+        assert!(err2 <= tail2 * 2.0 + 1e-6, "err2={err2} tail2={tail2}");
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_k() {
+        let a = Mat::zeros(0, 3);
+        assert!(truncated_svd(&a, 2, 3, 0).is_err());
+        let b = Mat::eye(3);
+        assert!(truncated_svd(&b, 0, 3, 0).is_err());
+    }
+
+    #[test]
+    fn k_clamped_to_min_dimension() {
+        let a = Mat::eye(3);
+        let svd = truncated_svd(&a, 10, 3, 0).unwrap();
+        assert_eq!(svd.s.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = Mat::random_normal(10, 8, 0.0, 1.0, 1);
+        let s1 = truncated_svd(&a, 3, 5, 77).unwrap();
+        let s2 = truncated_svd(&a, 3, 5, 77).unwrap();
+        assert_eq!(s1.s, s2.s);
+        assert_eq!(s1.u, s2.u);
+    }
+
+    #[test]
+    fn jacobi_eigen_known_matrix() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Mat::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let (mut vals, _) = jacobi_eigen_symmetric(&a, 50);
+        vals.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,38 @@
+//! # nd-neural
+//!
+//! Feed-forward neural networks (paper §3.5) — the Keras/TensorFlow
+//! substitute of DESIGN.md §1.
+//!
+//! * [`layer`] — dense, 1-D convolution, max-pooling and activation layers, each with
+//!   hand-derived backward passes (verified against numerical
+//!   gradients in the test suite).
+//! * [`loss`] — binary cross-entropy (paper Eq. 12) and categorical
+//!   softmax cross-entropy.
+//! * [`optimizer`] — SGD with momentum (Eq. 13–14), ADAGRAD (Eq. 15)
+//!   and ADADELTA (Eq. 16).
+//! * [`network`] — a sequential container.
+//! * [`train`] — mini-batch training with the paper's early-stopping
+//!   rule (stop when the loss stops changing between epochs), timing
+//!   per epoch for the Table 10 / Figures 6–7 reproductions.
+//! * [`metrics`] — confusion matrix, average multi-class accuracy
+//!   (Eq. 17), precision/recall/F1.
+//!
+//! The two architectures used by the paper's audience-interest
+//! predictor (Figures 2 and 3) are assembled in `nd-core::predict`
+//! from these pieces.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod layer;
+pub mod loss;
+pub mod metrics;
+pub mod network;
+pub mod optimizer;
+pub mod train;
+
+pub use layer::{Activation, ActivationLayer, Conv1d, Dense, Dropout, Layer, MaxPool1d};
+pub use loss::Loss;
+pub use network::Network;
+pub use optimizer::{Adadelta, Adagrad, Adam, Optimizer, Sgd};
+pub use train::{EarlyStopping, TrainReport, Trainer, TrainerConfig};

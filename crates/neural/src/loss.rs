@@ -1,0 +1,174 @@
+//! Loss functions.
+//!
+//! The paper's Eq. (12) is the binary cross-entropy; the deployed
+//! predictor classifies into the three engagement buckets of Table 2,
+//! so the softmax (categorical) cross-entropy is the production loss.
+//! Both return `(mean loss, dL/d(logits))` so the network's backward
+//! pass starts from the logits directly — folding the softmax into the
+//! loss keeps the gradient numerically stable (`p - y`).
+
+use nd_linalg::vecops::softmax;
+use nd_linalg::Mat;
+
+/// Loss selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Softmax + categorical cross-entropy on integer class labels.
+    SoftmaxCrossEntropy,
+    /// Element-wise binary cross-entropy (paper Eq. 12); labels must be
+    /// 0/1 and the network's last layer should be a sigmoid.
+    BinaryCrossEntropy,
+    /// Mean squared error (for regression ablations).
+    MeanSquaredError,
+}
+
+impl Loss {
+    /// Computes the mean loss and the gradient w.r.t. the network
+    /// output, for integer class labels.
+    ///
+    /// For [`Loss::SoftmaxCrossEntropy`], `output` holds logits
+    /// (`batch x n_classes`). For the other variants the label is
+    /// interpreted as a one-hot target.
+    ///
+    /// # Panics
+    /// Debug-asserts `labels.len() == output.rows()`.
+    #[allow(clippy::needless_range_loop)] // rows of `output` and `labels` advance together
+    pub fn compute(&self, output: &Mat, labels: &[usize]) -> (f64, Mat) {
+        debug_assert_eq!(labels.len(), output.rows());
+        let batch = output.rows().max(1) as f64;
+        match self {
+            Loss::SoftmaxCrossEntropy => {
+                let mut grad = Mat::zeros(output.rows(), output.cols());
+                let mut total = 0.0;
+                for r in 0..output.rows() {
+                    let p = softmax(output.row(r));
+                    let y = labels[r];
+                    debug_assert!(y < output.cols(), "label out of range");
+                    total -= p[y].max(1e-12).ln();
+                    let g = grad.row_mut(r);
+                    for (j, &pj) in p.iter().enumerate() {
+                        g[j] = (pj - if j == y { 1.0 } else { 0.0 }) / batch;
+                    }
+                }
+                (total / batch, grad)
+            }
+            Loss::BinaryCrossEntropy => {
+                let mut grad = Mat::zeros(output.rows(), output.cols());
+                let mut total = 0.0;
+                for r in 0..output.rows() {
+                    let y = labels[r];
+                    for j in 0..output.cols() {
+                        let t = if j == y { 1.0 } else { 0.0 };
+                        let p = output.get(r, j).clamp(1e-12, 1.0 - 1e-12);
+                        total -= t * p.ln() + (1.0 - t) * (1.0 - p).ln();
+                        grad.set(r, j, ((p - t) / (p * (1.0 - p))) / batch);
+                    }
+                }
+                (total / (batch * output.cols().max(1) as f64), grad)
+            }
+            Loss::MeanSquaredError => {
+                let mut grad = Mat::zeros(output.rows(), output.cols());
+                let mut total = 0.0;
+                for r in 0..output.rows() {
+                    let y = labels[r];
+                    for j in 0..output.cols() {
+                        let t = if j == y { 1.0 } else { 0.0 };
+                        let d = output.get(r, j) - t;
+                        total += d * d;
+                        grad.set(r, j, 2.0 * d / batch);
+                    }
+                }
+                (total / batch, grad)
+            }
+        }
+    }
+
+    /// Class predictions from network output (argmax per row).
+    pub fn predict_classes(output: &Mat) -> Vec<usize> {
+        (0..output.rows())
+            .map(|r| nd_linalg::vecops::argmax(output.row(r)).unwrap_or(0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_ce_perfect_prediction_low_loss() {
+        let logits = Mat::from_vec(1, 3, vec![10.0, -10.0, -10.0]).unwrap();
+        let (loss, _) = Loss::SoftmaxCrossEntropy.compute(&logits, &[0]);
+        assert!(loss < 1e-6);
+        let (bad_loss, _) = Loss::SoftmaxCrossEntropy.compute(&logits, &[1]);
+        assert!(bad_loss > 5.0);
+    }
+
+    #[test]
+    fn softmax_ce_uniform_logits_log_k() {
+        let logits = Mat::zeros(1, 4);
+        let (loss, _) = Loss::SoftmaxCrossEntropy.compute(&logits, &[2]);
+        assert!((loss - (4.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_is_p_minus_y() {
+        let logits = Mat::zeros(1, 2);
+        let (_, grad) = Loss::SoftmaxCrossEntropy.compute(&logits, &[0]);
+        assert!((grad.get(0, 0) - (0.5 - 1.0)).abs() < 1e-9);
+        assert!((grad.get(0, 1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_matches_numerical() {
+        let logits = Mat::from_vec(2, 3, vec![0.3, -0.2, 0.9, 1.2, 0.1, -0.5]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = Loss::SoftmaxCrossEntropy.compute(&logits, &labels);
+        let eps = 1e-6;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut plus = logits.clone();
+                plus.set(i, j, logits.get(i, j) + eps);
+                let mut minus = logits.clone();
+                minus.set(i, j, logits.get(i, j) - eps);
+                let (lp, _) = Loss::SoftmaxCrossEntropy.compute(&plus, &labels);
+                let (lm, _) = Loss::SoftmaxCrossEntropy.compute(&minus, &labels);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - grad.get(i, j)).abs() < 1e-6,
+                    "({i},{j}): numeric {numeric} vs {}",
+                    grad.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bce_loss_behaviour() {
+        let probs = Mat::from_vec(1, 2, vec![0.99, 0.01]).unwrap();
+        let (good, _) = Loss::BinaryCrossEntropy.compute(&probs, &[0]);
+        let (bad, _) = Loss::BinaryCrossEntropy.compute(&probs, &[1]);
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn bce_handles_saturated_probabilities() {
+        let probs = Mat::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let (loss, grad) = Loss::BinaryCrossEntropy.compute(&probs, &[0]);
+        assert!(loss.is_finite());
+        assert!(grad.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mse_zero_for_one_hot_match() {
+        let out = Mat::from_vec(1, 3, vec![0.0, 1.0, 0.0]).unwrap();
+        let (loss, _) = Loss::MeanSquaredError.compute(&out, &[1]);
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn predict_classes_argmax() {
+        let out = Mat::from_vec(2, 3, vec![0.1, 0.8, 0.1, 0.9, 0.05, 0.05]).unwrap();
+        assert_eq!(Loss::predict_classes(&out), vec![1, 0]);
+    }
+}

@@ -1,0 +1,361 @@
+//! Weight-update rules (paper Eq. 13–16).
+//!
+//! * [`Sgd`] — stochastic gradient descent with exponential-decay
+//!   momentum, Eq. (14): `Δw(t) = α·Δw(t-1) − η·γ(t)`.
+//! * [`Adagrad`] — per-dimension learning-rate scaling by the ℓ² norm
+//!   of all past gradients, Eq. (15).
+//! * [`Adadelta`] — Zeiler 2012, Eq. (16): RMS-of-updates over
+//!   RMS-of-gradients, removing the global learning rate (the paper
+//!   still multiplies by `lr`, default 1.0 — Keras semantics; the
+//!   MLP 2 / CNN 2 configurations use `lr = 2`).
+//!
+//! An optimizer keeps independent state per parameter group (one group
+//! per layer), addressed by the `group` index the caller passes.
+
+/// A weight-update rule with per-group state.
+pub trait Optimizer {
+    /// Applies one update: `params[i] += Δw_i` computed from
+    /// `grads[i]`. `group` identifies the parameter tensor so stateful
+    /// rules keep separate accumulators per layer.
+    fn step(&mut self, group: usize, params: &mut [f64], grads: &[f64]);
+
+    /// Human-readable name (for reports).
+    fn name(&self) -> String;
+}
+
+/// SGD with momentum (paper Eq. 13–14).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Global learning rate `η`.
+    pub learning_rate: f64,
+    /// Exponential decay factor `α ∈ [0, 1]` (0 disables momentum).
+    pub momentum: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(learning_rate: f64) -> Self {
+        Sgd { learning_rate, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(learning_rate: f64, momentum: f64) -> Self {
+        Sgd { learning_rate, momentum, velocity: Vec::new() }
+    }
+
+    fn state(&mut self, group: usize, len: usize) -> &mut Vec<f64> {
+        while self.velocity.len() <= group {
+            self.velocity.push(Vec::new());
+        }
+        let v = &mut self.velocity[group];
+        if v.len() != len {
+            *v = vec![0.0; len];
+        }
+        v
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, group: usize, params: &mut [f64], grads: &[f64]) {
+        debug_assert_eq!(params.len(), grads.len());
+        let (lr, mom) = (self.learning_rate, self.momentum);
+        let v = self.state(group, params.len());
+        for ((p, &g), vi) in params.iter_mut().zip(grads).zip(v.iter_mut()) {
+            *vi = mom * *vi - lr * g;
+            *p += *vi;
+        }
+    }
+
+    fn name(&self) -> String {
+        if self.momentum > 0.0 {
+            format!("SGD(lr={}, momentum={})", self.learning_rate, self.momentum)
+        } else {
+            format!("SGD(lr={})", self.learning_rate)
+        }
+    }
+}
+
+/// ADAGRAD (paper Eq. 15).
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    /// Global learning rate `η`.
+    pub learning_rate: f64,
+    /// Numerical-stability constant.
+    pub epsilon: f64,
+    accum: Vec<Vec<f64>>,
+}
+
+impl Adagrad {
+    /// Creates ADAGRAD with the given learning rate.
+    pub fn new(learning_rate: f64) -> Self {
+        Adagrad { learning_rate, epsilon: 1e-8, accum: Vec::new() }
+    }
+
+    fn state(&mut self, group: usize, len: usize) -> &mut Vec<f64> {
+        while self.accum.len() <= group {
+            self.accum.push(Vec::new());
+        }
+        let a = &mut self.accum[group];
+        if a.len() != len {
+            *a = vec![0.0; len];
+        }
+        a
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn step(&mut self, group: usize, params: &mut [f64], grads: &[f64]) {
+        debug_assert_eq!(params.len(), grads.len());
+        let (lr, eps) = (self.learning_rate, self.epsilon);
+        let a = self.state(group, params.len());
+        for ((p, &g), ai) in params.iter_mut().zip(grads).zip(a.iter_mut()) {
+            *ai += g * g;
+            *p -= lr * g / (ai.sqrt() + eps);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("ADAGRAD(lr={})", self.learning_rate)
+    }
+}
+
+/// ADADELTA (Zeiler 2012; paper Eq. 16).
+#[derive(Debug, Clone)]
+pub struct Adadelta {
+    /// Learning-rate multiplier on the adaptive update (Keras
+    /// semantics; 1.0 recovers the original paper, the audience
+    /// predictor's MLP 2 / CNN 2 use 2.0).
+    pub learning_rate: f64,
+    /// Decay constant `ρ` of the running RMS averages.
+    pub rho: f64,
+    /// Numerical-stability constant.
+    pub epsilon: f64,
+    grad_sq: Vec<Vec<f64>>,
+    update_sq: Vec<Vec<f64>>,
+}
+
+impl Adadelta {
+    /// Creates ADADELTA with the given learning-rate multiplier and
+    /// the standard `ρ = 0.95`.
+    pub fn new(learning_rate: f64) -> Self {
+        Adadelta {
+            learning_rate,
+            rho: 0.95,
+            epsilon: 1e-6,
+            grad_sq: Vec::new(),
+            update_sq: Vec::new(),
+        }
+    }
+
+    fn state(&mut self, group: usize, len: usize) -> (&mut Vec<f64>, &mut Vec<f64>) {
+        while self.grad_sq.len() <= group {
+            self.grad_sq.push(Vec::new());
+            self.update_sq.push(Vec::new());
+        }
+        if self.grad_sq[group].len() != len {
+            self.grad_sq[group] = vec![0.0; len];
+            self.update_sq[group] = vec![0.0; len];
+        }
+        (&mut self.grad_sq[group], &mut self.update_sq[group])
+    }
+}
+
+impl Optimizer for Adadelta {
+    fn step(&mut self, group: usize, params: &mut [f64], grads: &[f64]) {
+        debug_assert_eq!(params.len(), grads.len());
+        let (lr, rho, eps) = (self.learning_rate, self.rho, self.epsilon);
+        let (gs, us) = self.state(group, params.len());
+        for (i, (p, &g)) in params.iter_mut().zip(grads).enumerate() {
+            gs[i] = rho * gs[i] + (1.0 - rho) * g * g;
+            let update = -((us[i] + eps).sqrt() / (gs[i] + eps).sqrt()) * g;
+            us[i] = rho * us[i] + (1.0 - rho) * update * update;
+            *p += lr * update;
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("ADADELTA(lr={})", self.learning_rate)
+    }
+}
+
+/// Adam (Kingma & Ba 2015): bias-corrected first/second moment
+/// estimates. Not used by the paper's configurations; provided for the
+/// optimizer ablation as the modern reference point.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// First-moment decay `β₁`.
+    pub beta1: f64,
+    /// Second-moment decay `β₂`.
+    pub beta2: f64,
+    /// Numerical-stability constant.
+    pub epsilon: f64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+    t: Vec<u64>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard `β₁ = 0.9`, `β₂ = 0.999`.
+    pub fn new(learning_rate: f64) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: Vec::new(),
+        }
+    }
+
+    fn state(&mut self, group: usize, len: usize) -> (&mut Vec<f64>, &mut Vec<f64>, &mut u64) {
+        while self.m.len() <= group {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+            self.t.push(0);
+        }
+        if self.m[group].len() != len {
+            self.m[group] = vec![0.0; len];
+            self.v[group] = vec![0.0; len];
+            self.t[group] = 0;
+        }
+        // Split borrows manually.
+        let (m, rest) = self.m.split_at_mut(group + 1);
+        let _ = rest;
+        let (v, rest) = self.v.split_at_mut(group + 1);
+        let _ = rest;
+        (&mut m[group], &mut v[group], &mut self.t[group])
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, group: usize, params: &mut [f64], grads: &[f64]) {
+        debug_assert_eq!(params.len(), grads.len());
+        let (lr, b1, b2, eps) = (self.learning_rate, self.beta1, self.beta2, self.epsilon);
+        let (m, v, t) = self.state(group, params.len());
+        *t += 1;
+        let bc1 = 1.0 - b1.powi(*t as i32);
+        let bc2 = 1.0 - b2.powi(*t as i32);
+        for ((p, &g), (mi, vi)) in
+            params.iter_mut().zip(grads).zip(m.iter_mut().zip(v.iter_mut()))
+        {
+            *mi = b1 * *mi + (1.0 - b1) * g;
+            *vi = b2 * *vi + (1.0 - b2) * g * g;
+            let m_hat = *mi / bc1;
+            let v_hat = *vi / bc2;
+            *p -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("Adam(lr={})", self.learning_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)^2 with each optimizer; all must get
+    /// close to the optimum.
+    fn run_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut x = [0.0f64];
+        for _ in 0..steps {
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.step(0, &mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = run_quadratic(&mut Sgd::new(0.1), 100);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = run_quadratic(&mut Sgd::with_momentum(0.05, 0.9), 200);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adagrad_converges() {
+        let x = run_quadratic(&mut Adagrad::new(1.0), 300);
+        assert!((x - 3.0).abs() < 0.05, "x = {x}");
+    }
+
+    #[test]
+    fn adadelta_converges() {
+        let x = run_quadratic(&mut Adadelta::new(2.0), 2000);
+        assert!((x - 3.0).abs() < 0.1, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let x = run_quadratic(&mut Adam::new(0.1), 500);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_groups_independent() {
+        let mut opt = Adam::new(0.1);
+        let mut a = [0.0f64];
+        for _ in 0..10 {
+            opt.step(0, &mut a, &[1.0]);
+        }
+        let mut b = [0.0f64];
+        opt.step(1, &mut b, &[1.0]);
+        // Group 1's first bias-corrected step equals -lr exactly.
+        assert!((b[0] + 0.1).abs() < 1e-9, "b = {}", b[0]);
+    }
+
+    #[test]
+    fn adagrad_learning_rate_shrinks_effectively() {
+        // After many steps the accumulated squared gradient grows, so
+        // later updates are smaller for equal gradients.
+        let mut opt = Adagrad::new(0.5);
+        let mut x = [0.0f64];
+        let g = [1.0];
+        opt.step(0, &mut x, &g);
+        let first = x[0].abs();
+        for _ in 0..50 {
+            opt.step(0, &mut x, &g);
+        }
+        let before = x[0];
+        opt.step(0, &mut x, &g);
+        let last = (x[0] - before).abs();
+        assert!(last < first, "update should shrink: first {first}, last {last}");
+    }
+
+    #[test]
+    fn groups_keep_independent_state() {
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let mut a = [0.0f64];
+        let mut b = [0.0f64];
+        opt.step(0, &mut a, &[1.0]);
+        opt.step(0, &mut a, &[1.0]);
+        // Group 1 starts from zero velocity.
+        opt.step(1, &mut b, &[1.0]);
+        assert!((b[0] - -0.1).abs() < 1e-12, "group-1 first step must have no momentum");
+        assert!(a[0] < b[0], "group 0 has accumulated momentum");
+    }
+
+    #[test]
+    fn names() {
+        assert!(Sgd::new(0.5).name().contains("SGD"));
+        assert!(Adagrad::new(0.1).name().contains("ADAGRAD"));
+        assert!(Adadelta::new(2.0).name().contains("ADADELTA"));
+    }
+
+    #[test]
+    fn zero_gradient_is_noop_for_sgd() {
+        let mut opt = Sgd::new(0.5);
+        let mut x = [1.5f64];
+        opt.step(0, &mut x, &[0.0]);
+        assert_eq!(x[0], 1.5);
+    }
+}

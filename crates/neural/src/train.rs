@@ -1,0 +1,346 @@
+//! Mini-batch training loop with early stopping and epoch timing.
+//!
+//! The paper (§5.6–5.7) trains "until it converges, using an Early
+//! Stopping mechanism that checks if there are any changes in the loss
+//! function from one epoch to the next", with batch size 5000 and at
+//! most 500 epochs. [`Trainer`] reproduces that protocol and records
+//! per-epoch wall-clock times — the raw data behind Table 10 and
+//! Figures 6–7.
+
+use crate::metrics::{accuracy, ConfusionMatrix};
+use crate::network::Network;
+use crate::optimizer::Optimizer;
+use nd_linalg::rng::SplitMix64;
+use nd_linalg::Mat;
+use std::time::Instant;
+
+/// Early-stopping rule: stop when the epoch loss has changed by less
+/// than `min_delta` (relatively) for `patience` consecutive epochs.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    /// Relative loss-change threshold.
+    pub min_delta: f64,
+    /// Consecutive quiet epochs required to stop.
+    pub patience: usize,
+}
+
+impl Default for EarlyStopping {
+    fn default() -> Self {
+        EarlyStopping { min_delta: 1e-4, patience: 3 }
+    }
+}
+
+/// Trainer configuration.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Mini-batch size (the paper uses 5000).
+    pub batch_size: usize,
+    /// Epoch cap (the paper uses 500).
+    pub max_epochs: usize,
+    /// Early-stopping rule; `None` trains for exactly `max_epochs`.
+    pub early_stopping: Option<EarlyStopping>,
+    /// Shuffle seed (batches are reshuffled each epoch).
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            batch_size: 5000,
+            max_epochs: 500,
+            early_stopping: Some(EarlyStopping::default()),
+            seed: 42,
+        }
+    }
+}
+
+/// What a training run produced.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Epochs actually executed.
+    pub epochs: usize,
+    /// Mean training loss per epoch.
+    pub loss_history: Vec<f64>,
+    /// Training accuracy per epoch.
+    pub accuracy_history: Vec<f64>,
+    /// Wall-clock milliseconds per epoch.
+    pub epoch_ms: Vec<f64>,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+    /// Whether early stopping triggered (vs. hitting the epoch cap).
+    pub early_stopped: bool,
+}
+
+impl TrainReport {
+    /// Mean milliseconds per epoch.
+    pub fn mean_epoch_ms(&self) -> f64 {
+        if self.epoch_ms.is_empty() {
+            0.0
+        } else {
+            self.epoch_ms.iter().sum::<f64>() / self.epoch_ms.len() as f64
+        }
+    }
+
+    /// Final training loss.
+    pub fn final_loss(&self) -> f64 {
+        self.loss_history.last().copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// The mini-batch trainer.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainerConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// Trains `network` on `(x, y)` with `optimizer`.
+    ///
+    /// # Panics
+    /// Panics when `x.rows() != y.len()` or the dataset is empty —
+    /// both are caller bugs, not data conditions.
+    pub fn fit(
+        &self,
+        network: &mut Network,
+        x: &Mat,
+        y: &[usize],
+        optimizer: &mut dyn Optimizer,
+    ) -> TrainReport {
+        assert_eq!(x.rows(), y.len(), "features/labels must align");
+        assert!(!y.is_empty(), "cannot train on an empty dataset");
+        let n = x.rows();
+        let bs = self.config.batch_size.max(1).min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = SplitMix64::new(self.config.seed);
+
+        let mut loss_history = Vec::new();
+        let mut accuracy_history = Vec::new();
+        let mut epoch_ms = Vec::new();
+        let mut quiet_epochs = 0usize;
+        let mut prev_loss = f64::INFINITY;
+        let mut early_stopped = false;
+        let started = Instant::now();
+
+        for _epoch in 0..self.config.max_epochs {
+            let epoch_start = Instant::now();
+            rng.shuffle(&mut order);
+
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(bs) {
+                let (bx, by) = gather(x, y, chunk);
+                epoch_loss += network.train_batch(&bx, &by, optimizer);
+                batches += 1;
+            }
+            epoch_loss /= batches.max(1) as f64;
+            let acc = accuracy(y, &network.predict_classes(x));
+
+            epoch_ms.push(epoch_start.elapsed().as_secs_f64() * 1e3);
+            loss_history.push(epoch_loss);
+            accuracy_history.push(acc);
+
+            if let Some(rule) = &self.config.early_stopping {
+                let rel_change = if prev_loss.is_finite() && prev_loss.abs() > 0.0 {
+                    (prev_loss - epoch_loss).abs() / prev_loss.abs()
+                } else {
+                    f64::INFINITY
+                };
+                if rel_change < rule.min_delta {
+                    quiet_epochs += 1;
+                    if quiet_epochs >= rule.patience {
+                        early_stopped = true;
+                        prev_loss = epoch_loss;
+                        break;
+                    }
+                } else {
+                    quiet_epochs = 0;
+                }
+            }
+            prev_loss = epoch_loss;
+        }
+        let _ = prev_loss;
+
+        TrainReport {
+            epochs: loss_history.len(),
+            loss_history,
+            accuracy_history,
+            epoch_ms,
+            total_seconds: started.elapsed().as_secs_f64(),
+            early_stopped,
+        }
+    }
+
+    /// Evaluates a trained network: returns `(average accuracy per
+    /// paper Eq. 17, plain accuracy, confusion matrix)`.
+    pub fn evaluate(
+        &self,
+        network: &mut Network,
+        x: &Mat,
+        y: &[usize],
+        n_classes: usize,
+    ) -> (f64, f64, ConfusionMatrix) {
+        let pred = network.predict_classes(x);
+        let cm = ConfusionMatrix::from_labels(n_classes, y, &pred);
+        (cm.average_accuracy(), cm.accuracy(), cm)
+    }
+}
+
+/// Extracts the rows of `x`/`y` selected by `idx` into a dense batch.
+fn gather(x: &Mat, y: &[usize], idx: &[usize]) -> (Mat, Vec<usize>) {
+    let mut bx = Mat::zeros(idx.len(), x.cols());
+    let mut by = Vec::with_capacity(idx.len());
+    for (r, &i) in idx.iter().enumerate() {
+        bx.row_mut(r).copy_from_slice(x.row(i));
+        by.push(y[i]);
+    }
+    (bx, by)
+}
+
+/// Deterministic train/validation split: returns
+/// `(train_x, train_y, val_x, val_y)` with `val_fraction` of rows held
+/// out.
+pub fn train_val_split(
+    x: &Mat,
+    y: &[usize],
+    val_fraction: f64,
+    seed: u64,
+) -> (Mat, Vec<usize>, Mat, Vec<usize>) {
+    let n = x.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    SplitMix64::new(seed).shuffle(&mut order);
+    let n_val = ((n as f64) * val_fraction.clamp(0.0, 1.0)).round() as usize;
+    let (val_idx, train_idx) = order.split_at(n_val.min(n));
+    let (vx, vy) = gather(x, y, val_idx);
+    let (tx, ty) = gather(x, y, train_idx);
+    (tx, ty, vx, vy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, ActivationLayer, Dense};
+    use crate::loss::Loss;
+    use crate::optimizer::Sgd;
+
+    /// Linearly separable 2-class blobs.
+    fn blobs(n: usize, seed: u64) -> (Mat, Vec<usize>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut x = Mat::zeros(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % 2;
+            let cx = if c == 0 { -1.5 } else { 1.5 };
+            x.set(i, 0, cx + rng.next_gaussian() * 0.4);
+            x.set(i, 1, cx + rng.next_gaussian() * 0.4);
+            y.push(c);
+        }
+        (x, y)
+    }
+
+    fn simple_net(seed: u64) -> Network {
+        Network::new(Loss::SoftmaxCrossEntropy)
+            .add(Dense::new(2, 8, seed))
+            .add(ActivationLayer::new(Activation::Relu))
+            .add(Dense::new(8, 2, seed ^ 7))
+    }
+
+    #[test]
+    fn trains_to_high_accuracy() {
+        let (x, y) = blobs(200, 1);
+        let mut net = simple_net(2);
+        let trainer = Trainer::new(TrainerConfig {
+            batch_size: 32,
+            max_epochs: 60,
+            early_stopping: None,
+            seed: 0,
+        });
+        let report = trainer.fit(&mut net, &x, &y, &mut Sgd::new(0.1));
+        assert_eq!(report.epochs, 60);
+        let (avg_acc, acc, _) = trainer.evaluate(&mut net, &x, &y, 2);
+        assert!(acc > 0.95, "accuracy {acc}");
+        assert!(avg_acc >= acc);
+        assert!(report.final_loss() < report.loss_history[0]);
+    }
+
+    #[test]
+    fn early_stopping_triggers_on_plateau() {
+        let (x, y) = blobs(100, 3);
+        let mut net = simple_net(4);
+        let trainer = Trainer::new(TrainerConfig {
+            batch_size: 100,
+            max_epochs: 500,
+            early_stopping: Some(EarlyStopping { min_delta: 0.05, patience: 2 }),
+            seed: 0,
+        });
+        let report = trainer.fit(&mut net, &x, &y, &mut Sgd::new(0.2));
+        assert!(report.early_stopped);
+        assert!(report.epochs < 500, "stopped at epoch {}", report.epochs);
+    }
+
+    #[test]
+    fn report_timing_populated() {
+        let (x, y) = blobs(50, 5);
+        let mut net = simple_net(6);
+        let trainer = Trainer::new(TrainerConfig {
+            batch_size: 25,
+            max_epochs: 3,
+            early_stopping: None,
+            seed: 0,
+        });
+        let report = trainer.fit(&mut net, &x, &y, &mut Sgd::new(0.1));
+        assert_eq!(report.epoch_ms.len(), 3);
+        assert!(report.mean_epoch_ms() >= 0.0);
+        assert!(report.total_seconds >= 0.0);
+        assert_eq!(report.accuracy_history.len(), 3);
+    }
+
+    #[test]
+    fn split_partitions_data() {
+        let (x, y) = blobs(100, 7);
+        let (tx, ty, vx, vy) = train_val_split(&x, &y, 0.2, 11);
+        assert_eq!(vx.rows(), 20);
+        assert_eq!(tx.rows(), 80);
+        assert_eq!(ty.len(), 80);
+        assert_eq!(vy.len(), 20);
+    }
+
+    #[test]
+    fn split_deterministic() {
+        let (x, y) = blobs(40, 9);
+        let a = train_val_split(&x, &y, 0.25, 5);
+        let b = train_val_split(&x, &y, 0.25, 5);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.3, b.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let mut net = simple_net(1);
+        Trainer::new(TrainerConfig::default()).fit(
+            &mut net,
+            &Mat::zeros(0, 2),
+            &[],
+            &mut Sgd::new(0.1),
+        );
+    }
+
+    #[test]
+    fn batch_size_larger_than_dataset_ok() {
+        let (x, y) = blobs(10, 2);
+        let mut net = simple_net(3);
+        let trainer = Trainer::new(TrainerConfig {
+            batch_size: 1000,
+            max_epochs: 2,
+            early_stopping: None,
+            seed: 0,
+        });
+        let report = trainer.fit(&mut net, &x, &y, &mut Sgd::new(0.1));
+        assert_eq!(report.epochs, 2);
+    }
+}

@@ -1,0 +1,359 @@
+//! In-memory collection with secondary indexes.
+
+use crate::error::{Result, StoreError};
+use crate::query::{as_f64, lookup, Filter};
+use crate::wal::WalRecord;
+use serde_json::Value;
+use std::collections::{BTreeMap, HashMap};
+
+/// Total-ordered wrapper for `f64` index keys (NaN sorts last).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A named set of JSON documents with optional numeric secondary
+/// indexes. Mutations are reported to the caller as [`WalRecord`]s via
+/// the return values so the owning [`crate::db::Database`] can log
+/// them.
+#[derive(Debug, Default)]
+pub struct Collection {
+    name: String,
+    docs: BTreeMap<u64, Value>,
+    next_id: u64,
+    /// field path -> (value -> doc ids)
+    indexes: HashMap<String, BTreeMap<OrdF64, Vec<u64>>>,
+    /// Pending WAL records since the last drain.
+    pending: Vec<WalRecord>,
+}
+
+impl Collection {
+    /// Creates an empty collection.
+    pub fn new(name: impl Into<String>) -> Self {
+        Collection { name: name.into(), ..Default::default() }
+    }
+
+    /// Collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// `true` when the collection holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Inserts a document (must be a JSON object), assigning and
+    /// returning its `_id`. The id is also written into the stored
+    /// document under `"_id"`.
+    pub fn insert(&mut self, mut doc: Value) -> Result<u64> {
+        let obj = doc.as_object_mut().ok_or(StoreError::NotAnObject)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        obj.insert("_id".to_string(), Value::from(id));
+        self.index_doc(id, &doc);
+        self.pending.push(WalRecord::Insert {
+            collection: self.name.clone(),
+            id,
+            doc: doc.clone(),
+        });
+        self.docs.insert(id, doc);
+        Ok(id)
+    }
+
+    /// Re-inserts a document during WAL replay (no new log record).
+    pub(crate) fn apply_insert(&mut self, id: u64, doc: Value) {
+        self.next_id = self.next_id.max(id + 1);
+        self.index_doc(id, &doc);
+        self.docs.insert(id, doc);
+    }
+
+    /// Removes a document by id.
+    pub fn delete(&mut self, id: u64) -> Result<Value> {
+        let doc = self.docs.remove(&id).ok_or(StoreError::NotFound { id })?;
+        self.unindex_doc(id, &doc);
+        self.pending.push(WalRecord::Delete { collection: self.name.clone(), id });
+        Ok(doc)
+    }
+
+    /// Applies a delete during WAL replay.
+    pub(crate) fn apply_delete(&mut self, id: u64) {
+        if let Some(doc) = self.docs.remove(&id) {
+            self.unindex_doc(id, &doc);
+        }
+    }
+
+    /// Fetches a document by id.
+    pub fn get(&self, id: u64) -> Option<&Value> {
+        self.docs.get(&id)
+    }
+
+    /// Replaces a document's body, keeping its id. Logged to the WAL
+    /// as delete + insert, so durability and index maintenance come
+    /// for free.
+    ///
+    /// # Errors
+    /// [`StoreError::NotFound`] when the id does not exist,
+    /// [`StoreError::NotAnObject`] for a non-object body.
+    pub fn update(&mut self, id: u64, mut doc: Value) -> Result<()> {
+        let obj = doc.as_object_mut().ok_or(StoreError::NotAnObject)?;
+        if !self.docs.contains_key(&id) {
+            return Err(StoreError::NotFound { id });
+        }
+        obj.insert("_id".to_string(), Value::from(id));
+        let old = self.docs.remove(&id).expect("checked above");
+        self.unindex_doc(id, &old);
+        self.pending.push(WalRecord::Delete { collection: self.name.clone(), id });
+        self.index_doc(id, &doc);
+        self.pending.push(WalRecord::Insert {
+            collection: self.name.clone(),
+            id,
+            doc: doc.clone(),
+        });
+        self.docs.insert(id, doc);
+        Ok(())
+    }
+
+    /// All matching documents (index-accelerated when the filter
+    /// constrains an indexed numeric field).
+    pub fn find(&self, filter: &Filter) -> Vec<&Value> {
+        if let Some((path, lo, hi)) = filter.index_bounds() {
+            if let Some(index) = self.indexes.get(path) {
+                let mut out = Vec::new();
+                for ids in index.range(OrdF64(lo)..=OrdF64(hi)).map(|(_, v)| v) {
+                    for id in ids {
+                        if let Some(doc) = self.docs.get(id) {
+                            if filter.matches(doc) {
+                                out.push(doc);
+                            }
+                        }
+                    }
+                }
+                out.sort_by_key(|d| d.get("_id").and_then(Value::as_u64));
+                return out;
+            }
+        }
+        self.docs.values().filter(|d| filter.matches(d)).collect()
+    }
+
+    /// Number of matching documents.
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.find(filter).len()
+    }
+
+    /// Iterator over all documents in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.docs.values()
+    }
+
+    /// Creates a numeric index on a dotted field path; existing
+    /// documents are indexed immediately. Re-creating an index is a
+    /// no-op.
+    pub fn create_index(&mut self, path: impl Into<String>) {
+        let path = path.into();
+        if self.indexes.contains_key(&path) {
+            return;
+        }
+        let mut index: BTreeMap<OrdF64, Vec<u64>> = BTreeMap::new();
+        for (&id, doc) in &self.docs {
+            if let Some(v) = lookup(doc, &path).and_then(as_f64) {
+                index.entry(OrdF64(v)).or_default().push(id);
+            }
+        }
+        self.indexes.insert(path, index);
+    }
+
+    /// `true` when the field has an index.
+    pub fn has_index(&self, path: &str) -> bool {
+        self.indexes.contains_key(path)
+    }
+
+    /// Drains mutation records accumulated since the last call (the
+    /// database logs these to its WAL).
+    pub(crate) fn drain_pending(&mut self) -> Vec<WalRecord> {
+        std::mem::take(&mut self.pending)
+    }
+
+    fn index_doc(&mut self, id: u64, doc: &Value) {
+        for (path, index) in &mut self.indexes {
+            if let Some(v) = lookup(doc, path).and_then(as_f64) {
+                index.entry(OrdF64(v)).or_default().push(id);
+            }
+        }
+    }
+
+    fn unindex_doc(&mut self, id: u64, doc: &Value) {
+        for (path, index) in &mut self.indexes {
+            if let Some(v) = lookup(doc, path).and_then(as_f64) {
+                if let Some(ids) = index.get_mut(&OrdF64(v)) {
+                    ids.retain(|&x| x != id);
+                    if ids.is_empty() {
+                        index.remove(&OrdF64(v));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn seeded() -> Collection {
+        let mut c = Collection::new("tweets");
+        for i in 0..10 {
+            c.insert(json!({"text": format!("tweet {i}"), "likes": i * 10})).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let mut c = Collection::new("x");
+        let a = c.insert(json!({"v": 1})).unwrap();
+        let b = c.insert(json!({"v": 2})).unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(c.get(0).unwrap()["_id"], json!(0));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn insert_rejects_non_objects() {
+        let mut c = Collection::new("x");
+        assert!(matches!(c.insert(json!([1, 2])), Err(StoreError::NotAnObject)));
+        assert!(matches!(c.insert(json!("str")), Err(StoreError::NotAnObject)));
+    }
+
+    #[test]
+    fn delete_removes_and_errors_on_missing() {
+        let mut c = seeded();
+        let doc = c.delete(3).unwrap();
+        assert_eq!(doc["likes"], json!(30));
+        assert_eq!(c.len(), 9);
+        assert!(matches!(c.delete(3), Err(StoreError::NotFound { id: 3 })));
+    }
+
+    #[test]
+    fn find_full_scan() {
+        let c = seeded();
+        let hot = c.find(&Filter::range("likes", Some(50.0), None));
+        assert_eq!(hot.len(), 5);
+        assert_eq!(c.count(&Filter::contains("text", "tweet")), 10);
+    }
+
+    #[test]
+    fn index_scan_matches_full_scan() {
+        let mut c = seeded();
+        let filter = Filter::range("likes", Some(20.0), Some(60.0));
+        let full: Vec<u64> =
+            c.find(&filter).iter().map(|d| d["_id"].as_u64().unwrap()).collect();
+        c.create_index("likes");
+        assert!(c.has_index("likes"));
+        let indexed: Vec<u64> =
+            c.find(&filter).iter().map(|d| d["_id"].as_u64().unwrap()).collect();
+        assert_eq!(full, indexed);
+    }
+
+    #[test]
+    fn index_maintained_across_mutations() {
+        let mut c = seeded();
+        c.create_index("likes");
+        c.insert(json!({"text": "new", "likes": 35})).unwrap();
+        c.delete(5).unwrap(); // likes = 50
+        let filter = Filter::range("likes", Some(30.0), Some(60.0));
+        let got: Vec<i64> =
+            c.find(&filter).iter().map(|d| d["likes"].as_i64().unwrap()).collect();
+        assert_eq!(got, vec![30, 40, 60, 35]);
+    }
+
+    #[test]
+    fn index_with_equality_filter() {
+        let mut c = seeded();
+        c.create_index("likes");
+        let got = c.find(&Filter::eq("likes", 40));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0]["text"], json!("tweet 4"));
+    }
+
+    #[test]
+    fn pending_records_drained() {
+        let mut c = Collection::new("x");
+        c.insert(json!({"a": 1})).unwrap();
+        c.delete(0).unwrap();
+        let pending = c.drain_pending();
+        assert_eq!(pending.len(), 2);
+        assert!(matches!(pending[0], WalRecord::Insert { id: 0, .. }));
+        assert!(matches!(pending[1], WalRecord::Delete { id: 0, .. }));
+        assert!(c.drain_pending().is_empty());
+    }
+
+    #[test]
+    fn apply_insert_sets_next_id() {
+        let mut c = Collection::new("x");
+        c.apply_insert(41, json!({"_id": 41}));
+        let id = c.insert(json!({})).unwrap();
+        assert_eq!(id, 42);
+    }
+
+    #[test]
+    fn update_replaces_body_and_maintains_index() {
+        let mut c = seeded();
+        c.create_index("likes");
+        c.update(4, json!({"text": "edited", "likes": 9_999})).unwrap();
+        assert_eq!(c.get(4).unwrap()["text"], json!("edited"));
+        assert_eq!(c.get(4).unwrap()["_id"], json!(4));
+        // Old index entry gone, new one live.
+        assert!(c.find(&Filter::eq("likes", 40)).is_empty());
+        let hot = c.find(&Filter::eq("likes", 9_999));
+        assert_eq!(hot.len(), 1);
+        assert_eq!(c.len(), 10, "update must not change cardinality");
+    }
+
+    #[test]
+    fn update_missing_or_invalid() {
+        let mut c = seeded();
+        assert!(matches!(c.update(99, json!({})), Err(StoreError::NotFound { id: 99 })));
+        assert!(matches!(c.update(1, json!([1])), Err(StoreError::NotAnObject)));
+    }
+
+    #[test]
+    fn update_is_logged_for_durability() {
+        let mut c = Collection::new("x");
+        c.insert(json!({"v": 1})).unwrap();
+        c.drain_pending();
+        c.update(0, json!({"v": 2})).unwrap();
+        let pending = c.drain_pending();
+        assert_eq!(pending.len(), 2);
+        assert!(matches!(pending[0], WalRecord::Delete { id: 0, .. }));
+        assert!(matches!(&pending[1], WalRecord::Insert { id: 0, doc, .. } if doc["v"] == json!(2)));
+    }
+
+    #[test]
+    fn documents_missing_indexed_field_skipped() {
+        let mut c = Collection::new("x");
+        c.insert(json!({"likes": 5})).unwrap();
+        c.insert(json!({"other": true})).unwrap();
+        c.create_index("likes");
+        let got = c.find(&Filter::range("likes", Some(0.0), Some(10.0)));
+        assert_eq!(got.len(), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Store error types.
+
+use std::fmt;
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Errors produced by the document store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A document or WAL frame failed to (de)serialize.
+    Serialization(serde_json::Error),
+    /// A document to insert was not a JSON object.
+    NotAnObject,
+    /// The WAL contained a malformed frame at the given byte offset.
+    CorruptWal {
+        /// Byte offset of the bad frame.
+        offset: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// No document with the requested id.
+    NotFound {
+        /// The missing id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Serialization(e) => write!(f, "serialization error: {e}"),
+            StoreError::NotAnObject => write!(f, "documents must be JSON objects"),
+            StoreError::CorruptWal { offset, reason } => {
+                write!(f, "corrupt WAL frame at byte {offset}: {reason}")
+            }
+            StoreError::NotFound { id } => write!(f, "document {id} not found"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Serialization(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Serialization(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StoreError::NotAnObject.to_string().contains("JSON objects"));
+        assert!(StoreError::NotFound { id: 7 }.to_string().contains('7'));
+        let e = StoreError::CorruptWal { offset: 16, reason: "bad length".into() };
+        assert!(e.to_string().contains("byte 16"));
+    }
+
+    #[test]
+    fn conversions() {
+        let io: StoreError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(matches!(io, StoreError::Io(_)));
+        let js: StoreError =
+            serde_json::from_str::<serde_json::Value>("not json").unwrap_err().into();
+        assert!(matches!(js, StoreError::Serialization(_)));
+    }
+}

@@ -1,0 +1,45 @@
+//! # nd-store
+//!
+//! An embedded document store — the MongoDB substitute of DESIGN.md
+//! §1. The paper's pipeline stores raw news articles, tweets, user
+//! metadata and preprocessed corpora in MongoDB collections (§4.1);
+//! this crate provides the same surface:
+//!
+//! * JSON documents (`serde_json::Value` objects) with auto-assigned
+//!   `_id`s, grouped into named [collections](collection::Collection);
+//! * [`Filter`] queries over dotted field paths
+//!   (equality, ranges, string containment, and/or composition);
+//! * optional secondary [indexes](collection::Collection::create_index)
+//!   that accelerate equality and range scans;
+//! * durability via a length-prefixed [write-ahead log](wal) with
+//!   snapshot compaction — a [`Database`] reopened from
+//!   disk replays the log and serves identical query results.
+//!
+//! ```
+//! use nd_store::{Database, Filter};
+//! use serde_json::json;
+//!
+//! let dir = std::env::temp_dir().join(format!("ndstore-doc-{}", std::process::id()));
+//! let mut db = Database::open(&dir).unwrap();
+//! let tweets = db.collection("tweets");
+//! tweets.insert(json!({"text": "brexit vote", "likes": 120})).unwrap();
+//! tweets.insert(json!({"text": "derby race", "likes": 3})).unwrap();
+//! let hot = tweets.find(&Filter::range("likes", Some(100.0), None));
+//! assert_eq!(hot.len(), 1);
+//! db.persist().unwrap();
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod db;
+pub mod error;
+pub mod query;
+pub mod wal;
+
+pub use collection::Collection;
+pub use db::Database;
+pub use error::{Result, StoreError};
+pub use query::Filter;

@@ -1,0 +1,216 @@
+//! Filter queries over JSON documents.
+//!
+//! Filters address fields by dotted path (`"user.followers"`), compare
+//! numbers with cross-type coercion (an integer `5` equals a float
+//! `5.0`), and compose with [`Filter::And`] / [`Filter::Or`].
+
+use serde_json::Value;
+
+/// A predicate over a JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Every document matches.
+    All,
+    /// Field equals the value (numeric comparison coerces int/float).
+    Eq(String, Value),
+    /// Numeric field within `[min, max]` (either bound optional).
+    Range {
+        /// Dotted field path.
+        path: String,
+        /// Inclusive lower bound.
+        min: Option<f64>,
+        /// Inclusive upper bound.
+        max: Option<f64>,
+    },
+    /// String field contains the needle (case-sensitive).
+    Contains(String, String),
+    /// Field exists (any value, including null).
+    Exists(String),
+    /// All sub-filters match.
+    And(Vec<Filter>),
+    /// At least one sub-filter matches.
+    Or(Vec<Filter>),
+    /// Sub-filter does not match.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// Equality shorthand.
+    pub fn eq(path: impl Into<String>, value: impl Into<Value>) -> Filter {
+        Filter::Eq(path.into(), value.into())
+    }
+
+    /// Range shorthand.
+    pub fn range(path: impl Into<String>, min: Option<f64>, max: Option<f64>) -> Filter {
+        Filter::Range { path: path.into(), min, max }
+    }
+
+    /// Substring shorthand.
+    pub fn contains(path: impl Into<String>, needle: impl Into<String>) -> Filter {
+        Filter::Contains(path.into(), needle.into())
+    }
+
+    /// Evaluates the filter against a document.
+    pub fn matches(&self, doc: &Value) -> bool {
+        match self {
+            Filter::All => true,
+            Filter::Eq(path, want) => match lookup(doc, path) {
+                Some(got) => values_equal(got, want),
+                None => false,
+            },
+            Filter::Range { path, min, max } => match lookup(doc, path).and_then(as_f64) {
+                Some(v) => min.is_none_or(|m| v >= m) && max.is_none_or(|m| v <= m),
+                None => false,
+            },
+            Filter::Contains(path, needle) => match lookup(doc, path) {
+                Some(Value::String(s)) => s.contains(needle.as_str()),
+                Some(Value::Array(items)) => items
+                    .iter()
+                    .any(|v| matches!(v, Value::String(s) if s.contains(needle.as_str()))),
+                _ => false,
+            },
+            Filter::Exists(path) => lookup(doc, path).is_some(),
+            Filter::And(fs) => fs.iter().all(|f| f.matches(doc)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(doc)),
+            Filter::Not(f) => !f.matches(doc),
+        }
+    }
+
+    /// If this filter (possibly inside a top-level `And`) constrains a
+    /// single field by equality or range, returns
+    /// `(path, min, max)` usable for an index scan. Equality returns
+    /// `min == max`. Non-numeric equality returns `None`.
+    pub fn index_bounds(&self) -> Option<(&str, f64, f64)> {
+        match self {
+            Filter::Eq(path, v) => as_f64(v).map(|x| (path.as_str(), x, x)),
+            Filter::Range { path, min, max } => Some((
+                path.as_str(),
+                min.unwrap_or(f64::NEG_INFINITY),
+                max.unwrap_or(f64::INFINITY),
+            )),
+            Filter::And(fs) => fs.iter().find_map(|f| f.index_bounds()),
+            _ => None,
+        }
+    }
+}
+
+/// Dotted-path field lookup.
+pub fn lookup<'a>(doc: &'a Value, path: &str) -> Option<&'a Value> {
+    let mut cur = doc;
+    for part in path.split('.') {
+        cur = cur.get(part)?;
+    }
+    Some(cur)
+}
+
+/// Numeric coercion.
+pub fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Number(n) => n.as_f64(),
+        _ => None,
+    }
+}
+
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (as_f64(a), as_f64(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn doc() -> Value {
+        json!({
+            "text": "brexit vote looms",
+            "likes": 150,
+            "score": 0.75,
+            "user": {"name": "alice", "followers": 12000},
+            "tags": ["politics", "uk"],
+            "deleted": null
+        })
+    }
+
+    #[test]
+    fn all_matches_everything() {
+        assert!(Filter::All.matches(&doc()));
+    }
+
+    #[test]
+    fn eq_on_nested_path() {
+        assert!(Filter::eq("user.name", "alice").matches(&doc()));
+        assert!(!Filter::eq("user.name", "bob").matches(&doc()));
+        assert!(!Filter::eq("user.missing", "x").matches(&doc()));
+    }
+
+    #[test]
+    fn eq_numeric_coercion() {
+        assert!(Filter::eq("likes", 150.0).matches(&doc()));
+        assert!(Filter::eq("likes", 150).matches(&doc()));
+        assert!(Filter::eq("score", 0.75).matches(&doc()));
+    }
+
+    #[test]
+    fn range_bounds() {
+        assert!(Filter::range("likes", Some(100.0), Some(200.0)).matches(&doc()));
+        assert!(Filter::range("likes", Some(150.0), None).matches(&doc()));
+        assert!(!Filter::range("likes", Some(151.0), None).matches(&doc()));
+        assert!(Filter::range("likes", None, Some(150.0)).matches(&doc()));
+        assert!(!Filter::range("text", Some(0.0), None).matches(&doc()), "non-numeric");
+    }
+
+    #[test]
+    fn contains_string_and_array() {
+        assert!(Filter::contains("text", "brexit").matches(&doc()));
+        assert!(!Filter::contains("text", "derby").matches(&doc()));
+        assert!(Filter::contains("tags", "politics").matches(&doc()));
+    }
+
+    #[test]
+    fn exists_includes_null() {
+        assert!(Filter::Exists("deleted".into()).matches(&doc()));
+        assert!(!Filter::Exists("ghost".into()).matches(&doc()));
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let f = Filter::And(vec![
+            Filter::eq("user.name", "alice"),
+            Filter::range("likes", Some(100.0), None),
+        ]);
+        assert!(f.matches(&doc()));
+        let g = Filter::Or(vec![Filter::eq("user.name", "bob"), Filter::contains("text", "vote")]);
+        assert!(g.matches(&doc()));
+        assert!(!Filter::Not(Box::new(Filter::All)).matches(&doc()));
+        assert!(Filter::And(vec![]).matches(&doc()), "empty And is true");
+        assert!(!Filter::Or(vec![]).matches(&doc()), "empty Or is false");
+    }
+
+    #[test]
+    fn index_bounds_extraction() {
+        assert_eq!(
+            Filter::range("likes", Some(1.0), Some(5.0)).index_bounds(),
+            Some(("likes", 1.0, 5.0))
+        );
+        let eq = Filter::eq("likes", 3);
+        let (p, lo, hi) = eq.index_bounds().unwrap();
+        assert_eq!((p, lo, hi), ("likes", 3.0, 3.0));
+        let and = Filter::And(vec![Filter::contains("text", "x"), Filter::range("t", Some(2.0), None)]);
+        let (p, lo, hi) = and.index_bounds().unwrap();
+        assert_eq!(p, "t");
+        assert_eq!(lo, 2.0);
+        assert!(hi.is_infinite());
+        assert_eq!(Filter::contains("text", "x").index_bounds(), None);
+        assert_eq!(Filter::eq("name", "alice").index_bounds(), None);
+    }
+
+    #[test]
+    fn lookup_paths() {
+        let d = doc();
+        assert_eq!(lookup(&d, "user.followers").and_then(as_f64), Some(12000.0));
+        assert!(lookup(&d, "a.b.c").is_none());
+    }
+}

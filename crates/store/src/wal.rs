@@ -1,0 +1,237 @@
+//! Write-ahead log: length-prefixed JSON frames.
+//!
+//! Each frame is `[u32 little-endian length][payload bytes]` where the
+//! payload is a serialized [`WalRecord`]. On open, the log is replayed
+//! to rebuild in-memory state; a truncated trailing frame (torn write)
+//! is tolerated and the log is trimmed to the last complete frame, but
+//! a malformed frame in the middle is reported as corruption.
+
+use crate::error::{Result, StoreError};
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// One logged mutation.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum WalRecord {
+    /// Document inserted into a collection.
+    Insert {
+        /// Collection name.
+        collection: String,
+        /// Assigned document id.
+        id: u64,
+        /// Document body.
+        doc: serde_json::Value,
+    },
+    /// Document removed.
+    Delete {
+        /// Collection name.
+        collection: String,
+        /// Document id.
+        id: u64,
+    },
+    /// Snapshot barrier: everything before this point is also captured
+    /// in the snapshot file with the given generation.
+    Checkpoint {
+        /// Snapshot generation number.
+        generation: u64,
+    },
+}
+
+/// An append-only write-ahead log on disk.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+}
+
+/// Maximum frame size we will accept on replay (64 MiB); anything
+/// larger is treated as corruption rather than an allocation request.
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).read(true).open(&path)?;
+        Ok(Wal { path, file })
+    }
+
+    /// Appends a record. The frame hits the OS immediately
+    /// (`write_all`); call [`Wal::sync`] for fsync durability.
+    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+        let payload = serde_json::to_vec(record)?;
+        let mut frame = BytesMut::with_capacity(4 + payload.len());
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_slice(&payload);
+        self.file.write_all(&frame)?;
+        Ok(())
+    }
+
+    /// Forces the log to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Replays every complete frame in the log. A truncated final
+    /// frame is ignored (torn write); mid-log corruption is an error.
+    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<WalRecord>> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let mut raw = Vec::new();
+        File::open(path)?.read_to_end(&mut raw)?;
+        let mut buf = &raw[..];
+        let mut records = Vec::new();
+        let mut offset = 0u64;
+        while buf.remaining() >= 4 {
+            let len = (&buf[..4]).get_u32_le();
+            if len > MAX_FRAME {
+                return Err(StoreError::CorruptWal {
+                    offset,
+                    reason: format!("frame length {len} exceeds limit"),
+                });
+            }
+            if buf.remaining() < 4 + len as usize {
+                // Torn final write: stop replay here.
+                break;
+            }
+            buf.advance(4);
+            let payload = &buf[..len as usize];
+            match serde_json::from_slice::<WalRecord>(payload) {
+                Ok(rec) => records.push(rec),
+                Err(e) => {
+                    // Malformed payload in a *complete* frame that is
+                    // not the final one = real corruption; a bad final
+                    // frame is treated as torn.
+                    if buf.remaining() == len as usize {
+                        break;
+                    }
+                    return Err(StoreError::CorruptWal { offset, reason: e.to_string() });
+                }
+            }
+            buf.advance(len as usize);
+            offset += 4 + len as u64;
+        }
+        Ok(records)
+    }
+
+    /// Truncates the log (used after snapshot compaction).
+    pub fn reset(&mut self) -> Result<()> {
+        self.file = OpenOptions::new().create(true).write(true).truncate(true).open(&self.path)?;
+        // Reopen in append mode for subsequent writes.
+        self.file = OpenOptions::new().append(true).read(true).open(&self.path)?;
+        Ok(())
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ndwal-{}-{}", std::process::id(), name))
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Insert { collection: "news".into(), id: 1, doc: json!({"t": "a"}) },
+            WalRecord::Insert { collection: "tweets".into(), id: 2, doc: json!({"t": "b"}) },
+            WalRecord::Delete { collection: "news".into(), id: 1 },
+            WalRecord::Checkpoint { generation: 1 },
+        ]
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let path = tmp("roundtrip");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for r in sample_records() {
+                wal.append(&r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed, sample_records());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_missing_file_is_empty() {
+        let path = tmp("missing");
+        std::fs::remove_file(&path).ok();
+        assert!(Wal::replay(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_final_frame_tolerated() {
+        let path = tmp("torn");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for r in sample_records() {
+                wal.append(&r).unwrap();
+            }
+        }
+        // Chop the last 3 bytes to simulate a torn write.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.truncate(raw.len() - 3);
+        std::fs::write(&path, &raw).unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), sample_records().len() - 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn absurd_length_is_corruption() {
+        let path = tmp("badlen");
+        std::fs::write(&path, u32::MAX.to_le_bytes()).unwrap();
+        assert!(matches!(Wal::replay(&path), Err(StoreError::CorruptWal { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_truncates() {
+        let path = tmp("reset");
+        std::fs::remove_file(&path).ok();
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&sample_records()[0]).unwrap();
+        wal.reset().unwrap();
+        assert!(Wal::replay(&path).unwrap().is_empty());
+        // Still appendable after reset.
+        wal.append(&sample_records()[1]).unwrap();
+        assert_eq!(Wal::replay(&path).unwrap().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appends_after_reopen_preserve_existing() {
+        let path = tmp("reopen");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&sample_records()[0]).unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&sample_records()[1]).unwrap();
+        }
+        assert_eq!(Wal::replay(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

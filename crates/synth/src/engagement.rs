@@ -1,0 +1,250 @@
+//! The engagement ground truth: likes and retweets.
+//!
+//! The paper's headline result (§5.6) is that prediction accuracy
+//! improves by roughly +0.05 when the tweet embedding is augmented
+//! with author/follower metadata and the day of the week. For that to
+//! be a *falsifiable* property of our reproduction, the synthetic
+//! engagement generator must actually encode those dependencies:
+//!
+//! ```text
+//! z = w_c·content + w_f·followers + w_d·day-of-week + w_n·noise
+//! ```
+//!
+//! where `content` is the tweet's event virality (recoverable from the
+//! document embedding), `followers` is the author's Table 2 bucket,
+//! and `day-of-week` is a weekly consumption profile (weekend boost,
+//! cf. Bentley et al. 2019, reference 3 of the paper). The latent score is
+//! thresholded into the three Table 2 classes and a concrete count is
+//! sampled inside the class range.
+//!
+//! With the default weights, content alone bounds a classifier in the
+//! mid-0.7s while content+metadata reaches the mid-0.8s — the same
+//! *shape* as the paper's Tables 8–9.
+
+use crate::time::day_of_week;
+use nd_linalg::rng::SplitMix64;
+
+/// The paper's Table 2 encoding for followers/likes/retweets:
+/// `< 100 → 0`, `∈ [100, 1000] → 1`, `> 1000 → 2`.
+pub fn bucket_count(n: u64) -> u8 {
+    if n < 100 {
+        0
+    } else if n <= 1000 {
+        1
+    } else {
+        2
+    }
+}
+
+/// Weekly engagement profile, Monday..Sunday, in `[-1, 1]`.
+/// Weekends see more social-media consumption.
+const DOW_EFFECT: [f64; 7] = [-0.55, -0.35, -0.15, 0.0, 0.25, 0.85, 0.65];
+
+/// Engagement model parameters.
+#[derive(Debug, Clone)]
+pub struct EngagementModel {
+    /// Weight of the content (event virality) signal.
+    pub w_content: f64,
+    /// Weight of the author's follower bucket.
+    pub w_followers: f64,
+    /// Weight of the day-of-week profile.
+    pub w_day: f64,
+    /// Weight of the Gaussian noise term.
+    pub w_noise: f64,
+    /// Lower class threshold on the latent score.
+    pub t_low: f64,
+    /// Upper class threshold on the latent score.
+    pub t_high: f64,
+}
+
+impl Default for EngagementModel {
+    fn default() -> Self {
+        EngagementModel {
+            w_content: 1.2,
+            w_followers: 0.85,
+            w_day: 0.45,
+            w_noise: 0.47,
+            t_low: -0.55,
+            t_high: 0.65,
+        }
+    }
+}
+
+/// A sampled engagement outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct Engagement {
+    /// Number of likes (favorites).
+    pub likes: u64,
+    /// Number of retweets.
+    pub retweets: u64,
+}
+
+impl EngagementModel {
+    /// Latent score before noise.
+    fn signal(&self, virality: f64, follower_bucket: u8, ts: u64) -> f64 {
+        let content = 2.0 * virality - 1.0; // [0,1] -> [-1,1]
+        let followers = follower_bucket as f64 - 1.0; // {0,1,2} -> {-1,0,1}
+        let day = DOW_EFFECT[day_of_week(ts) as usize];
+        self.w_content * content + self.w_followers * followers + self.w_day * day
+    }
+
+    fn class_of(&self, z: f64) -> u8 {
+        if z < self.t_low {
+            0
+        } else if z < self.t_high {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Samples likes and retweets for one tweet.
+    ///
+    /// * `virality` — content virality in `[0, 1]` (topic virality ×
+    ///   burst envelope normalization).
+    /// * `follower_bucket` — the author's Table 2 bucket.
+    /// * `ts` — tweet timestamp (for the day-of-week effect).
+    pub fn sample(
+        &self,
+        virality: f64,
+        follower_bucket: u8,
+        ts: u64,
+        rng: &mut SplitMix64,
+    ) -> Engagement {
+        let base = self.signal(virality, follower_bucket, ts);
+        let z_likes = base + self.w_noise * rng.next_gaussian();
+        // Retweets share the signal but have independent noise and are
+        // systematically rarer (shift down half a noise unit).
+        let z_rts = base - 0.25 + self.w_noise * rng.next_gaussian();
+
+        Engagement {
+            likes: sample_count_in_class(self.class_of(z_likes), rng),
+            retweets: sample_count_in_class(self.class_of(z_rts), rng),
+        }
+    }
+
+    /// The Bayes-optimal class given full information (no noise) —
+    /// used by tests to measure how much headroom the noise leaves.
+    pub fn noiseless_class(&self, virality: f64, follower_bucket: u8, ts: u64) -> u8 {
+        self.class_of(self.signal(virality, follower_bucket, ts))
+    }
+}
+
+/// Samples a concrete count inside a Table 2 class range, skewed
+/// toward the low end of the range as real engagement is.
+fn sample_count_in_class(class: u8, rng: &mut SplitMix64) -> u64 {
+    let u = rng.next_f64();
+    let skew = u * u; // quadratic skew toward 0
+    match class {
+        0 => (skew * 99.0) as u64,
+        1 => 100 + (skew * 900.0) as u64,
+        _ => 1001 + (skew * 49_000.0) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{DAY, MAY_2019};
+
+    #[test]
+    fn bucket_boundaries_match_table2() {
+        assert_eq!(bucket_count(0), 0);
+        assert_eq!(bucket_count(99), 0);
+        assert_eq!(bucket_count(100), 1);
+        assert_eq!(bucket_count(1000), 1);
+        assert_eq!(bucket_count(1001), 2);
+        assert_eq!(bucket_count(u64::MAX), 2);
+    }
+
+    #[test]
+    fn counts_fall_inside_their_class() {
+        let mut rng = SplitMix64::new(1);
+        for class in 0..3u8 {
+            for _ in 0..500 {
+                let c = sample_count_in_class(class, &mut rng);
+                assert_eq!(bucket_count(c), class, "class {class} produced {c}");
+            }
+        }
+    }
+
+    fn mean_likes_class(model: &EngagementModel, virality: f64, fb: u8, ts: u64) -> f64 {
+        let mut rng = SplitMix64::new(7);
+        let n = 3000;
+        (0..n)
+            .map(|_| bucket_count(model.sample(virality, fb, ts, &mut rng).likes) as f64)
+            .sum::<f64>()
+            / n as f64
+    }
+
+    #[test]
+    fn higher_virality_more_engagement() {
+        let m = EngagementModel::default();
+        let ts = MAY_2019 + 5 * DAY;
+        let low = mean_likes_class(&m, 0.1, 1, ts);
+        let high = mean_likes_class(&m, 0.9, 1, ts);
+        assert!(high > low + 0.3, "virality effect: {low} -> {high}");
+    }
+
+    #[test]
+    fn influencers_get_more_engagement() {
+        let m = EngagementModel::default();
+        let ts = MAY_2019 + 5 * DAY;
+        let nobody = mean_likes_class(&m, 0.5, 0, ts);
+        let influencer = mean_likes_class(&m, 0.5, 2, ts);
+        assert!(influencer > nobody + 0.3, "follower effect: {nobody} -> {influencer}");
+    }
+
+    #[test]
+    fn weekend_boost_exists() {
+        let m = EngagementModel::default();
+        // 2019-05-01 is Wednesday; +3 days = Saturday.
+        let weekday = mean_likes_class(&m, 0.5, 1, MAY_2019); // Wednesday
+        let weekend = mean_likes_class(&m, 0.5, 1, MAY_2019 + 3 * DAY); // Saturday
+        assert!(weekend > weekday + 0.1, "dow effect: {weekday} -> {weekend}");
+    }
+
+    #[test]
+    fn metadata_explains_variance_beyond_content() {
+        // For a fixed virality, the noiseless class still varies with
+        // followers and day — this is exactly the headroom the
+        // metadata vector exploits in Tables 8–9.
+        let m = EngagementModel::default();
+        let mut classes = std::collections::HashSet::new();
+        for fb in 0..3u8 {
+            for d in 0..7u64 {
+                classes.insert(m.noiseless_class(0.5, fb, MAY_2019 + d * DAY));
+            }
+        }
+        assert!(classes.len() >= 2, "metadata must move the class at fixed content");
+    }
+
+    #[test]
+    fn retweets_rarer_than_likes() {
+        let m = EngagementModel::default();
+        let mut rng = SplitMix64::new(5);
+        let ts = MAY_2019 + 2 * DAY;
+        let n = 5000;
+        let mut like_sum = 0f64;
+        let mut rt_sum = 0f64;
+        for _ in 0..n {
+            let e = m.sample(0.5, 1, ts, &mut rng);
+            like_sum += bucket_count(e.likes) as f64;
+            rt_sum += bucket_count(e.retweets) as f64;
+        }
+        assert!(like_sum > rt_sum, "likes {like_sum} vs retweets {rt_sum}");
+    }
+
+    #[test]
+    fn deterministic_given_rng() {
+        let m = EngagementModel::default();
+        let mut a = SplitMix64::new(3);
+        let mut b = SplitMix64::new(3);
+        for _ in 0..100 {
+            let ea = m.sample(0.7, 2, MAY_2019, &mut a);
+            let eb = m.sample(0.7, 2, MAY_2019, &mut b);
+            assert_eq!(ea.likes, eb.likes);
+            assert_eq!(ea.retweets, eb.retweets);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # nd-synth
+//!
+//! The synthetic world model — the data substitute of DESIGN.md §1.
+//!
+//! The paper evaluates on 261k news articles and 80k tweets collected
+//! over five months in 2019. Those datasets are not available, so this
+//! crate generates a world with *known ground truth* that exercises
+//! every code path of the pipeline:
+//!
+//! * [`topics`] — the latent topic inventory: the ten news topics of
+//!   the paper's Table 3 (Brexit, tariffs, Huawei, Iran, Gaza,
+//!   impeachment, Kentucky derby, …), the Twitter-only chatter topics
+//!   of Table 7 (cartoons, Game of Thrones, food, …), and background
+//!   vocabulary.
+//! * [`events`] — planted bursts: each news topic gets burst windows
+//!   during which both news and tweet volume spike; Twitter-only
+//!   topics burst only on Twitter.
+//! * [`users`] — a power-law follower distribution with a small
+//!   influencer set.
+//! * [`engagement`] — the likes/retweets ground truth: engagement
+//!   depends on content virality, the author's follower bucket, and
+//!   the day of the week, plus noise. The *calibrated strengths* make
+//!   "metadata improves prediction accuracy by ≈ +0.05" a falsifiable
+//!   property (paper §5.6) rather than an artifact.
+//! * [`news_gen`] / [`tweet_gen`] — article and tweet text generators
+//!   (sentences with capitalization, punctuation, hashtags, mentions,
+//!   URLs) so the preprocessing pipelines have real work to do.
+//! * [`api`] — simulated NewsRiver / NewsAPI / Twitter REST endpoints
+//!   with pagination and truncation quirks, plus the scraper that
+//!   restores full article bodies (paper §4.1).
+//!
+//! Everything is deterministic from [`WorldConfig::seed`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod engagement;
+pub mod events;
+pub mod news_gen;
+pub mod time;
+pub mod topics;
+pub mod tweet_gen;
+pub mod users;
+pub mod world;
+
+pub use engagement::{bucket_count, EngagementModel};
+pub use events::GroundTruthEvent;
+pub use time::day_of_week;
+pub use topics::{topic_inventory, TopicKind, TopicSpec};
+pub use users::User;
+pub use world::{NewsArticle, Tweet, World, WorldConfig};

@@ -1,0 +1,174 @@
+//! News-article text generation.
+
+use crate::topics::{FILLER, OUTLETS};
+use nd_linalg::rng::SplitMix64;
+
+/// Samples a Poisson-distributed count (Knuth's method; fine for the
+/// small per-hour rates used here).
+pub fn sample_poisson(lambda: f64, rng: &mut SplitMix64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.next_f64();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 1000 {
+            return k; // guard against pathological lambda
+        }
+    }
+}
+
+/// Picks a word: topical with probability `topical_p`, filler
+/// otherwise.
+fn pick_word<'a>(
+    keywords: &[&'a str],
+    topical_p: f64,
+    rng: &mut SplitMix64,
+) -> (&'a str, bool) {
+    if rng.next_bool(topical_p) {
+        (keywords[rng.next_usize(keywords.len())], true)
+    } else {
+        (FILLER[rng.next_usize(FILLER.len())], false)
+    }
+}
+
+/// Capitalizes the first letter.
+fn capitalize(w: &str) -> String {
+    let mut cs = w.chars();
+    match cs.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + cs.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Generates one sentence of `len` words; roughly `topical_p` of them
+/// topical. Topical words are sometimes capitalized mid-sentence
+/// (proper-noun style) so the NER heuristic has real work.
+fn sentence(keywords: &[&str], len: usize, topical_p: f64, rng: &mut SplitMix64) -> String {
+    let mut words = Vec::with_capacity(len);
+    for i in 0..len {
+        let (w, topical) = pick_word(keywords, topical_p, rng);
+        let w = if i == 0 {
+            capitalize(w)
+        } else {
+            // Mid-sentence topical words are sometimes rendered
+            // proper-noun style (the draw is skipped sentence-initially
+            // to keep the RNG stream position-independent of styling).
+            let proper_noun_style = topical && rng.next_bool(0.25);
+            if proper_noun_style {
+                capitalize(w)
+            } else {
+                w.to_string()
+            }
+        };
+        words.push(w);
+    }
+    let terminal = match rng.next_usize(10) {
+        0 => "!",
+        1 => "?",
+        _ => ".",
+    };
+    format!("{}{}", words.join(" "), terminal)
+}
+
+/// Generates an article headline (topic-dense, title-case-ish).
+pub fn headline(keywords: &[&str], rng: &mut SplitMix64) -> String {
+    let len = 4 + rng.next_usize(5);
+    let mut words = Vec::with_capacity(len);
+    for _ in 0..len {
+        let (w, topical) = pick_word(keywords, 0.75, rng);
+        words.push(if topical || rng.next_bool(0.5) { capitalize(w) } else { w.to_string() });
+    }
+    words.join(" ")
+}
+
+/// Generates a full article body: 3–6 sentences, ≈55% topical words.
+pub fn article_body(keywords: &[&str], rng: &mut SplitMix64) -> String {
+    let n_sent = 3 + rng.next_usize(4);
+    let sents: Vec<String> = (0..n_sent)
+        .map(|_| sentence(keywords, 9 + rng.next_usize(8), 0.55, rng))
+        .collect();
+    sents.join(" ")
+}
+
+/// Picks a news source handle.
+pub fn pick_source(rng: &mut SplitMix64) -> &'static str {
+    OUTLETS[rng.next_usize(OUTLETS.len())]
+}
+
+/// First sentence only — the truncated "content" NewsAPI returns
+/// before the scraper fetches the full article (paper §4.1).
+pub fn snippet_of(body: &str) -> String {
+    match body.find(['.', '!', '?']) {
+        Some(idx) => body[..=idx].to_string(),
+        None => body.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topics::topic_inventory;
+
+    #[test]
+    fn poisson_mean_close_to_lambda() {
+        let mut rng = SplitMix64::new(1);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| sample_poisson(3.0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+        assert_eq!(sample_poisson(-1.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn body_contains_topic_keywords() {
+        let topics = topic_inventory();
+        let mut rng = SplitMix64::new(5);
+        let body = article_body(topics[0].keywords, &mut rng).to_lowercase();
+        let hits = topics[0].keywords.iter().filter(|k| body.contains(*k)).count();
+        assert!(hits >= 3, "only {hits} topical keywords in: {body}");
+    }
+
+    #[test]
+    fn sentences_capitalized_and_terminated() {
+        let topics = topic_inventory();
+        let mut rng = SplitMix64::new(6);
+        let body = article_body(topics[1].keywords, &mut rng);
+        assert!(body.chars().next().unwrap().is_uppercase());
+        assert!(body.ends_with(['.', '!', '?']));
+    }
+
+    #[test]
+    fn headline_nonempty() {
+        let topics = topic_inventory();
+        let mut rng = SplitMix64::new(7);
+        let h = headline(topics[2].keywords, &mut rng);
+        assert!(h.split_whitespace().count() >= 4);
+    }
+
+    #[test]
+    fn snippet_is_first_sentence() {
+        assert_eq!(snippet_of("First one. Second one."), "First one.");
+        assert_eq!(snippet_of("No terminal"), "No terminal");
+    }
+
+    #[test]
+    fn deterministic() {
+        let topics = topic_inventory();
+        let a = article_body(topics[0].keywords, &mut SplitMix64::new(9));
+        let b = article_body(topics[0].keywords, &mut SplitMix64::new(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,248 @@
+//! The ground-truth topic inventory.
+//!
+//! Mirrors the paper's evaluation: the ten news topics of Table 3
+//! (which must surface through NMF and correlate with Twitter events)
+//! and the Twitter-only chatter topics of Table 7 (which must *not*
+//! match any trending news topic).
+
+/// Where a topic lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopicKind {
+    /// Covered by news outlets and echoed on Twitter (Table 3 topics).
+    NewsAndTwitter,
+    /// Twitter chatter with no news coverage (Table 7 topics).
+    TwitterOnly,
+}
+
+/// A latent topic with its keyword pool.
+#[derive(Debug, Clone)]
+pub struct TopicSpec {
+    /// Short identifier (the expected event label family).
+    pub name: &'static str,
+    /// Keyword pool; generators draw topical words from here.
+    pub keywords: &'static [&'static str],
+    /// Where the topic appears.
+    pub kind: TopicKind,
+    /// Baseline virality of the topic's content in `[0, 1]` — feeds
+    /// the engagement ground truth.
+    pub virality: f64,
+}
+
+/// The full topic inventory (order is stable; indexes identify topics
+/// throughout the crate).
+pub fn topic_inventory() -> Vec<TopicSpec> {
+    vec![
+        // ---- Table 3 news topics ----
+        TopicSpec {
+            name: "brexit",
+            keywords: &[
+                "party", "election", "vote", "seat", "poll", "voter", "conservative", "win",
+                "european", "brexit", "parliament", "leader", "minister", "campaign",
+            ],
+            kind: TopicKind::NewsAndTwitter,
+            virality: 0.85,
+        },
+        TopicSpec {
+            name: "tariffs",
+            keywords: &[
+                "tariff", "import", "billion", "chinese", "goods", "impose", "consumer",
+                "product", "percent", "escalation", "stock", "threaten",
+            ],
+            kind: TopicKind::NewsAndTwitter,
+            virality: 0.7,
+        },
+        TopicSpec {
+            name: "business",
+            keywords: &[
+                "company", "business", "market", "industry", "customer", "service", "growth",
+                "technology", "revenue", "retail", "online", "profit",
+            ],
+            kind: TopicKind::NewsAndTwitter,
+            virality: 0.4,
+        },
+        TopicSpec {
+            name: "trade_war",
+            keywords: &[
+                "trade", "deal", "war", "global", "economy", "talk", "agreement", "tension",
+                "china", "negotiation", "markets", "tax",
+            ],
+            kind: TopicKind::NewsAndTwitter,
+            virality: 0.75,
+        },
+        TopicSpec {
+            name: "huawei",
+            keywords: &[
+                "huawei", "google", "ban", "smartphone", "android", "network", "security",
+                "chip", "telecom", "blacklist", "emergency", "web",
+            ],
+            kind: TopicKind::NewsAndTwitter,
+            virality: 0.8,
+        },
+        TopicSpec {
+            name: "iran",
+            keywords: &[
+                "iran", "iranian", "tehran", "sanction", "nuclear", "drone", "tanker", "gulf",
+                "missile", "warship", "waters", "foreign",
+            ],
+            kind: TopicKind::NewsAndTwitter,
+            virality: 0.8,
+        },
+        TopicSpec {
+            name: "gaza",
+            keywords: &[
+                "israel", "gaza", "israeli", "palestinian", "hamas", "rocket", "militant",
+                "jerusalem", "netanyahu", "airstrike", "ceasefire", "military",
+            ],
+            kind: TopicKind::NewsAndTwitter,
+            virality: 0.75,
+        },
+        TopicSpec {
+            name: "japan",
+            keywords: &[
+                "japan", "abe", "japanese", "emperor", "tokyo", "naruhito", "shinzo", "visit",
+                "imperial", "summit", "osaka", "ceremony",
+            ],
+            kind: TopicKind::NewsAndTwitter,
+            virality: 0.5,
+        },
+        TopicSpec {
+            name: "impeachment",
+            keywords: &[
+                "impeachment", "pelosi", "democrats", "impeach", "nancy", "inquiry", "speaker",
+                "house", "congress", "testimony", "mueller", "subpoena",
+            ],
+            kind: TopicKind::NewsAndTwitter,
+            virality: 0.85,
+        },
+        TopicSpec {
+            name: "derby",
+            keywords: &[
+                "derby", "horse", "kentucky", "race", "win", "belmont", "maximum", "winner",
+                "security", "racing", "jockey", "disqualified",
+            ],
+            kind: TopicKind::NewsAndTwitter,
+            virality: 0.6,
+        },
+        // ---- Table 7 Twitter-only chatter ----
+        TopicSpec {
+            name: "cartoon",
+            keywords: &[
+                "matt", "cartoonist", "telegraph", "cartoons", "sketch", "drawing", "funny",
+                "caption",
+            ],
+            kind: TopicKind::TwitterOnly,
+            virality: 0.3,
+        },
+        TopicSpec {
+            name: "social_media",
+            keywords: &[
+                "whatsapp", "facebook", "videos", "zuckerberg", "user", "privacy", "app",
+                "instagram", "feed",
+            ],
+            kind: TopicKind::TwitterOnly,
+            virality: 0.5,
+        },
+        TopicSpec {
+            name: "thrones",
+            keywords: &[
+                "thrones", "spoilers", "season", "episode", "review", "finale", "dragon",
+                "winterfell", "stark",
+            ],
+            kind: TopicKind::TwitterOnly,
+            virality: 0.7,
+        },
+        TopicSpec {
+            name: "coffee",
+            keywords: &[
+                "sleep", "coffee", "lovers", "tea", "studying", "morning", "perfect", "cozy",
+                "caffeine",
+            ],
+            kind: TopicKind::TwitterOnly,
+            virality: 0.2,
+        },
+        TopicSpec {
+            name: "food",
+            keywords: &[
+                "rice", "delicious", "sandwiches", "fried", "dish", "cheeses", "recipe",
+                "dinner", "tasty", "homemade",
+            ],
+            kind: TopicKind::TwitterOnly,
+            virality: 0.25,
+        },
+    ]
+}
+
+/// Generic filler vocabulary mixed into every document so corpora have
+/// realistic word-frequency profiles (and stopword removal has work).
+pub const FILLER: &[&str] = &[
+    "the", "a", "of", "to", "in", "on", "for", "with", "as", "by", "at", "from", "this",
+    "that", "it", "was", "is", "are", "has", "have", "had", "said", "says", "will", "would",
+    "could", "new", "more", "also", "after", "before", "over", "under", "about", "between",
+    "during", "today", "yesterday", "week", "month", "year", "people", "time", "report",
+    "according", "officials", "statement", "source", "country", "world", "city", "group",
+    "plan", "move", "change", "issue", "decision", "meeting", "announcement",
+];
+
+/// News outlet handles used for tweet `@mentions` and article sources.
+pub const OUTLETS: &[&str] = &[
+    "nytimes", "reuters", "washtimes", "bbcworld", "guardian", "cnnbrk", "apnews", "ft",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_has_expected_shape() {
+        let topics = topic_inventory();
+        let news = topics.iter().filter(|t| t.kind == TopicKind::NewsAndTwitter).count();
+        let twitter = topics.iter().filter(|t| t.kind == TopicKind::TwitterOnly).count();
+        assert_eq!(news, 10, "one per Table 3 row");
+        assert_eq!(twitter, 5, "one per Table 7 row");
+    }
+
+    #[test]
+    fn names_unique() {
+        let topics = topic_inventory();
+        let names: std::collections::HashSet<_> = topics.iter().map(|t| t.name).collect();
+        assert_eq!(names.len(), topics.len());
+    }
+
+    #[test]
+    fn keyword_pools_nonempty_and_lowercase() {
+        for t in topic_inventory() {
+            assert!(t.keywords.len() >= 8, "{} pool too small", t.name);
+            for k in t.keywords {
+                assert_eq!(*k, k.to_lowercase(), "{k} must be lowercase");
+            }
+        }
+    }
+
+    #[test]
+    fn virality_in_unit_interval() {
+        for t in topic_inventory() {
+            assert!((0.0..=1.0).contains(&t.virality), "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn keyword_pools_mostly_disjoint() {
+        // A couple of shared words (win/security/china) are realistic,
+        // but pools must be mostly distinct or NMF cannot separate
+        // them.
+        let topics = topic_inventory();
+        for i in 0..topics.len() {
+            for j in (i + 1)..topics.len() {
+                let a: std::collections::HashSet<_> = topics[i].keywords.iter().collect();
+                let shared =
+                    topics[j].keywords.iter().filter(|k| a.contains(*k)).count();
+                assert!(
+                    shared <= 2,
+                    "{} and {} share {shared} keywords",
+                    topics[i].name,
+                    topics[j].name
+                );
+            }
+        }
+    }
+}

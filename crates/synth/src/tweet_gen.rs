@@ -1,0 +1,102 @@
+//! Tweet text generation.
+//!
+//! Tweets are short, keyword-dense, and carry the social-media
+//! furniture the pipeline must handle: `@mentions` of news outlets
+//! (the signal MABED's mention-anomaly measure counts), `#hashtags`,
+//! and shortened URLs.
+
+use crate::topics::{FILLER, OUTLETS};
+use nd_linalg::rng::SplitMix64;
+
+/// Generates one tweet's text about a topic.
+///
+/// Roughly half the words are topical. With fixed probabilities the
+/// tweet carries an outlet `@mention` (0.6), a topical `#hashtag`
+/// (0.4), and a shortened URL (0.3).
+pub fn tweet_text(keywords: &[&str], rng: &mut SplitMix64) -> String {
+    let len = 7 + rng.next_usize(10);
+    let mut words: Vec<String> = Vec::with_capacity(len + 3);
+
+    if rng.next_bool(0.6) {
+        words.push(format!("@{}", OUTLETS[rng.next_usize(OUTLETS.len())]));
+    }
+    for _ in 0..len {
+        if rng.next_bool(0.5) {
+            words.push(keywords[rng.next_usize(keywords.len())].to_string());
+        } else {
+            words.push(FILLER[rng.next_usize(FILLER.len())].to_string());
+        }
+    }
+    if rng.next_bool(0.4) {
+        words.push(format!("#{}", keywords[rng.next_usize(keywords.len())]));
+    }
+    if rng.next_bool(0.3) {
+        words.push(format!("https://t.co/{:08x}", rng.next_u64() as u32));
+    }
+    words.join(" ")
+}
+
+/// Counts `@mentions` in a generated tweet (cheap scan; the full
+/// tokenizer lives in `nd-text`).
+pub fn mention_count(text: &str) -> usize {
+    text.split_whitespace().filter(|w| w.starts_with('@') && w.len() > 1).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topics::topic_inventory;
+
+    #[test]
+    fn tweets_contain_topic_keywords() {
+        let topics = topic_inventory();
+        let mut rng = SplitMix64::new(11);
+        let mut topical_total = 0;
+        for _ in 0..50 {
+            let t = tweet_text(topics[0].keywords, &mut rng).to_lowercase();
+            topical_total +=
+                topics[0].keywords.iter().filter(|k| t.contains(*k)).count().min(1);
+        }
+        assert!(topical_total >= 45, "almost every tweet should be on-topic");
+    }
+
+    #[test]
+    fn mentions_appear_at_expected_rate() {
+        let topics = topic_inventory();
+        let mut rng = SplitMix64::new(13);
+        let with_mentions = (0..1000)
+            .filter(|_| mention_count(&tweet_text(topics[1].keywords, &mut rng)) > 0)
+            .count();
+        assert!(
+            (450..750).contains(&with_mentions),
+            "~60% of tweets should mention an outlet, got {with_mentions}/1000"
+        );
+    }
+
+    #[test]
+    fn hashtags_and_urls_present_in_population() {
+        let topics = topic_inventory();
+        let mut rng = SplitMix64::new(17);
+        let tweets: Vec<String> =
+            (0..200).map(|_| tweet_text(topics[2].keywords, &mut rng)).collect();
+        assert!(tweets.iter().any(|t| t.contains('#')));
+        assert!(tweets.iter().any(|t| t.contains("https://t.co/")));
+    }
+
+    #[test]
+    fn length_reasonable() {
+        let topics = topic_inventory();
+        let mut rng = SplitMix64::new(19);
+        for _ in 0..100 {
+            let t = tweet_text(topics[0].keywords, &mut rng);
+            let n = t.split_whitespace().count();
+            assert!((7..=20).contains(&n), "tweet had {n} tokens: {t}");
+        }
+    }
+
+    #[test]
+    fn mention_count_works() {
+        assert_eq!(mention_count("@a hello @b"), 2);
+        assert_eq!(mention_count("no mentions @ alone"), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Synthetic Twitter users.
+//!
+//! Follower counts follow a power law (most users tiny, a heavy tail
+//! of influencers), matching the paper's assumption that "influencers
+//! (users with a high number of followers) have a huge role in
+//! spreading the information".
+
+use nd_linalg::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// A Twitter user.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct User {
+    /// Dense user id.
+    pub id: u32,
+    /// Handle (`user123`, or `influencerN` for the planted tail).
+    pub handle: String,
+    /// Follower count (power-law distributed).
+    pub followers: u64,
+    /// Friends count (correlates weakly with followers).
+    pub friends: u64,
+    /// Lifetime retweet count (bookkeeping statistic from §5.1).
+    pub retweets_total: u64,
+}
+
+impl User {
+    /// The paper's Table 2 follower bucket: 0 (<100), 1 (100–1000),
+    /// 2 (>1000).
+    pub fn follower_bucket(&self) -> u8 {
+        crate::engagement::bucket_count(self.followers)
+    }
+
+    /// Influencer = follower bucket 2.
+    pub fn is_influencer(&self) -> bool {
+        self.follower_bucket() == 2
+    }
+}
+
+/// Generates `n` users, guaranteeing at least `min_influencers` in the
+/// `>1000`-follower bucket (planted explicitly so every world has a
+/// usable influencer population regardless of power-law luck).
+pub fn generate_users(n: usize, min_influencers: usize, seed: u64) -> Vec<User> {
+    let mut rng = SplitMix64::new(seed ^ 0xFACE);
+    let mut users = Vec::with_capacity(n);
+    for id in 0..n {
+        let planted = id < min_influencers;
+        let followers = if planted {
+            2_000 + rng.next_powerlaw(1.6, 5_000_000)
+        } else {
+            rng.next_powerlaw(1.8, 2_000_000)
+        };
+        let friends = (followers / 10).max(10) + rng.next_usize(200) as u64;
+        users.push(User {
+            id: id as u32,
+            handle: if planted {
+                format!("influencer{id}")
+            } else {
+                format!("user{id}")
+            },
+            followers,
+            friends,
+            retweets_total: 0,
+        });
+    }
+    users
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let users = generate_users(500, 10, 1);
+        assert_eq!(users.len(), 500);
+        assert_eq!(users[0].id, 0);
+        assert_eq!(users[499].id, 499);
+    }
+
+    #[test]
+    fn planted_influencers_have_big_followings() {
+        let users = generate_users(200, 15, 2);
+        for u in &users[..15] {
+            assert!(u.is_influencer(), "{} has {} followers", u.handle, u.followers);
+            assert!(u.handle.starts_with("influencer"));
+        }
+    }
+
+    #[test]
+    fn follower_distribution_is_bottom_heavy() {
+        let users = generate_users(2000, 0, 3);
+        let small = users.iter().filter(|u| u.followers < 100).count();
+        assert!(
+            small as f64 / users.len() as f64 > 0.6,
+            "power law should be bottom-heavy ({small}/2000 small)"
+        );
+        assert!(users.iter().any(|u| u.followers > 10_000), "tail should exist");
+    }
+
+    #[test]
+    fn buckets_match_table2() {
+        let mk = |followers| User {
+            id: 0,
+            handle: "u".into(),
+            followers,
+            friends: 0,
+            retweets_total: 0,
+        };
+        assert_eq!(mk(99).follower_bucket(), 0);
+        assert_eq!(mk(100).follower_bucket(), 1);
+        assert_eq!(mk(1000).follower_bucket(), 1);
+        assert_eq!(mk(1001).follower_bucket(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_users(100, 5, 9);
+        let b = generate_users(100, 5, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.followers, y.followers);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Sentence splitting.
+//!
+//! Used by the NER heuristic (sentence-initial capitalization must not
+//! be mistaken for an entity) and by the synthetic-corpus generator's
+//! round-trip tests.
+
+/// Common abbreviations that end with a period but do not end a
+/// sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "mr", "mrs", "ms", "dr", "prof", "sen", "rep", "gov", "gen", "st", "jr", "sr", "vs",
+    "etc", "inc", "ltd", "corp", "co", "dept", "univ", "assn", "bros", "u.s", "u.k", "e.g",
+    "i.e", "a.m", "p.m", "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept",
+    "oct", "nov", "dec",
+];
+
+fn is_abbreviation(word: &str) -> bool {
+    let w = word.trim_end_matches('.').to_lowercase();
+    ABBREVIATIONS.contains(&w.as_str()) || (w.len() == 1 && w.chars().all(char::is_alphabetic))
+}
+
+/// Splits `text` into sentences.
+///
+/// A sentence boundary is a `.`, `!` or `?` that is (a) not part of a
+/// known abbreviation, (b) not inside a number (`3.5`), and (c)
+/// followed by whitespace-then-capital or end of text.
+pub fn split_sentences(text: &str) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let n = chars.len();
+    let mut sentences = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+
+    while i < n {
+        let c = chars[i];
+        if matches!(c, '.' | '!' | '?') {
+            // Decimal number guard: digit.digit
+            if c == '.'
+                && i > 0
+                && i + 1 < n
+                && chars[i - 1].is_ascii_digit()
+                && chars[i + 1].is_ascii_digit()
+            {
+                i += 1;
+                continue;
+            }
+            // Abbreviation guard: take the word before the period.
+            if c == '.' {
+                let mut ws = i;
+                while ws > start && !chars[ws - 1].is_whitespace() {
+                    ws -= 1;
+                }
+                let prev_word: String = chars[ws..i].iter().collect();
+                if is_abbreviation(&prev_word) {
+                    i += 1;
+                    continue;
+                }
+            }
+            // Consume the punctuation run (e.g. "?!", "...").
+            let mut end = i + 1;
+            while end < n && matches!(chars[end], '.' | '!' | '?') {
+                end += 1;
+            }
+            // Boundary requires whitespace+capital (or end of text).
+            let mut j = end;
+            while j < n && chars[j].is_whitespace() {
+                j += 1;
+            }
+            let next_caps = j >= n || chars[j].is_uppercase() || chars[j].is_numeric() || chars[j] == '"' || chars[j] == '\u{201C}';
+            if (j > end || j >= n)
+                && next_caps {
+                    let sent: String = chars[start..end].iter().collect();
+                    let sent = sent.trim().to_string();
+                    if !sent.is_empty() {
+                        sentences.push(sent);
+                    }
+                    start = j;
+                    i = j;
+                    continue;
+                }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    let tail: String = chars[start..].iter().collect();
+    let tail = tail.trim().to_string();
+    if !tail.is_empty() {
+        sentences.push(tail);
+    }
+    sentences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_split() {
+        let s = split_sentences("First sentence. Second sentence! Third one?");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], "First sentence.");
+        assert_eq!(s[2], "Third one?");
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let s = split_sentences("Mr. Smith met Dr. Jones. They talked.");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], "Mr. Smith met Dr. Jones.");
+    }
+
+    #[test]
+    fn decimals_do_not_split() {
+        let s = split_sentences("Growth hit 3.5 percent. Markets rallied.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("3.5"));
+    }
+
+    #[test]
+    fn ellipsis_handled() {
+        let s = split_sentences("He paused... Then he spoke.");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn single_sentence_without_terminator() {
+        let s = split_sentences("no terminal punctuation here");
+        assert_eq!(s, vec!["no terminal punctuation here"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   ").is_empty());
+    }
+
+    #[test]
+    fn initials_do_not_split() {
+        let s = split_sentences("George W. Bush spoke. The crowd listened.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].starts_with("George W. Bush"));
+    }
+}

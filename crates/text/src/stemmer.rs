@@ -1,0 +1,330 @@
+//! The classic Porter (1980) stemming algorithm.
+//!
+//! The lemmatizer handles the NewsTM pipeline's vocabulary reduction;
+//! the stemmer is provided as the cheaper, more aggressive alternative
+//! (useful for the ablation benches that compare vocabulary-reduction
+//! strategies). This is the original five-step algorithm, implemented
+//! on ASCII lowercase input; non-ASCII words are returned unchanged.
+
+/// Stems `word` with the Porter algorithm.
+///
+/// The input is lower-cased first. Words shorter than three characters
+/// or containing non-ASCII-alphabetic characters are returned as-is
+/// (lower-cased), matching the reference implementation's behaviour.
+pub fn porter_stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    if w.len() <= 2 || !w.bytes().all(|b| b.is_ascii_lowercase()) {
+        return w;
+    }
+    let mut b: Vec<u8> = w.into_bytes();
+    step1a(&mut b);
+    step1b(&mut b);
+    step1c(&mut b);
+    step2(&mut b);
+    step3(&mut b);
+    step4(&mut b);
+    step5a(&mut b);
+    step5b(&mut b);
+    String::from_utf8(b).expect("stemmer operates on ASCII")
+}
+
+fn is_consonant(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_consonant(b, i - 1),
+        _ => true,
+    }
+}
+
+/// The "measure" m of the stem `b[..len]`: the number of VC sequences.
+fn measure(b: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(b, i) {
+        i += 1;
+    }
+    loop {
+        // Vowel run.
+        while i < len && !is_consonant(b, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Consonant run -> one VC.
+        while i < len && is_consonant(b, i) {
+            i += 1;
+        }
+        m += 1;
+        if i >= len {
+            return m;
+        }
+    }
+}
+
+fn has_vowel(b: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(b, i))
+}
+
+fn ends_double_consonant(b: &[u8]) -> bool {
+    let n = b.len();
+    n >= 2 && b[n - 1] == b[n - 2] && is_consonant(b, n - 1)
+}
+
+/// *o — stem ends cvc where the final c is not w, x or y.
+fn ends_cvc(b: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    let (i, j, k) = (len - 3, len - 2, len - 1);
+    is_consonant(b, i)
+        && !is_consonant(b, j)
+        && is_consonant(b, k)
+        && !matches!(b[k], b'w' | b'x' | b'y')
+}
+
+fn ends_with(b: &[u8], suffix: &str) -> bool {
+    b.len() >= suffix.len() && &b[b.len() - suffix.len()..] == suffix.as_bytes()
+}
+
+/// If the word ends with `suffix` and the remaining stem has measure
+/// > `min_m`, replace the suffix with `repl` and return true.
+fn replace_if_m(b: &mut Vec<u8>, suffix: &str, repl: &str, min_m: usize) -> bool {
+    if ends_with(b, suffix) {
+        let stem_len = b.len() - suffix.len();
+        if measure(b, stem_len) > min_m {
+            b.truncate(stem_len);
+            b.extend_from_slice(repl.as_bytes());
+        }
+        return true; // suffix matched (even if measure blocked the rewrite)
+    }
+    false
+}
+
+fn step1a(b: &mut Vec<u8>) {
+    if ends_with(b, "sses") || ends_with(b, "ies") {
+        b.truncate(b.len() - 2);
+    } else if ends_with(b, "ss") {
+        // unchanged
+    } else if ends_with(b, "s") {
+        b.truncate(b.len() - 1);
+    }
+}
+
+fn step1b(b: &mut Vec<u8>) {
+    if ends_with(b, "eed") {
+        let stem_len = b.len() - 3;
+        if measure(b, stem_len) > 0 {
+            b.truncate(b.len() - 1);
+        }
+        return;
+    }
+    let matched = if ends_with(b, "ed") && has_vowel(b, b.len() - 2) {
+        b.truncate(b.len() - 2);
+        true
+    } else if ends_with(b, "ing") && has_vowel(b, b.len() - 3) {
+        b.truncate(b.len() - 3);
+        true
+    } else {
+        false
+    };
+    if matched {
+        if ends_with(b, "at") || ends_with(b, "bl") || ends_with(b, "iz") {
+            b.push(b'e');
+        } else if ends_double_consonant(b) && !matches!(b[b.len() - 1], b'l' | b's' | b'z') {
+            b.truncate(b.len() - 1);
+        } else if measure(b, b.len()) == 1 && ends_cvc(b, b.len()) {
+            b.push(b'e');
+        }
+    }
+}
+
+fn step1c(b: &mut [u8]) {
+    let n = b.len();
+    if n >= 2 && b[n - 1] == b'y' && has_vowel(b, n - 1) {
+        b[n - 1] = b'i';
+    }
+}
+
+fn step2(b: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (suf, rep) in RULES {
+        if replace_if_m(b, suf, rep, 0) {
+            return;
+        }
+    }
+}
+
+fn step3(b: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (suf, rep) in RULES {
+        if replace_if_m(b, suf, rep, 0) {
+            return;
+        }
+    }
+}
+
+fn step4(b: &mut Vec<u8>) {
+    const SUFFIXES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+        "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // "ion" requires the stem to end in s or t.
+    if ends_with(b, "ion") {
+        let stem_len = b.len() - 3;
+        if stem_len > 0
+            && matches!(b[stem_len - 1], b's' | b't')
+            && measure(b, stem_len) > 1
+        {
+            b.truncate(stem_len);
+        }
+        return;
+    }
+    for suf in SUFFIXES {
+        if ends_with(b, suf) {
+            let stem_len = b.len() - suf.len();
+            if measure(b, stem_len) > 1 {
+                b.truncate(stem_len);
+            }
+            return;
+        }
+    }
+}
+
+fn step5a(b: &mut Vec<u8>) {
+    if ends_with(b, "e") {
+        let stem_len = b.len() - 1;
+        let m = measure(b, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(b, stem_len)) {
+            b.truncate(stem_len);
+        }
+    }
+}
+
+fn step5b(b: &mut Vec<u8>) {
+    if measure(b, b.len()) > 1 && ends_double_consonant(b) && b[b.len() - 1] == b'l' {
+        b.truncate(b.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        // Canonical examples from Porter's paper and reference vocabulary.
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("failing", "fail"),
+            ("happy", "happi"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("hopefulness", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("adjustment", "adjust"),
+            ("effective", "effect"),
+            ("probate", "probat"),
+            ("controlling", "control"),
+            ("rolling", "roll"),
+        ];
+        for (word, want) in cases {
+            assert_eq!(porter_stem(word), want, "stem({word})");
+        }
+    }
+
+    #[test]
+    fn news_domain_words() {
+        assert_eq!(porter_stem("elections"), "elect");
+        assert_eq!(porter_stem("voting"), "vote");
+        assert_eq!(porter_stem("tariffs"), "tariff");
+        assert_eq!(porter_stem("politics"), porter_stem("politic"));
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(porter_stem("as"), "as");
+        assert_eq!(porter_stem("be"), "be");
+        assert_eq!(porter_stem("EU"), "eu");
+    }
+
+    #[test]
+    fn non_ascii_passthrough() {
+        assert_eq!(porter_stem("café"), "café");
+    }
+
+    #[test]
+    fn lowercases_input() {
+        assert_eq!(porter_stem("Running"), "run");
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["election", "government", "economic", "president", "security"] {
+            let once = porter_stem(w);
+            let twice = porter_stem(&once);
+            assert_eq!(once, twice, "stemming {w} should be idempotent");
+        }
+    }
+
+    #[test]
+    fn measure_function() {
+        // m(tr) = 0, m(trouble->troubl) counts VC pairs.
+        let b = b"tree".to_vec();
+        assert_eq!(measure(&b, 2), 0); // "tr"
+        let b = b"trouble".to_vec();
+        assert_eq!(measure(&b, 7), 1);
+        let b = b"oaten".to_vec();
+        assert_eq!(measure(&b, 5), 2);
+    }
+}

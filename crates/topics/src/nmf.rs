@@ -1,0 +1,283 @@
+//! Non-Negative Matrix Factorization — the paper's topic-model choice.
+//!
+//! Factorizes the weighted document-term matrix `A (n x m)` into
+//! non-negative `W (n x k)` (document-topic) and `H (k x m)`
+//! (topic-term) by minimizing the Frobenius objective of paper
+//! Eq. (6)–(7) with the Lee–Seung multiplicative updates of Eq. (8):
+//!
+//! ```text
+//! H <- H .* (WᵀA) ./ (WᵀWH)
+//! W <- W .* (AHᵀ) ./ (WHHᵀ)
+//! ```
+//!
+//! The update keeps factors non-negative by construction and is
+//! guaranteed not to increase the objective; we iterate until the
+//! relative objective improvement drops below `tol` or `max_iter` is
+//! reached.
+
+use crate::model::TopicModel;
+use nd_linalg::Mat;
+use nd_vectorize::{CsrMatrix, Vocabulary};
+
+/// NMF hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct NmfConfig {
+    /// Number of topics `k`.
+    pub n_topics: usize,
+    /// Maximum multiplicative-update iterations.
+    pub max_iter: usize,
+    /// Relative-improvement stopping tolerance.
+    pub tol: f64,
+    /// RNG seed for factor initialization.
+    pub seed: u64,
+}
+
+impl Default for NmfConfig {
+    fn default() -> Self {
+        NmfConfig { n_topics: 10, max_iter: 200, tol: 1e-4, seed: 42 }
+    }
+}
+
+/// The NMF solver.
+#[derive(Debug, Clone)]
+pub struct Nmf {
+    config: NmfConfig,
+}
+
+/// Small constant guarding the multiplicative-update denominators.
+const EPS: f64 = 1e-10;
+
+impl Nmf {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: NmfConfig) -> Self {
+        Nmf { config }
+    }
+
+    /// Convenience constructor for `k` topics with defaults.
+    pub fn with_topics(n_topics: usize) -> Self {
+        Nmf::new(NmfConfig { n_topics, ..NmfConfig::default() })
+    }
+
+    /// Fits the factorization to a weighted document-term matrix.
+    ///
+    /// `vocab` must be the vocabulary that produced `a`'s columns; it
+    /// is cloned into the returned [`TopicModel`] for keyword decoding.
+    pub fn fit(&self, a: &CsrMatrix, vocab: &Vocabulary) -> TopicModel {
+        let (n, m) = (a.rows(), a.cols());
+        let k = self.config.n_topics.max(1).min(n.max(1)).min(m.max(1));
+
+        // Scaled uniform initialization: E[WH] matches E[A].
+        let mean = if n * m > 0 {
+            (a.frobenius_norm_sq() / (n * m) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let scale = (mean / k as f64).sqrt().max(1e-3);
+        let mut w = Mat::random_uniform(n, k, 0.1 * scale, scale, self.config.seed);
+        let mut h = Mat::random_uniform(k, m, 0.1 * scale, scale, self.config.seed ^ 0xDEAD);
+
+        let a_fro2 = a.frobenius_norm_sq();
+        let mut prev_obj = f64::INFINITY;
+        let mut iterations = 0;
+        let mut objective = objective_value(a, &w, &h, a_fro2);
+
+        for it in 0..self.config.max_iter {
+            iterations = it + 1;
+
+            // H <- H .* (W^T A) ./ (W^T W H)
+            let wta = a.transpose_matmul_dense(&w).transpose(); // k x m
+            let wtw = w.gram(); // k x k
+            let wtwh = wtw.matmul(&h).expect("k x k * k x m");
+            update_factor(&mut h, &wta, &wtwh);
+
+            // W <- W .* (A H^T) ./ (W H H^T)
+            let aht = a.matmul_dense(&h.transpose()); // n x k
+            let hht = h.matmul(&h.transpose()).expect("k x m * m x k"); // k x k
+            let whht = w.matmul(&hht).expect("n x k * k x k");
+            update_factor(&mut w, &aht, &whht);
+
+            objective = objective_value(a, &w, &h, a_fro2);
+            if prev_obj.is_finite() {
+                let rel = (prev_obj - objective).abs() / prev_obj.max(EPS);
+                if rel < self.config.tol {
+                    break;
+                }
+            }
+            prev_obj = objective;
+        }
+
+        TopicModel {
+            doc_topic: w,
+            topic_term: h,
+            vocab: vocab.clone(),
+            objective,
+            iterations,
+        }
+    }
+}
+
+/// `x <- x .* num ./ den`, with epsilon-guarded division and a
+/// non-negativity clamp against rounding.
+fn update_factor(x: &mut Mat, num: &Mat, den: &Mat) {
+    debug_assert_eq!(x.shape(), num.shape());
+    debug_assert_eq!(x.shape(), den.shape());
+    let xs = x.as_mut_slice();
+    for ((xv, &nv), &dv) in xs.iter_mut().zip(num.as_slice()).zip(den.as_slice()) {
+        *xv *= nv / (dv + EPS);
+        if *xv < 0.0 {
+            *xv = 0.0;
+        }
+    }
+}
+
+/// `||A - WH||_F^2` computed without densifying `A`:
+/// `||A||² - 2·<A, WH> + ||WH||²`, with `<A, WH>` accumulated over the
+/// sparse entries and `||WH||² = tr((WᵀW)(HHᵀ))`.
+fn objective_value(a: &CsrMatrix, w: &Mat, h: &Mat, a_fro2: f64) -> f64 {
+    // <A, WH>
+    let mut cross = 0.0;
+    for i in 0..a.rows() {
+        let wrow = w.row(i);
+        for (j, v) in a.row(i).iter() {
+            let mut wh = 0.0;
+            for (t, &wv) in wrow.iter().enumerate() {
+                wh += wv * h.get(t, j);
+            }
+            cross += v * wh;
+        }
+    }
+    // ||WH||^2 = tr((W^T W)(H H^T))
+    let wtw = w.gram();
+    let hht = h.matmul(&h.transpose()).expect("k x m * m x k");
+    let mut wh_fro2 = 0.0;
+    for i in 0..wtw.rows() {
+        for j in 0..wtw.cols() {
+            wh_fro2 += wtw.get(i, j) * hht.get(j, i);
+        }
+    }
+    (a_fro2 - 2.0 * cross + wh_fro2).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_vectorize::{DtmBuilder, Weighting};
+
+    fn planted_corpus() -> Vec<Vec<String>> {
+        // Two clearly separated topics: politics and trade.
+        let politics = ["brexit", "vote", "election", "party", "parliament"];
+        let trade = ["tariff", "trade", "china", "import", "export"];
+        let mut docs = Vec::new();
+        for i in 0..20 {
+            let pool: &[&str] = if i % 2 == 0 { &politics } else { &trade };
+            let doc: Vec<String> = (0..12).map(|j| pool[(i + j) % pool.len()].to_string()).collect();
+            docs.push(doc);
+        }
+        docs
+    }
+
+    fn fit_planted(seed: u64) -> TopicModel {
+        let dtm = DtmBuilder::new().build(&planted_corpus());
+        let a = dtm.weighted(Weighting::TfIdfNormalized);
+        Nmf::new(NmfConfig { n_topics: 2, max_iter: 300, tol: 1e-7, seed })
+            .fit(&a, dtm.vocab())
+    }
+
+    #[test]
+    fn factors_nonnegative() {
+        let m = fit_planted(1);
+        assert!(m.doc_topic.as_slice().iter().all(|&v| v >= 0.0));
+        assert!(m.topic_term.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn recovers_planted_topics() {
+        let m = fit_planted(7);
+        let t0 = m.topic(0, 5).unwrap();
+        let t1 = m.topic(1, 5).unwrap();
+        let joint0 = t0.keywords.join(" ");
+        let joint1 = t1.keywords.join(" ");
+        // One topic should be politics-flavoured, the other trade-flavoured.
+        let politics_hits = |s: &str| {
+            ["brexit", "vote", "election", "party", "parliament"]
+                .iter()
+                .filter(|k| s.contains(*k))
+                .count()
+        };
+        let trade_hits = |s: &str| {
+            ["tariff", "trade", "china", "import", "export"]
+                .iter()
+                .filter(|k| s.contains(*k))
+                .count()
+        };
+        let sep = (politics_hits(&joint0) >= 4 && trade_hits(&joint1) >= 4)
+            || (politics_hits(&joint1) >= 4 && trade_hits(&joint0) >= 4);
+        assert!(sep, "topics not separated:\n  t0: {joint0}\n  t1: {joint1}");
+    }
+
+    #[test]
+    fn documents_assigned_to_correct_topics() {
+        let m = fit_planted(3);
+        // Even documents are politics, odd are trade; they should split
+        // into two pure groups by dominant topic.
+        let even_topic = m.dominant_topic(0).unwrap();
+        let odd_topic = m.dominant_topic(1).unwrap();
+        assert_ne!(even_topic, odd_topic);
+        for d in 0..20 {
+            let want = if d % 2 == 0 { even_topic } else { odd_topic };
+            assert_eq!(m.dominant_topic(d), Some(want), "doc {d}");
+        }
+    }
+
+    #[test]
+    fn objective_decreases_with_more_iterations() {
+        let dtm = DtmBuilder::new().build(&planted_corpus());
+        let a = dtm.weighted(Weighting::TfIdfNormalized);
+        let short = Nmf::new(NmfConfig { n_topics: 2, max_iter: 2, tol: 0.0, seed: 5 })
+            .fit(&a, dtm.vocab());
+        let long = Nmf::new(NmfConfig { n_topics: 2, max_iter: 100, tol: 0.0, seed: 5 })
+            .fit(&a, dtm.vocab());
+        assert!(
+            long.objective <= short.objective + 1e-9,
+            "long {} vs short {}",
+            long.objective,
+            short.objective
+        );
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = fit_planted(11);
+        let b = fit_planted(11);
+        assert_eq!(a.doc_topic, b.doc_topic);
+        assert_eq!(a.topic_term, b.topic_term);
+    }
+
+    #[test]
+    fn k_clamped_to_matrix_dims() {
+        let docs: Vec<Vec<String>> =
+            vec![vec!["a".to_string(), "b".to_string()], vec!["b".to_string()]];
+        let dtm = DtmBuilder::new().build(&docs);
+        let a = dtm.weighted(Weighting::Tf);
+        let m = Nmf::with_topics(50).fit(&a, dtm.vocab());
+        assert!(m.n_topics() <= 2);
+    }
+
+    #[test]
+    fn empty_matrix_does_not_panic() {
+        let dtm = DtmBuilder::new().build(&[]);
+        let a = dtm.weighted(Weighting::Tf);
+        let m = Nmf::with_topics(3).fit(&a, dtm.vocab());
+        assert_eq!(m.doc_topic.rows(), 0);
+    }
+
+    #[test]
+    fn reconstruction_error_small_for_separable_data() {
+        let dtm = DtmBuilder::new().build(&planted_corpus());
+        let a = dtm.weighted(Weighting::TfIdfNormalized);
+        let m = Nmf::new(NmfConfig { n_topics: 2, max_iter: 500, tol: 1e-9, seed: 2 })
+            .fit(&a, dtm.vocab());
+        let rel = m.objective / a.frobenius_norm_sq();
+        assert!(rel < 0.15, "relative reconstruction error {rel}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Probabilistic Latent Semantic Indexing by EM.
+//!
+//! PLSI (Hofmann 2000) models `p(d, w) = Σ_t p(t) p(d|t) p(w|t)`. We
+//! use the equivalent conditional parameterization
+//! `p(w|d) = Σ_t p(t|d) p(w|t)` and fit by expectation-maximization on
+//! the count matrix. Included as the statistical-model comparator in
+//! the §4.9 design-choice ablation.
+
+use crate::model::TopicModel;
+use nd_linalg::rng::SplitMix64;
+use nd_linalg::Mat;
+use nd_vectorize::{CsrMatrix, Vocabulary};
+
+/// PLSI hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct PlsiConfig {
+    /// Number of topics.
+    pub n_topics: usize,
+    /// EM iterations.
+    pub n_iter: usize,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl Default for PlsiConfig {
+    fn default() -> Self {
+        PlsiConfig { n_topics: 10, n_iter: 50, seed: 42 }
+    }
+}
+
+/// PLSI solver.
+#[derive(Debug, Clone)]
+pub struct Plsi {
+    config: PlsiConfig,
+}
+
+impl Plsi {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: PlsiConfig) -> Self {
+        Plsi { config }
+    }
+
+    /// Fits PLSI to a count matrix by EM.
+    #[allow(clippy::needless_range_loop)] // parallel accumulator arrays
+    pub fn fit(&self, counts: &CsrMatrix, vocab: &Vocabulary) -> TopicModel {
+        let n_docs = counts.rows();
+        let n_terms = counts.cols();
+        let k = self.config.n_topics.max(1);
+
+        let mut rng = SplitMix64::new(self.config.seed);
+        // p(t|d): n_docs x k, p(w|t): k x n_terms, randomly initialized
+        // and normalized.
+        let mut p_t_d = Mat::from_fn(n_docs, k, |_, _| 0.5 + rng.next_f64());
+        let mut p_w_t = Mat::from_fn(k, n_terms, |_, _| 0.5 + rng.next_f64());
+        normalize_rows_l1(&mut p_t_d);
+        normalize_rows_l1(&mut p_w_t);
+
+        let mut nll = f64::INFINITY;
+        let mut post = vec![0f64; k];
+        for _ in 0..self.config.n_iter {
+            let mut new_ptd = Mat::zeros(n_docs, k);
+            let mut new_pwt = Mat::zeros(k, n_terms);
+            nll = 0.0;
+            for d in 0..n_docs {
+                let ptd_row = p_t_d.row(d);
+                for (w, c) in counts.row(d).iter() {
+                    // E step: posterior p(t | d, w).
+                    let mut total = 0.0;
+                    for t in 0..k {
+                        post[t] = ptd_row[t] * p_w_t.get(t, w);
+                        total += post[t];
+                    }
+                    if total <= 0.0 {
+                        continue;
+                    }
+                    nll -= c * total.max(1e-300).ln();
+                    // M-step accumulation.
+                    for t in 0..k {
+                        let r = c * post[t] / total;
+                        new_ptd.set(d, t, new_ptd.get(d, t) + r);
+                        new_pwt.set(t, w, new_pwt.get(t, w) + r);
+                    }
+                }
+            }
+            normalize_rows_l1(&mut new_ptd);
+            normalize_rows_l1(&mut new_pwt);
+            p_t_d = new_ptd;
+            p_w_t = new_pwt;
+        }
+
+        TopicModel {
+            doc_topic: p_t_d,
+            topic_term: p_w_t,
+            vocab: vocab.clone(),
+            objective: nll,
+            iterations: self.config.n_iter,
+        }
+    }
+}
+
+fn normalize_rows_l1(m: &mut Mat) {
+    for i in 0..m.rows() {
+        let row = m.row_mut(i);
+        let s: f64 = row.iter().sum();
+        if s > 0.0 {
+            for v in row {
+                *v /= s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_vectorize::DtmBuilder;
+
+    fn planted_corpus() -> Vec<Vec<String>> {
+        let a = ["impeachment", "pelosi", "congress", "inquiry"];
+        let b = ["japan", "abe", "tokyo", "emperor"];
+        let mut docs = Vec::new();
+        for i in 0..20 {
+            let pool: &[&str] = if i % 2 == 0 { &a } else { &b };
+            docs.push((0..12).map(|j| pool[(i + j) % pool.len()].to_string()).collect());
+        }
+        docs
+    }
+
+    #[test]
+    fn distributions_proper() {
+        let dtm = DtmBuilder::new().build(&planted_corpus());
+        let m = Plsi::new(PlsiConfig { n_topics: 2, n_iter: 30, ..Default::default() })
+            .fit(dtm.counts(), dtm.vocab());
+        for d in 0..m.doc_topic.rows() {
+            let s: f64 = m.doc_topic.row(d).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        for t in 0..m.n_topics() {
+            let s: f64 = m.topic_term.row(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn separates_planted_topics() {
+        let dtm = DtmBuilder::new().build(&planted_corpus());
+        let m = Plsi::new(PlsiConfig { n_topics: 2, n_iter: 60, seed: 4 })
+            .fit(dtm.counts(), dtm.vocab());
+        let even = m.dominant_topic(0).unwrap();
+        let odd = m.dominant_topic(1).unwrap();
+        assert_ne!(even, odd);
+        for d in 0..20 {
+            let want = if d % 2 == 0 { even } else { odd };
+            assert_eq!(m.dominant_topic(d), Some(want), "doc {d}");
+        }
+    }
+
+    #[test]
+    fn likelihood_improves_with_iterations() {
+        let dtm = DtmBuilder::new().build(&planted_corpus());
+        let short = Plsi::new(PlsiConfig { n_topics: 2, n_iter: 2, seed: 8 })
+            .fit(dtm.counts(), dtm.vocab());
+        let long = Plsi::new(PlsiConfig { n_topics: 2, n_iter: 40, seed: 8 })
+            .fit(dtm.counts(), dtm.vocab());
+        assert!(long.objective <= short.objective + 1e-6);
+    }
+
+    #[test]
+    fn empty_corpus_safe() {
+        let dtm = DtmBuilder::new().build(&[]);
+        let m = Plsi::new(PlsiConfig::default()).fit(dtm.counts(), dtm.vocab());
+        assert_eq!(m.doc_topic.rows(), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Document-term matrix construction.
+//!
+//! [`DtmBuilder`] turns preprocessed token streams into a sparse
+//! count matrix plus vocabulary; [`DocumentTermMatrix::weighted`]
+//! applies any [`Weighting`] scheme to produce the matrix `A` the
+//! topic models factorize.
+
+use crate::sparse::CsrMatrix;
+use crate::vocab::Vocabulary;
+use crate::weighting::{idf_vector, tf_transform, uses_idf, uses_l2_norm, Weighting};
+use std::collections::HashMap;
+
+/// Builder with frequency-based vocabulary pruning.
+#[derive(Debug, Clone)]
+pub struct DtmBuilder {
+    min_df: usize,
+    max_df_ratio: f64,
+    max_vocab: Option<usize>,
+}
+
+impl Default for DtmBuilder {
+    fn default() -> Self {
+        DtmBuilder { min_df: 1, max_df_ratio: 1.0, max_vocab: None }
+    }
+}
+
+impl DtmBuilder {
+    /// Builder with no pruning.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops terms appearing in fewer than `min_df` documents.
+    pub fn min_df(mut self, min_df: usize) -> Self {
+        self.min_df = min_df.max(1);
+        self
+    }
+
+    /// Drops terms appearing in more than `ratio * n_docs` documents
+    /// (`ratio` clamped to `(0, 1]`). Near-ubiquitous terms carry no
+    /// topical signal and bloat the factorization.
+    pub fn max_df_ratio(mut self, ratio: f64) -> Self {
+        self.max_df_ratio = ratio.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Keeps only the `k` most frequent surviving terms.
+    pub fn max_vocab(mut self, k: usize) -> Self {
+        self.max_vocab = Some(k);
+        self
+    }
+
+    /// Builds the count matrix from token streams (one `Vec<String>`
+    /// per document). Documents whose every term was pruned become
+    /// empty rows — row alignment with the input corpus is preserved.
+    pub fn build(&self, docs: &[Vec<String>]) -> DocumentTermMatrix {
+        // Pass 1: document frequency + collection frequency.
+        let mut df: HashMap<&str, usize> = HashMap::new();
+        let mut cf: HashMap<&str, u64> = HashMap::new();
+        for doc in docs {
+            let mut seen: HashMap<&str, ()> = HashMap::new();
+            for t in doc {
+                *cf.entry(t.as_str()).or_insert(0) += 1;
+                seen.entry(t.as_str()).or_insert(());
+            }
+            for t in seen.keys() {
+                *df.entry(t).or_insert(0) += 1;
+            }
+        }
+
+        let max_df = (self.max_df_ratio * docs.len() as f64).ceil() as usize;
+        let mut kept: Vec<&str> = df
+            .iter()
+            .filter(|(_, &d)| d >= self.min_df && d <= max_df)
+            .map(|(&t, _)| t)
+            .collect();
+        // Deterministic order: by collection frequency desc, then term.
+        kept.sort_by(|a, b| cf[b].cmp(&cf[a]).then_with(|| a.cmp(b)));
+        if let Some(k) = self.max_vocab {
+            kept.truncate(k);
+        }
+
+        let mut vocab = Vocabulary::new();
+        for t in &kept {
+            vocab.intern(t);
+        }
+
+        // Pass 2: counts.
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(docs.len());
+        for doc in docs {
+            let mut counts: HashMap<usize, f64> = HashMap::new();
+            for t in doc {
+                if let Some(id) = vocab.get(t) {
+                    *counts.entry(id).or_insert(0.0) += 1.0;
+                }
+            }
+            rows.push(counts.into_iter().collect());
+        }
+        let counts = CsrMatrix::from_rows(vocab.len(), &rows);
+        DocumentTermMatrix { vocab, counts }
+    }
+}
+
+/// A corpus as a sparse count matrix plus its vocabulary.
+#[derive(Debug, Clone)]
+pub struct DocumentTermMatrix {
+    vocab: Vocabulary,
+    counts: CsrMatrix,
+}
+
+impl DocumentTermMatrix {
+    /// The vocabulary (column space).
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The raw count matrix (documents × terms).
+    pub fn counts(&self) -> &CsrMatrix {
+        &self.counts
+    }
+
+    /// Number of documents.
+    pub fn n_docs(&self) -> usize {
+        self.counts.rows()
+    }
+
+    /// Vocabulary size.
+    pub fn n_terms(&self) -> usize {
+        self.counts.cols()
+    }
+
+    /// Applies a weighting scheme, producing the matrix `A` of the
+    /// paper's §3.1.
+    pub fn weighted(&self, scheme: Weighting) -> CsrMatrix {
+        let mut m = self.counts.map_entries(|_, _, v| tf_transform(scheme, v));
+        if uses_idf(scheme) {
+            let idf = idf_vector(self.n_docs(), &self.counts.column_document_frequency());
+            m = m.map_entries(|_, j, v| v * idf[j]);
+        }
+        if uses_l2_norm(scheme) {
+            m = m.normalize_rows_l2();
+        }
+        m
+    }
+
+    /// TF-IDF value of a single `(doc, term)` pair (Eq. 3); `None` for
+    /// an unknown term.
+    pub fn tfidf(&self, doc: usize, term: &str) -> Option<f64> {
+        let j = self.vocab.get(term)?;
+        let tf = self.counts.get(doc, j);
+        let df = self.counts.column_document_frequency()[j];
+        Some(tf * crate::weighting::idf(self.n_docs(), df))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Vec<String>> {
+        let to_vec = |s: &str| s.split_whitespace().map(str::to_string).collect();
+        vec![
+            to_vec("brexit vote brexit party"),
+            to_vec("tariff trade china tariff"),
+            to_vec("vote election party"),
+            to_vec("brexit election"),
+        ]
+    }
+
+    #[test]
+    fn counts_correct() {
+        let dtm = DtmBuilder::new().build(&docs());
+        assert_eq!(dtm.n_docs(), 4);
+        let j = dtm.vocab().get("brexit").unwrap();
+        assert_eq!(dtm.counts().get(0, j), 2.0);
+        assert_eq!(dtm.counts().get(1, j), 0.0);
+        assert_eq!(dtm.counts().get(3, j), 1.0);
+    }
+
+    #[test]
+    fn tfidf_matches_hand_computation() {
+        let dtm = DtmBuilder::new().build(&docs());
+        // "brexit": tf=2 in doc 0, df=2 of 4 docs -> idf = log2(2) = 1.
+        let v = dtm.tfidf(0, "brexit").unwrap();
+        assert!((v - 2.0).abs() < 1e-12);
+        // "tariff": tf=2 in doc 1, df=1 -> idf = log2(4) = 2 -> 4.
+        let v = dtm.tfidf(1, "tariff").unwrap();
+        assert!((v - 4.0).abs() < 1e-12);
+        assert_eq!(dtm.tfidf(0, "nonexistent"), None);
+    }
+
+    #[test]
+    fn normalized_rows_unit_norm() {
+        let dtm = DtmBuilder::new().build(&docs());
+        let a = dtm.weighted(Weighting::TfIdfNormalized);
+        for i in 0..a.rows() {
+            let n = a.row(i).norm2();
+            assert!(n == 0.0 || (n - 1.0).abs() < 1e-9, "row {i} norm {n}");
+        }
+    }
+
+    #[test]
+    fn weighted_values_nonnegative() {
+        let dtm = DtmBuilder::new().build(&docs());
+        for scheme in Weighting::ALL {
+            let a = dtm.weighted(scheme);
+            for i in 0..a.rows() {
+                assert!(a.row(i).values().iter().all(|&v| v >= 0.0), "{scheme:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_df_prunes_rare_terms() {
+        let dtm = DtmBuilder::new().min_df(2).build(&docs());
+        assert!(dtm.vocab().get("brexit").is_some()); // df = 2
+        assert!(dtm.vocab().get("tariff").is_none()); // df = 1
+        assert!(dtm.vocab().get("china").is_none());
+    }
+
+    #[test]
+    fn max_df_prunes_ubiquitous_terms() {
+        let mut d = docs();
+        for doc in &mut d {
+            doc.push("common".to_string());
+        }
+        let dtm = DtmBuilder::new().max_df_ratio(0.75).build(&d);
+        assert!(dtm.vocab().get("common").is_none());
+        assert!(dtm.vocab().get("brexit").is_some());
+    }
+
+    #[test]
+    fn max_vocab_keeps_most_frequent() {
+        let dtm = DtmBuilder::new().max_vocab(2).build(&docs());
+        assert_eq!(dtm.n_terms(), 2);
+        // brexit appears 3 times total — must survive.
+        assert!(dtm.vocab().get("brexit").is_some());
+    }
+
+    #[test]
+    fn row_alignment_preserved_when_doc_fully_pruned() {
+        let d = vec![
+            vec!["unique".to_string()],
+            vec!["shared".to_string()],
+            vec!["shared".to_string()],
+        ];
+        let dtm = DtmBuilder::new().min_df(2).build(&d);
+        assert_eq!(dtm.n_docs(), 3);
+        assert_eq!(dtm.counts().row(0).nnz(), 0);
+        assert_eq!(dtm.counts().row(1).nnz(), 1);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let dtm = DtmBuilder::new().build(&[]);
+        assert_eq!(dtm.n_docs(), 0);
+        assert_eq!(dtm.n_terms(), 0);
+    }
+
+    #[test]
+    fn deterministic_vocab_order() {
+        let a = DtmBuilder::new().build(&docs());
+        let b = DtmBuilder::new().build(&docs());
+        let ta: Vec<_> = a.vocab().iter().map(|(_, t)| t.to_string()).collect();
+        let tb: Vec<_> = b.vocab().iter().map(|(_, t)| t.to_string()).collect();
+        assert_eq!(ta, tb);
+    }
+}

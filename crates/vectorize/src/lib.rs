@@ -1,0 +1,38 @@
+//! # nd-vectorize
+//!
+//! Document vectorization: [`Vocabulary`] interning, a [CSR sparse
+//! document-term matrix](sparse::CsrMatrix), and the term-weighting
+//! schemes of the paper's §3.1 — raw term frequency (Eq. 1), inverse
+//! document frequency (Eq. 2), TF-IDF (Eq. 3) and ℓ²-normalized
+//! TF-IDF (Eq. 4–5), which is what the topic-modeling module feeds to
+//! NMF.
+//!
+//! ```
+//! use nd_vectorize::{DtmBuilder, Weighting};
+//!
+//! let docs = vec![
+//!     vec!["brexit".to_string(), "vote".to_string(), "brexit".to_string()],
+//!     vec!["tariff".to_string(), "vote".to_string()],
+//! ];
+//! let dtm = DtmBuilder::new().build(&docs);
+//! let a = dtm.weighted(Weighting::TfIdfNormalized);
+//! assert_eq!(a.rows(), 2);
+//! // every row of the normalized matrix has unit l2 norm
+//! for i in 0..a.rows() {
+//!     let norm: f64 = a.row(i).values().iter().map(|v| v * v).sum::<f64>().sqrt();
+//!     assert!((norm - 1.0).abs() < 1e-9);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dtm;
+pub mod sparse;
+pub mod vocab;
+pub mod weighting;
+
+pub use dtm::{DocumentTermMatrix, DtmBuilder};
+pub use sparse::CsrMatrix;
+pub use vocab::Vocabulary;
+pub use weighting::Weighting;

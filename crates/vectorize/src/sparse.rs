@@ -1,0 +1,328 @@
+//! Compressed sparse row (CSR) matrix.
+//!
+//! Document-term matrices are overwhelmingly sparse (a news article
+//! touches a few hundred of hundreds of thousands of vocabulary
+//! terms), so the vectorizer stores weights in CSR and only densifies
+//! on demand for the NMF solver.
+
+use nd_linalg::Mat;
+
+/// A sparse row: parallel `indices`/`values` arrays, indices strictly
+/// ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseRowView<'a> {
+    indices: &'a [usize],
+    values: &'a [f64],
+}
+
+impl<'a> SparseRowView<'a> {
+    /// Column indices of the stored entries (ascending).
+    pub fn indices(&self) -> &'a [usize] {
+        self.indices
+    }
+
+    /// Values parallel to [`Self::indices`].
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Value at column `j` (`0.0` when not stored).
+    pub fn get(&self, j: usize) -> f64 {
+        match self.indices.binary_search(&j) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterator over `(col, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + 'a {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Dot product with a dense vector.
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        self.iter().map(|(j, v)| v * dense[j]).sum()
+    }
+
+    /// ℓ² norm of the row.
+    pub fn norm2(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Compressed sparse row matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from per-row `(col, value)` lists.
+    ///
+    /// Entries within a row are sorted by column; duplicate columns in
+    /// one row are summed. Zero values are dropped.
+    pub fn from_rows(cols: usize, rows: &[Vec<(usize, f64)>]) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for entries in rows {
+            let mut sorted: Vec<(usize, f64)> = entries.clone();
+            sorted.sort_by_key(|&(c, _)| c);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(sorted.len());
+            for (c, v) in sorted {
+                debug_assert!(c < cols, "column {c} out of bounds (cols={cols})");
+                match merged.last_mut() {
+                    Some((lc, lv)) if *lc == c => *lv += v,
+                    _ => merged.push((c, v)),
+                }
+            }
+            for (c, v) in merged {
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix { rows: rows.len(), cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// View of row `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= rows` (internal logic error).
+    pub fn row(&self, i: usize) -> SparseRowView<'_> {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        SparseRowView { indices: &self.col_idx[lo..hi], values: &self.values[lo..hi] }
+    }
+
+    /// Entry at `(i, j)`; `0.0` when not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.row(i).get(j)
+    }
+
+    /// Per-column count of rows containing each column — the document
+    /// frequency vector `n_ij` of paper Eq. (2).
+    pub fn column_document_frequency(&self) -> Vec<usize> {
+        let mut df = vec![0usize; self.cols];
+        for &c in &self.col_idx {
+            df[c] += 1;
+        }
+        df
+    }
+
+    /// Applies `f(row, col, value) -> value` to every stored entry,
+    /// returning a new matrix (zeros produced by `f` are kept stored;
+    /// re-sparsification is not needed for the weighting pipeline).
+    pub fn map_entries(&self, mut f: impl FnMut(usize, usize, f64) -> f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            for k in lo..hi {
+                out.values[k] = f(i, self.col_idx[k], self.values[k]);
+            }
+        }
+        out
+    }
+
+    /// Scales each row to unit ℓ² norm (zero rows untouched) — the
+    /// normalization of paper Eq. (4)–(5).
+    pub fn normalize_rows_l2(&self) -> CsrMatrix {
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            let norm: f64 = self.values[lo..hi].iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for v in &mut out.values[lo..hi] {
+                    *v /= norm;
+                }
+            }
+        }
+        out
+    }
+
+    /// Densifies to an `nd_linalg::Mat` (rows × cols).
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row(i).iter() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Sparse × dense product `self * rhs` (rhs is `cols × k`).
+    ///
+    /// # Panics
+    /// Debug-asserts `rhs.rows() == self.cols()`.
+    pub fn matmul_dense(&self, rhs: &Mat) -> Mat {
+        debug_assert_eq!(rhs.rows(), self.cols);
+        let k = rhs.cols();
+        let mut out = Mat::zeros(self.rows, k);
+        for i in 0..self.rows {
+            let out_row = out.row_mut(i);
+            for (j, v) in self.row(i).iter() {
+                let rhs_row = rhs.row(j);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += v * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse × dense product `self^T * rhs` (rhs is `rows × k`).
+    pub fn transpose_matmul_dense(&self, rhs: &Mat) -> Mat {
+        debug_assert_eq!(rhs.rows(), self.rows);
+        let k = rhs.cols();
+        let mut out = Mat::zeros(self.cols, k);
+        for i in 0..self.rows {
+            let rhs_row = rhs.row(i).to_vec();
+            for (j, v) in self.row(i).iter() {
+                let out_row = out.row_mut(j);
+                for (o, &b) in out_row.iter_mut().zip(&rhs_row) {
+                    *o += v * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Squared Frobenius norm of the sparse matrix.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 3, 0]]
+        CsrMatrix::from_rows(3, &[vec![(0, 1.0), (2, 2.0)], vec![(1, 3.0)]])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = sample();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_entries_merged() {
+        let m = CsrMatrix::from_rows(4, &[vec![(3, 1.0), (1, 2.0), (3, 4.0)]]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 3), 5.0);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.row(0).indices(), &[1, 3]);
+    }
+
+    #[test]
+    fn zero_values_dropped() {
+        let m = CsrMatrix::from_rows(2, &[vec![(0, 0.0), (1, 1.0)]]);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn document_frequency() {
+        let m = CsrMatrix::from_rows(
+            3,
+            &[vec![(0, 1.0), (1, 1.0)], vec![(1, 2.0)], vec![(1, 1.0), (2, 1.0)]],
+        );
+        assert_eq!(m.column_document_frequency(), vec![1, 3, 1]);
+    }
+
+    #[test]
+    fn row_dot_dense() {
+        let m = sample();
+        assert_eq!(m.row(0).dot_dense(&[1.0, 1.0, 1.0]), 3.0);
+        assert_eq!(m.row(1).dot_dense(&[0.0, 2.0, 0.0]), 6.0);
+    }
+
+    #[test]
+    fn normalize_rows() {
+        let m = sample().normalize_rows_l2();
+        let n0 = m.row(0).norm2();
+        assert!((n0 - 1.0).abs() < 1e-12);
+        assert!((m.row(1).norm2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_empty_row_safe() {
+        let m = CsrMatrix::from_rows(2, &[vec![], vec![(0, 2.0)]]).normalize_rows_l2();
+        assert_eq!(m.row(0).nnz(), 0);
+        assert!((m.row(1).get(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 2), 2.0);
+        assert_eq!(d.get(1, 0), 0.0);
+        assert_eq!(d.shape(), (2, 3));
+    }
+
+    #[test]
+    fn matmul_dense_matches_dense_matmul() {
+        let m = sample();
+        let rhs = Mat::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let sparse_result = m.matmul_dense(&rhs);
+        let dense_result = m.to_dense().matmul(&rhs).unwrap();
+        assert_eq!(sparse_result, dense_result);
+    }
+
+    #[test]
+    fn transpose_matmul_matches() {
+        let m = sample();
+        let rhs = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let got = m.transpose_matmul_dense(&rhs);
+        let want = m.to_dense().transpose().matmul(&rhs).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn frobenius() {
+        let m = sample();
+        assert_eq!(m.frobenius_norm_sq(), 1.0 + 4.0 + 9.0);
+    }
+
+    #[test]
+    fn map_entries_applies() {
+        let m = sample().map_entries(|_, _, v| v * 10.0);
+        assert_eq!(m.get(0, 2), 20.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Term-weighting schemes (paper §3.1).
+//!
+//! The paper defines, for a corpus `D` of `n` documents:
+//!
+//! * **TF** (Eq. 1): raw count of a term in a document.
+//! * **IDF** (Eq. 2): `log2(n / n_ij)` where `n_ij` is the number of
+//!   documents containing the term.
+//! * **TF-IDF** (Eq. 3): the product.
+//! * **TFIDF_N** (Eq. 4–5): TF-IDF with each document vector scaled to
+//!   unit ℓ² norm — the weighting fed to NMF.
+//!
+//! Binary and log-scaled TF variants are included for the weighting
+//! ablation bench (they are standard alternatives the paper's §4.9
+//! design-choice discussion draws on, cf. Truică et al. 2016).
+
+/// Weighting scheme selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Weighting {
+    /// Raw term frequency (Eq. 1).
+    Tf,
+    /// Binary presence (1 if the term occurs).
+    Binary,
+    /// Sub-linear `1 + log2(tf)` scaling.
+    LogTf,
+    /// `tf * idf` (Eq. 3).
+    TfIdf,
+    /// ℓ²-normalized `tf * idf` (Eq. 4–5) — the paper's choice for NMF.
+    TfIdfNormalized,
+}
+
+impl Weighting {
+    /// All schemes, for sweep benches.
+    pub const ALL: [Weighting; 5] = [
+        Weighting::Tf,
+        Weighting::Binary,
+        Weighting::LogTf,
+        Weighting::TfIdf,
+        Weighting::TfIdfNormalized,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Weighting::Tf => "TF",
+            Weighting::Binary => "Binary",
+            Weighting::LogTf => "LogTF",
+            Weighting::TfIdf => "TFIDF",
+            Weighting::TfIdfNormalized => "TFIDF_N",
+        }
+    }
+}
+
+/// Inverse document frequency (paper Eq. 2): `log2(n / n_ij)`.
+///
+/// Terms appearing in every document get weight 0; terms appearing in
+/// no document (df = 0) are defined to have IDF 0 rather than ∞, so a
+/// vocabulary built on a larger corpus can be reused safely.
+pub fn idf(n_docs: usize, doc_freq: usize) -> f64 {
+    if doc_freq == 0 || n_docs == 0 {
+        return 0.0;
+    }
+    (n_docs as f64 / doc_freq as f64).log2()
+}
+
+/// Computes the full IDF vector from document frequencies.
+pub fn idf_vector(n_docs: usize, doc_freqs: &[usize]) -> Vec<f64> {
+    doc_freqs.iter().map(|&df| idf(n_docs, df)).collect()
+}
+
+/// Applies a TF transform to a raw count.
+pub fn tf_transform(scheme: Weighting, raw_count: f64) -> f64 {
+    match scheme {
+        Weighting::Binary => {
+            if raw_count > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Weighting::LogTf => {
+            if raw_count > 0.0 {
+                1.0 + raw_count.log2()
+            } else {
+                0.0
+            }
+        }
+        // TF-IDF variants use raw TF (Eq. 1) as their base.
+        Weighting::Tf | Weighting::TfIdf | Weighting::TfIdfNormalized => raw_count,
+    }
+}
+
+/// `true` if the scheme multiplies by IDF.
+pub fn uses_idf(scheme: Weighting) -> bool {
+    matches!(scheme, Weighting::TfIdf | Weighting::TfIdfNormalized)
+}
+
+/// `true` if the scheme ℓ²-normalizes document rows.
+pub fn uses_l2_norm(scheme: Weighting) -> bool {
+    matches!(scheme, Weighting::TfIdfNormalized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idf_known_values() {
+        // Term in 1 of 8 docs: log2(8) = 3.
+        assert!((idf(8, 1) - 3.0).abs() < 1e-12);
+        // Term in every doc: 0.
+        assert_eq!(idf(8, 8), 0.0);
+        // Term in half: 1.
+        assert!((idf(8, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idf_degenerate_cases() {
+        assert_eq!(idf(0, 0), 0.0);
+        assert_eq!(idf(10, 0), 0.0);
+    }
+
+    #[test]
+    fn idf_monotone_decreasing_in_df() {
+        let n = 100;
+        let mut prev = f64::INFINITY;
+        for df in 1..=n {
+            let v = idf(n, df);
+            assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn tf_transforms() {
+        assert_eq!(tf_transform(Weighting::Tf, 5.0), 5.0);
+        assert_eq!(tf_transform(Weighting::Binary, 5.0), 1.0);
+        assert_eq!(tf_transform(Weighting::Binary, 0.0), 0.0);
+        assert!((tf_transform(Weighting::LogTf, 4.0) - 3.0).abs() < 1e-12);
+        assert_eq!(tf_transform(Weighting::LogTf, 0.0), 0.0);
+    }
+
+    #[test]
+    fn scheme_flags() {
+        assert!(uses_idf(Weighting::TfIdf));
+        assert!(uses_idf(Weighting::TfIdfNormalized));
+        assert!(!uses_idf(Weighting::Tf));
+        assert!(uses_l2_norm(Weighting::TfIdfNormalized));
+        assert!(!uses_l2_norm(Weighting::TfIdf));
+    }
+
+    #[test]
+    fn idf_vector_maps() {
+        let v = idf_vector(4, &[1, 2, 4, 0]);
+        assert!((v[0] - 2.0).abs() < 1e-12);
+        assert!((v[1] - 1.0).abs() < 1e-12);
+        assert_eq!(v[2], 0.0);
+        assert_eq!(v[3], 0.0);
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<_> =
+            Weighting::ALL.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), Weighting::ALL.len());
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: the whole paper pipeline, end to end, on a small
+//! synthetic world.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a two-week news + Twitter world, extracts topics with
+//! NMF, detects events with MABED, correlates them, builds the A1/A2
+//! feature datasets and trains the MLP audience-interest predictor —
+//! then prints what each stage found and how much the metadata vector
+//! improved accuracy.
+
+use newsdiff::core::features::DatasetVariant;
+use newsdiff::core::pipeline::{Pipeline, PipelineConfig};
+use newsdiff::core::predict::{train_and_eval, NetworkKind, PredictConfig, Target};
+use newsdiff::synth::time::format_ts;
+
+fn main() {
+    println!("newsdiff quickstart — running the Figure 1 pipeline on a synthetic world\n");
+
+    let output = Pipeline::new(PipelineConfig::small()).run().expect("pipeline");
+
+    println!(
+        "world: {} news articles, {} tweets, {} users over {} simulated days\n",
+        output.world.articles.len(),
+        output.world.tweets.len(),
+        output.world.users.len(),
+        output.world.config.days
+    );
+
+    println!("news topics (NMF):");
+    for t in output.topics.topics.iter().take(5) {
+        println!("  NT{}: {}", t.id + 1, t.keywords.join(" "));
+    }
+
+    println!("\ntrending news topics (topic ↔ news event, cosine ≥ 0.7):");
+    for t in output.trending.iter().take(5) {
+        println!(
+            "  topic NT{} ↔ event “{}” (sim {:.2}, starts {})",
+            t.topic_id + 1,
+            t.event.main_word,
+            t.similarity,
+            format_ts(t.event.start)
+        );
+    }
+
+    println!(
+        "\ncorrelation: {} <trending topic, Twitter event> pairs; {} Twitter events matched nothing",
+        output.correlation.pairs.len(),
+        output.correlation.unmatched_twitter.len()
+    );
+
+    // Train the audience-interest predictor with and without metadata.
+    let config = PredictConfig { batch_size: 512, max_epochs: 100, ..Default::default() };
+    let a1 = output.dataset(DatasetVariant::A1, 7);
+    let a2 = output.dataset(DatasetVariant::A2, 7);
+    println!("\ntraining MLP 1 on {} event-tweet samples…", a1.len());
+    let without = train_and_eval(&a1, NetworkKind::Mlp1, Target::Likes, &config);
+    let with = train_and_eval(&a2, NetworkKind::Mlp1, Target::Likes, &config);
+
+    println!(
+        "likes prediction (average accuracy): embeddings only = {:.3}, with metadata = {:.3} ({:+.3})",
+        without.average_accuracy,
+        with.average_accuracy,
+        with.average_accuracy - without.average_accuracy
+    );
+    println!("\nthe influencer + day-of-week metadata makes the predictor better — the paper's core claim.");
+}

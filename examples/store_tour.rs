@@ -1,0 +1,89 @@
+//! Tour of the embedded document store (the MongoDB substitute):
+//! collections, filters, secondary indexes, durability and compaction.
+//!
+//! ```bash
+//! cargo run --release --example store_tour
+//! ```
+
+use newsdiff::store::{Database, Filter};
+use serde_json::json;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("newsdiff-store-tour-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // --- Create and fill ---------------------------------------------------
+    let mut db = Database::open(&dir).expect("open");
+    let tweets = db.collection("tweets");
+    for (text, likes, followers) in [
+        ("brexit vote tonight", 4_200u64, 1_200_000u64),
+        ("derby winner disqualified", 310, 5_400),
+        ("my cat sleeping", 12, 96),
+        ("tariff escalation latest", 870, 44_000),
+        ("iran tanker incident", 2_950, 380_000),
+    ] {
+        tweets
+            .insert(json!({
+                "text": text,
+                "likes": likes,
+                "user": {"followers": followers},
+            }))
+            .expect("insert");
+    }
+    println!("inserted {} tweets", tweets.len());
+
+    // --- Query --------------------------------------------------------------
+    let viral = tweets.find(&Filter::range("likes", Some(1001.0), None));
+    println!("\nviral tweets (>1000 likes):");
+    for t in &viral {
+        println!("  {} ({} likes)", t["text"], t["likes"]);
+    }
+
+    let influencer_content = tweets.find(&Filter::And(vec![
+        Filter::range("user.followers", Some(10_000.0), None),
+        Filter::contains("text", "a"),
+    ]));
+    println!("\ninfluencer tweets: {}", influencer_content.len());
+
+    // --- Index acceleration ---------------------------------------------------
+    tweets.create_index("likes");
+    let warm = tweets.find(&Filter::range("likes", Some(100.0), Some(1000.0)));
+    println!("\nwith a likes index, the 100–1000 bucket scan returns {} rows:", warm.len());
+    for t in &warm {
+        println!("  {} ({})", t["text"], t["likes"]);
+    }
+
+    // --- Durability ---------------------------------------------------------
+    db.persist().expect("persist");
+    drop(db);
+    let mut db = Database::open(&dir).expect("reopen");
+    println!(
+        "\nreopened from WAL: {} tweets survive",
+        db.get_collection("tweets").map(|c| c.len()).unwrap_or(0)
+    );
+
+    // --- Mutation + compaction ----------------------------------------------
+    let tweets = db.collection("tweets");
+    let boring: Vec<u64> = tweets
+        .find(&Filter::range("likes", None, Some(99.0)))
+        .iter()
+        .filter_map(|d| d["_id"].as_u64())
+        .collect();
+    for id in boring {
+        tweets.delete(id).expect("delete");
+    }
+    db.compact().expect("compact");
+    println!(
+        "deleted the cold tweets and compacted (snapshot generation {})",
+        db.generation()
+    );
+
+    drop(db);
+    let db = Database::open(&dir).expect("reopen after compaction");
+    println!(
+        "after compaction: {} tweets, all with ≥100 likes",
+        db.get_collection("tweets").map(|c| c.len()).unwrap_or(0)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: the full pipeline against the
+//! synthetic world's ground truth, exercising every crate through the
+//! `newsdiff` facade.
+
+use newsdiff::core::features::DatasetVariant;
+use newsdiff::core::pipeline::{Pipeline, PipelineConfig, PipelineOutput};
+use newsdiff::core::predict::{train_and_eval, NetworkKind, PredictConfig, Target};
+use newsdiff::neural::EarlyStopping;
+use newsdiff::synth::TopicKind;
+use std::sync::OnceLock;
+
+/// One shared small-scale pipeline run (release-mode tests share the
+/// cost across assertions).
+fn output() -> &'static PipelineOutput {
+    static OUT: OnceLock<PipelineOutput> = OnceLock::new();
+    OUT.get_or_init(|| Pipeline::new(PipelineConfig::small()).run().expect("pipeline"))
+}
+
+#[test]
+fn q1_news_topics_gain_traction_on_social_media() {
+    // Research question Q1: current events in mass media also gain
+    // traction on social media — every trending news topic must match
+    // at least one Twitter event (paper §5.5).
+    let o = output();
+    assert!(!o.trending.is_empty());
+    let matched: std::collections::HashSet<usize> =
+        o.correlation.pairs.iter().map(|p| p.trending_idx).collect();
+    for i in 0..o.trending.len() {
+        assert!(matched.contains(&i), "trending topic {i} unmatched");
+    }
+}
+
+#[test]
+fn q2_reverse_correlation_gives_same_pairs_but_not_all_twitter_events_match() {
+    // Research question Q2 (paper §5.5, §5.8): the reverse correlation
+    // yields the same pair set, and Twitter chatter exists with no
+    // news counterpart.
+    let o = output();
+    let mut fwd: Vec<_> =
+        o.correlation.pairs.iter().map(|p| (p.trending_idx, p.twitter_idx)).collect();
+    let mut rev: Vec<_> = o
+        .reverse_correlation
+        .pairs
+        .iter()
+        .map(|p| (p.trending_idx, p.twitter_idx))
+        .collect();
+    fwd.sort_unstable();
+    rev.sort_unstable();
+    assert_eq!(fwd, rev);
+    assert!(!o.correlation.unmatched_twitter.is_empty());
+}
+
+#[test]
+fn planted_chatter_topics_stay_unmatched() {
+    // The Table 7 behaviour with ground truth: Twitter-only topics
+    // (Game of Thrones, food, …) must never correlate with a trending
+    // news topic.
+    let o = output();
+    let chatter_vocab: std::collections::HashSet<&str> = o
+        .world
+        .topics
+        .iter()
+        .filter(|t| t.kind == TopicKind::TwitterOnly)
+        .flat_map(|t| t.keywords.iter().copied())
+        .collect();
+    for pair in &o.correlation.pairs {
+        let te = &o.twitter_events[pair.twitter_idx];
+        assert!(
+            !chatter_vocab.contains(te.main_word.as_str()),
+            "chatter event '{}' matched a trending news topic",
+            te.main_word
+        );
+    }
+}
+
+#[test]
+fn q3_audience_interest_predictable_from_event_tweets() {
+    // Research question Q3: likes/retweets buckets are predictable
+    // well above chance from the event-scoped embeddings.
+    let o = output();
+    let ds = o.dataset(DatasetVariant::A1, 7);
+    assert!(ds.len() >= 200, "need a meaningful dataset, got {}", ds.len());
+    let config = PredictConfig {
+        batch_size: 512,
+        max_epochs: 80,
+        early_stopping: Some(EarlyStopping { min_delta: 1e-3, patience: 5 }),
+        ..Default::default()
+    };
+    let res = train_and_eval(&ds, NetworkKind::Mlp1, Target::Likes, &config);
+    // 3-class problem: chance plain accuracy ≈ the majority share;
+    // Eq. 17 average accuracy for chance ≈ 0.55-0.6. Demand clearly more.
+    assert!(
+        res.average_accuracy > 0.66,
+        "content-only average accuracy too low: {}",
+        res.average_accuracy
+    );
+}
+
+#[test]
+fn q4_metadata_improves_prediction() {
+    // Research question Q4 — the headline claim: the metadata vector
+    // (influencer one-hot + day of week) improves accuracy.
+    let o = output();
+    let config = PredictConfig {
+        batch_size: 512,
+        max_epochs: 100,
+        early_stopping: Some(EarlyStopping { min_delta: 1e-3, patience: 5 }),
+        ..Default::default()
+    };
+    for (plain, with_meta) in [
+        (DatasetVariant::A1, DatasetVariant::A2),
+        (DatasetVariant::B1, DatasetVariant::B2),
+    ] {
+        let base = train_and_eval(&o.dataset(plain, 7), NetworkKind::Mlp1, Target::Likes, &config);
+        let meta =
+            train_and_eval(&o.dataset(with_meta, 7), NetworkKind::Mlp1, Target::Likes, &config);
+        assert!(
+            meta.average_accuracy > base.average_accuracy + 0.02,
+            "{:?}->{:?}: {} vs {}",
+            plain,
+            with_meta,
+            base.average_accuracy,
+            meta.average_accuracy
+        );
+    }
+}
+
+#[test]
+fn detected_events_align_with_planted_bursts() {
+    // Every correlated Twitter event must overlap a planted burst of a
+    // topic containing its main word.
+    let o = output();
+    for ev in &o.correlated_events {
+        let topic_idx = o
+            .world
+            .topics
+            .iter()
+            .position(|t| t.keywords.contains(&ev.main_word.as_str()));
+        let Some(topic_idx) = topic_idx else {
+            panic!("event main word '{}' not in any planted pool", ev.main_word);
+        };
+        let overlaps = o.world.events.iter().any(|g| {
+            g.topic == topic_idx
+                && g.start < ev.end
+                && ev.start < g.end + g.twitter_lag + 2 * 86_400
+        });
+        assert!(overlaps, "event '{}' overlaps no planted burst", ev.main_word);
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let a = Pipeline::new(PipelineConfig::small()).run().expect("run a");
+    let b = output();
+    assert_eq!(a.trending.len(), b.trending.len());
+    assert_eq!(a.correlation.pairs.len(), b.correlation.pairs.len());
+    for (x, y) in a.twitter_events.iter().zip(&b.twitter_events) {
+        assert_eq!(x.main_word, y.main_word);
+        assert_eq!(x.start, y.start);
+    }
+}

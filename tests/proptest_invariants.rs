@@ -1,0 +1,89 @@
+//! Cross-crate property tests on pipeline invariants.
+
+use newsdiff::core::features::{follower_bin, metadata_vector, METADATA_DIM};
+use newsdiff::embed::{doc_embedding, AverageStrategy, WordVectors};
+use newsdiff::neural::metrics::ConfusionMatrix;
+use newsdiff::synth::bucket_count;
+use newsdiff::text::{preprocess_event_detection, preprocess_topic_modeling};
+use newsdiff::vectorize::{DtmBuilder, Weighting};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #[test]
+    fn preprocessing_never_panics_and_never_emits_whitespace(text in ".{0,300}") {
+        for tok in preprocess_topic_modeling(&text) {
+            prop_assert!(!tok.chars().any(char::is_whitespace));
+            prop_assert!(!tok.is_empty());
+        }
+        for tok in preprocess_event_detection(&text) {
+            prop_assert!(!tok.chars().any(char::is_whitespace));
+            prop_assert!(!tok.is_empty());
+        }
+    }
+
+    #[test]
+    fn ed_tokens_are_lowercase(text in "[A-Za-z #@.!?]{0,200}") {
+        for tok in preprocess_event_detection(&text) {
+            prop_assert_eq!(tok.clone(), tok.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn bucket_encoding_total_and_monotone(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_count(lo) <= bucket_count(hi));
+        prop_assert!(bucket_count(a) <= 2);
+    }
+
+    #[test]
+    fn metadata_vector_is_wellformed(followers in 0u64..10_000_000, ts in 0u64..2_000_000_000) {
+        let v = metadata_vector(followers, ts);
+        prop_assert_eq!(v.len(), METADATA_DIM);
+        // exactly one follower bin hot
+        let hot: f64 = v[..7].iter().sum();
+        prop_assert!((hot - 1.0).abs() < 1e-12);
+        prop_assert_eq!(v[follower_bin(followers)], 1.0);
+        // day component normalized
+        prop_assert!((0.0..=1.0).contains(&v[7]));
+    }
+
+    #[test]
+    fn tfidf_normalized_rows_unit_or_zero(
+        docs in prop::collection::vec(
+            prop::collection::vec("[a-f]{1,3}", 1..10),
+            1..12
+        )
+    ) {
+        let dtm = DtmBuilder::new().build(&docs);
+        let a = dtm.weighted(Weighting::TfIdfNormalized);
+        for i in 0..a.rows() {
+            let n = a.row(i).norm2();
+            prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-9, "row {} norm {}", i, n);
+        }
+    }
+
+    #[test]
+    fn doc_embedding_bounded_by_inputs(
+        tokens in prop::collection::vec("[a-d]", 0..10),
+        seed in 0u64..100
+    ) {
+        let mut wv = WordVectors::new(4);
+        wv.insert("a", &[1.0, 0.0, 0.0, 0.0]);
+        wv.insert("b", &[0.0, 1.0, 0.0, 0.0]);
+        let emb = doc_embedding(&wv, &tokens, AverageStrategy::RandomForMissing, &HashMap::new(), seed);
+        prop_assert_eq!(emb.len(), 4);
+        // Averaging vectors bounded by 1 keeps every component in [-1, 1].
+        prop_assert!(emb.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn average_accuracy_bounds(labels in prop::collection::vec(0usize..3, 1..40),
+                               preds in prop::collection::vec(0usize..3, 1..40)) {
+        let n = labels.len().min(preds.len());
+        let cm = ConfusionMatrix::from_labels(3, &labels[..n], &preds[..n]);
+        let avg = cm.average_accuracy();
+        prop_assert!((0.0..=1.0).contains(&avg));
+        prop_assert!(avg >= cm.accuracy() - 1e-12, "Eq.17 average accuracy dominates plain accuracy for k=3");
+    }
+}

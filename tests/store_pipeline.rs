@@ -1,0 +1,100 @@
+//! Integration: collection loop → document store → preprocessing,
+//! i.e. the storage-backed path of paper §4.1–4.2 across `nd-synth`,
+//! `nd-core::collect` and `nd-store`.
+
+use newsdiff::core::collect::collect_world;
+use newsdiff::store::{Database, Filter};
+use newsdiff::synth::{World, WorldConfig};
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("ndit-{}-{}", std::process::id(), name));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+fn tiny_world() -> World {
+    World::generate(WorldConfig {
+        days: 3,
+        n_users: 60,
+        min_influencers: 8,
+        ..WorldConfig::small()
+    })
+}
+
+#[test]
+fn collected_store_survives_restart_with_identical_query_results() {
+    let world = tiny_world();
+    let dir = tmpdir("restart");
+    let before: usize;
+    {
+        let mut db = Database::open(&dir).unwrap();
+        collect_world(&world, &mut db).unwrap();
+        before = db
+            .get_collection("tweets")
+            .unwrap()
+            .count(&Filter::range("likes", Some(100.0), Some(1000.0)));
+        db.persist().unwrap();
+    }
+    {
+        let db = Database::open(&dir).unwrap();
+        let after = db
+            .get_collection("tweets")
+            .unwrap()
+            .count(&Filter::range("likes", Some(100.0), Some(1000.0)));
+        assert_eq!(before, after);
+        assert!(after > 0);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_round_trip_preserves_engagement_distribution() {
+    let world = tiny_world();
+    let dir = tmpdir("dist");
+    let mut db = Database::open(&dir).unwrap();
+    collect_world(&world, &mut db).unwrap();
+    let tweets = db.get_collection("tweets").unwrap();
+
+    // Table 2 buckets computed from the store must match the world's.
+    let mut store_buckets = [0usize; 3];
+    for doc in tweets.iter() {
+        let likes = doc["likes"].as_u64().unwrap();
+        store_buckets[newsdiff::synth::bucket_count(likes) as usize] += 1;
+    }
+    let mut world_buckets = [0usize; 3];
+    for t in &world.tweets {
+        world_buckets[newsdiff::synth::bucket_count(t.likes) as usize] += 1;
+    }
+    // Collection may drop <1% at page boundaries.
+    for c in 0..3 {
+        let diff = store_buckets[c].abs_diff(world_buckets[c]);
+        assert!(
+            diff * 100 <= world_buckets[c].max(100),
+            "bucket {c}: store {} vs world {}",
+            store_buckets[c],
+            world_buckets[c]
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compaction_preserves_query_results() {
+    let world = tiny_world();
+    let dir = tmpdir("compact");
+    let filter = Filter::And(vec![
+        Filter::contains("text", "the"),
+        Filter::range("likes", Some(50.0), None),
+    ]);
+    let before: usize;
+    {
+        let mut db = Database::open(&dir).unwrap();
+        collect_world(&world, &mut db).unwrap();
+        before = db.get_collection("tweets").unwrap().count(&filter);
+        db.compact().unwrap();
+    }
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(db.get_collection("tweets").unwrap().count(&filter), before);
+    std::fs::remove_dir_all(&dir).ok();
+}
