@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint, and the cross-thread-count
+# determinism suite. Mirrors what a PR must pass.
+#
+# NEWSDIFF_THREADS=4 forces the parallel paths on even on small CI
+# machines; the determinism suite then pins 1/2/8-thread runs against
+# each other internally.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> build (release)"
+cargo build --release --workspace
+
+echo "==> tests (workspace)"
+NEWSDIFF_THREADS=4 cargo test -q --workspace
+
+echo "==> clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> determinism suite"
+NEWSDIFF_THREADS=4 cargo test -q --test determinism
+
+echo "==> ci.sh: all green"

@@ -1,15 +1,32 @@
 //! Criterion micro-benchmarks of the pipeline's hot kernels:
 //! TF-IDF construction, one NMF iteration cycle, MABED detection,
-//! Word2Vec training steps and embedding cosine scans.
+//! Word2Vec training steps and embedding cosine scans — plus
+//! serial-vs-parallel scaling groups for every kernel routed through
+//! `nd-par` (`NEWSDIFF_THREADS` is re-read per product, so each group
+//! member pins its own thread count).
+//!
+//! Set `ND_BENCH_JSON=BENCH_kernels.json` to append the measurements
+//! as JSON when the run finishes.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use nd_core::predict::NetworkKind;
 use nd_embed::{Word2Vec, Word2VecConfig, Word2VecMode};
 use nd_events::{AnomalySource, Mabed, MabedConfig, SlicedCorpus, TimestampedDoc};
 use nd_linalg::rng::SplitMix64;
 use nd_linalg::vecops::cosine;
+use nd_linalg::Mat;
+use nd_neural::{Conv1d, Dense, Layer, Trainer, TrainerConfig};
 use nd_topics::{Nmf, NmfConfig};
 use nd_vectorize::{DtmBuilder, Weighting};
 use std::hint::black_box;
+
+/// Thread counts exercised by the scaling groups.
+const THREAD_STEPS: [&str; 3] = ["1", "2", "4"];
+
+fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut rng = SplitMix64::new(seed);
+    Mat::from_fn(rows, cols, |_, _| rng.next_range(-1.0, 1.0))
+}
 
 fn synth_docs(n: usize, vocab: usize, len: usize, seed: u64) -> Vec<Vec<String>> {
     let mut rng = SplitMix64::new(seed);
@@ -99,9 +116,163 @@ fn bench_cosine(c: &mut Criterion) {
     });
 }
 
+fn bench_matmul_scaling(c: &mut Criterion) {
+    let a = random_mat(256, 256, 11);
+    let b = random_mat(256, 256, 12);
+    let mut g = c.benchmark_group("matmul_256x256");
+    for t in THREAD_STEPS {
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
+            std::env::set_var("NEWSDIFF_THREADS", t);
+            bch.iter(|| black_box(a.matmul(black_box(&b)).unwrap()));
+        });
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+    g.finish();
+}
+
+fn bench_matmul_1024_scaling(c: &mut Criterion) {
+    let a = random_mat(1024, 1024, 22);
+    let b = random_mat(1024, 1024, 23);
+    let mut g = c.benchmark_group("matmul_1024x1024");
+    // ~1 GFLOP per product: keep the sample count low.
+    g.sample_size(3);
+    for t in THREAD_STEPS {
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
+            std::env::set_var("NEWSDIFF_THREADS", t);
+            bch.iter(|| black_box(a.matmul(black_box(&b)).unwrap()));
+        });
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+    g.finish();
+}
+
+fn bench_cnn_epoch_scaling(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(24);
+    let n = 500;
+    let dim = 308;
+    let mut x = Mat::zeros(n, dim);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        for col in 0..dim {
+            x.set(r, col, rng.next_gaussian());
+        }
+        y.push(rng.next_usize(3));
+    }
+    let mut g = c.benchmark_group("cnn_epoch_500x308");
+    for t in THREAD_STEPS {
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
+            std::env::set_var("NEWSDIFF_THREADS", t);
+            bch.iter(|| {
+                let kind = NetworkKind::Cnn1;
+                let mut net = kind.build(dim, 42);
+                let mut opt = kind.optimizer();
+                let trainer = Trainer::new(TrainerConfig {
+                    batch_size: 5_000,
+                    max_epochs: 1,
+                    early_stopping: None,
+                    seed: 1,
+                });
+                black_box(trainer.fit(&mut net, black_box(&x), &y, opt.as_mut()))
+            });
+        });
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+    g.finish();
+}
+
+fn bench_csr_scaling(c: &mut Criterion) {
+    let docs = synth_docs(2_000, 3_000, 80, 13);
+    let dtm = DtmBuilder::new().build(&docs);
+    let a = dtm.weighted(Weighting::TfIdfNormalized);
+    let rhs = random_mat(a.cols(), 32, 14);
+    let rhs_t = random_mat(a.rows(), 32, 15);
+    let mut g = c.benchmark_group("csr_products_2000x3000_k32");
+    for t in THREAD_STEPS {
+        g.bench_with_input(BenchmarkId::new("ax_threads", t), &t, |bch, &t| {
+            std::env::set_var("NEWSDIFF_THREADS", t);
+            bch.iter(|| black_box(a.matmul_dense(black_box(&rhs))));
+        });
+        g.bench_with_input(BenchmarkId::new("atx_threads", t), &t, |bch, &t| {
+            std::env::set_var("NEWSDIFF_THREADS", t);
+            bch.iter(|| black_box(a.transpose_matmul_dense(black_box(&rhs_t))));
+        });
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+    g.finish();
+}
+
+fn bench_nmf_scaling(c: &mut Criterion) {
+    let docs = synth_docs(500, 800, 60, 16);
+    let dtm = DtmBuilder::new().build(&docs);
+    let a = dtm.weighted(Weighting::TfIdfNormalized);
+    let mut g = c.benchmark_group("nmf_iteration_500x800_k10");
+    for t in THREAD_STEPS {
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
+            std::env::set_var("NEWSDIFF_THREADS", t);
+            bch.iter(|| {
+                let nmf = Nmf::new(NmfConfig { n_topics: 10, max_iter: 1, tol: 0.0, seed: 3 });
+                black_box(nmf.fit(black_box(&a), dtm.vocab()))
+            });
+        });
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+    g.finish();
+}
+
+fn bench_word2vec_scaling(c: &mut Criterion) {
+    let corpus = synth_docs(300, 500, 15, 17);
+    let mut g = c.benchmark_group("word2vec_epoch_dim32");
+    for t in THREAD_STEPS {
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
+            std::env::set_var("NEWSDIFF_THREADS", t);
+            bch.iter(|| {
+                let w2v = Word2Vec::new(Word2VecConfig {
+                    dim: 32,
+                    epochs: 1,
+                    min_count: 1,
+                    mode: Word2VecMode::Cbow,
+                    ..Default::default()
+                });
+                black_box(w2v.train(black_box(&corpus)))
+            });
+        });
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+    g.finish();
+}
+
+fn bench_layers_scaling(c: &mut Criterion) {
+    let dense_in = random_mat(64, 256, 18);
+    let conv_in = random_mat(64, 300, 19);
+    let mut g = c.benchmark_group("layers_fwd_bwd_batch64");
+    for t in THREAD_STEPS {
+        g.bench_with_input(BenchmarkId::new("dense_256x128_threads", t), &t, |bch, &t| {
+            std::env::set_var("NEWSDIFF_THREADS", t);
+            let mut layer = Dense::new(256, 128, 20);
+            bch.iter(|| {
+                let out = layer.forward(black_box(&dense_in), true);
+                black_box(layer.backward(&out))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("conv1d_k5_f16_threads", t), &t, |bch, &t| {
+            std::env::set_var("NEWSDIFF_THREADS", t);
+            let mut layer = Conv1d::new(300, 5, 16, 21);
+            bch.iter(|| {
+                let out = layer.forward(black_box(&conv_in), true);
+                black_box(layer.backward(&out))
+            });
+        });
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+    g.finish();
+}
+
 criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_tfidf, bench_nmf, bench_mabed, bench_word2vec, bench_cosine
+    targets = bench_tfidf, bench_nmf, bench_mabed, bench_word2vec, bench_cosine,
+        bench_matmul_scaling, bench_matmul_1024_scaling, bench_csr_scaling,
+        bench_nmf_scaling, bench_word2vec_scaling, bench_layers_scaling,
+        bench_cnn_epoch_scaling
 );
 criterion_main!(kernels);

@@ -84,7 +84,7 @@ pub fn prune_checkpoints(db: &mut Database, name: &str, keep: usize) -> Result<u
         .iter()
         .filter_map(|d| Some((d["version"].as_u64()?, d["_id"].as_u64()?)))
         .collect();
-    versions.sort_by(|a, b| b.0.cmp(&a.0));
+    versions.sort_by_key(|&(version, _)| std::cmp::Reverse(version));
     let mut removed = 0;
     for &(_, id) in versions.iter().skip(keep) {
         coll.delete(id)?;

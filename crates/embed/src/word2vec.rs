@@ -8,6 +8,20 @@
 //! Training uses negative sampling with the standard unigram^0.75
 //! noise distribution, frequent-word subsampling, and a linearly
 //! decaying learning rate. All randomness is seeded.
+//!
+//! # Parallel training and determinism
+//!
+//! Sentences are processed in fixed-size batches. Every sentence
+//! derives its own RNG stream from `(seed, epoch, sentence index)`,
+//! computes its gradient contributions against the parameter snapshot
+//! taken at the start of its batch (mini-batch semantics rather than
+//! Hogwild), and the contributions are applied in ascending sentence
+//! order. Sentences within a batch run across threads via [`nd_par`],
+//! but neither the derived randomness nor the apply order depends on
+//! the thread count, so training is bit-for-bit reproducible at any
+//! `NEWSDIFF_THREADS` setting. The learning-rate schedule decays over
+//! *raw* token positions (prefix sums of sentence lengths), not over
+//! stochastic post-subsampling counts, for the same reason.
 
 use crate::vectors::WordVectors;
 use nd_linalg::rng::SplitMix64;
@@ -70,11 +84,47 @@ pub struct Word2Vec {
 
 const UNIGRAM_TABLE_SIZE: usize = 1 << 17;
 const SIGMOID_CLAMP: f64 = 6.0;
+/// Sentences per batch-synchronous update. Small enough that the
+/// snapshot gradients stay close to sequential SGD, large enough to
+/// amortise the parallel fan-out.
+const BATCH_SENTENCES: usize = 8;
 
 #[inline]
 fn sigmoid(x: f64) -> f64 {
     let x = x.clamp(-SIGMOID_CLAMP, SIGMOID_CLAMP);
     1.0 / (1.0 + (-x).exp())
+}
+
+/// Derives the per-sentence RNG stream. A pure function of the seed,
+/// epoch, and sentence index — independent of processing order, so
+/// any scheduling of sentences across threads sees identical draws.
+fn sentence_rng(seed: u64, epoch: usize, sent: usize) -> SplitMix64 {
+    let key = seed
+        ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (sent as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    SplitMix64::new(key)
+}
+
+/// One sentence's gradient contributions: parallel row-id / delta
+/// arrays for the input (`syn0`) and output (`syn1`) matrices, each
+/// delta `dim` wide. Recorded in generation order and applied in the
+/// same order.
+#[derive(Default)]
+struct SentGrad {
+    rows0: Vec<u32>,
+    delta0: Vec<f64>,
+    rows1: Vec<u32>,
+    delta1: Vec<f64>,
+}
+
+/// Adds each recorded delta row into `params` in recorded order.
+fn apply_deltas(params: &mut [f64], dim: usize, rows: &[u32], deltas: &[f64]) {
+    for (i, &r) in rows.iter().enumerate() {
+        let row = &mut params[r as usize * dim..(r as usize + 1) * dim];
+        for (p, &d) in row.iter_mut().zip(&deltas[i * dim..(i + 1) * dim]) {
+            *p += d;
+        }
+    }
 }
 
 impl Word2Vec {
@@ -154,87 +204,65 @@ impl Word2Vec {
             })
             .collect();
 
-        // --- Training loop.
+        // --- Training loop: deterministic batch-synchronous SGD.
         let total_steps = (cfg.epochs * total_tokens).max(1) as f64;
-        let mut step = 0usize;
-        let mut neu1 = vec![0.0; cfg.dim];
-        let mut grad = vec![0.0; cfg.dim];
+        // Raw-token prefix sums drive the linear learning-rate decay;
+        // the schedule must not depend on stochastic subsampling
+        // outcomes or on which thread reached a sentence first.
+        let mut sent_offsets = Vec::with_capacity(encoded.len());
+        let mut acc = 0usize;
+        for sent in &encoded {
+            sent_offsets.push(acc);
+            acc += sent.len();
+        }
+        let avg_len = total_tokens / encoded.len().max(1);
+        let work_hint =
+            avg_len.saturating_mul(cfg.dim).saturating_mul(cfg.negative + 2).max(1);
 
         for epoch in 0..cfg.epochs {
-            for sent in &encoded {
-                // Subsample per epoch for variety.
-                let kept: Vec<u32> = sent
-                    .iter()
-                    .copied()
-                    .filter(|&id| {
-                        keep_prob[id as usize] >= 1.0
-                            || rng.next_f64() < keep_prob[id as usize]
-                    })
-                    .collect();
-                for (pos, &center) in kept.iter().enumerate() {
-                    step += 1;
-                    let lr = (cfg.learning_rate
-                        * (1.0 - step as f64 / (total_steps + 1.0)))
-                        .max(cfg.learning_rate * 1e-4);
-                    // Randomized effective window as in the reference
-                    // implementation.
-                    let b = rng.next_usize(cfg.window.max(1));
-                    let win = cfg.window - b;
-                    let lo = pos.saturating_sub(win);
-                    let hi = (pos + win).min(kept.len().saturating_sub(1));
-                    let context: Vec<u32> = (lo..=hi)
-                        .filter(|&p| p != pos)
-                        .map(|p| kept[p])
-                        .collect();
-                    if context.is_empty() {
-                        continue;
+            let epoch_base = epoch * total_tokens;
+            let mut batch_start = 0;
+            while batch_start < encoded.len() {
+                let batch_len = BATCH_SENTENCES.min(encoded.len() - batch_start);
+                let syn0_ref = &syn0;
+                let syn1_ref = &syn1;
+                // One chunk per sentence: chunk boundaries are fixed
+                // and results come back in sentence order, whatever
+                // the thread count.
+                let grads: Vec<SentGrad> = nd_par::run_chunks(batch_len, 1, work_hint, |range| {
+                    let mut out = Vec::with_capacity(range.len());
+                    for bi in range {
+                        let si = batch_start + bi;
+                        let tokens_before = epoch_base + sent_offsets[si];
+                        let lr = (cfg.learning_rate
+                            * (1.0 - tokens_before as f64 / (total_steps + 1.0)))
+                            .max(cfg.learning_rate * 1e-4);
+                        let mut srng = sentence_rng(cfg.seed, epoch, si);
+                        out.push(sentence_gradients(
+                            cfg,
+                            &encoded[si],
+                            &keep_prob,
+                            &table,
+                            syn0_ref,
+                            syn1_ref,
+                            lr,
+                            v,
+                            &mut srng,
+                        ));
                     }
-                    match cfg.mode {
-                        Word2VecMode::Cbow => {
-                            // Average context -> predict center.
-                            neu1.iter_mut().for_each(|x| *x = 0.0);
-                            for &c in &context {
-                                let row = &syn0[c as usize * cfg.dim..(c as usize + 1) * cfg.dim];
-                                for (a, &b) in neu1.iter_mut().zip(row) {
-                                    *a += b;
-                                }
-                            }
-                            let inv = 1.0 / context.len() as f64;
-                            neu1.iter_mut().for_each(|x| *x *= inv);
-                            grad.iter_mut().for_each(|x| *x = 0.0);
-                            self.negative_step(
-                                &neu1, &mut grad, &mut syn1, center, &table, &mut rng, lr,
-                                cfg.dim, cfg.negative, v,
-                            );
-                            for &c in &context {
-                                let row = &mut syn0
-                                    [c as usize * cfg.dim..(c as usize + 1) * cfg.dim];
-                                for (a, &g) in row.iter_mut().zip(&grad) {
-                                    *a += g;
-                                }
-                            }
-                        }
-                        Word2VecMode::SkipGram => {
-                            for &ctx in &context {
-                                let row_start = ctx as usize * cfg.dim;
-                                neu1.copy_from_slice(
-                                    &syn0[row_start..row_start + cfg.dim],
-                                );
-                                grad.iter_mut().for_each(|x| *x = 0.0);
-                                self.negative_step(
-                                    &neu1, &mut grad, &mut syn1, center, &table, &mut rng,
-                                    lr, cfg.dim, cfg.negative, v,
-                                );
-                                let row = &mut syn0[row_start..row_start + cfg.dim];
-                                for (a, &g) in row.iter_mut().zip(&grad) {
-                                    *a += g;
-                                }
-                            }
-                        }
-                    }
+                    out
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+                // Apply in ascending sentence order — the merge order
+                // is part of the determinism contract.
+                for sg in &grads {
+                    apply_deltas(&mut syn0, cfg.dim, &sg.rows0, &sg.delta0);
+                    apply_deltas(&mut syn1, cfg.dim, &sg.rows1, &sg.delta1);
                 }
+                batch_start += batch_len;
             }
-            let _ = epoch;
         }
 
         // --- Export input vectors.
@@ -244,47 +272,121 @@ impl Word2Vec {
         }
         out
     }
+}
 
-    /// One negative-sampling update: `hidden` is the predictor vector,
-    /// `grad` accumulates its gradient, `syn1` holds output vectors.
-    #[allow(clippy::too_many_arguments)]
-    fn negative_step(
-        &self,
-        hidden: &[f64],
-        grad: &mut [f64],
-        syn1: &mut [f64],
-        target: u32,
-        table: &[u32],
-        rng: &mut SplitMix64,
-        lr: f64,
-        dim: usize,
-        negative: usize,
-        vocab_size: usize,
-    ) {
-        for k in 0..=negative {
-            let (word, label) = if k == 0 {
-                (target as usize, 1.0)
-            } else {
-                let mut w = table[rng.next_usize(table.len())] as usize;
-                if w == target as usize {
-                    w = (w + 1 + rng.next_usize(vocab_size.saturating_sub(1).max(1)))
-                        % vocab_size;
+/// Computes one sentence's gradient contributions against a frozen
+/// parameter snapshot. Consumes the sentence's private RNG stream for
+/// subsampling, window jitter, and negative draws.
+#[allow(clippy::too_many_arguments)]
+fn sentence_gradients(
+    cfg: &Word2VecConfig,
+    sent: &[u32],
+    keep_prob: &[f64],
+    table: &[u32],
+    syn0: &[f64],
+    syn1: &[f64],
+    lr: f64,
+    vocab_size: usize,
+    rng: &mut SplitMix64,
+) -> SentGrad {
+    let dim = cfg.dim;
+    let mut sg = SentGrad::default();
+    let kept: Vec<u32> = sent
+        .iter()
+        .copied()
+        .filter(|&id| keep_prob[id as usize] >= 1.0 || rng.next_f64() < keep_prob[id as usize])
+        .collect();
+    let mut neu1 = vec![0.0; dim];
+    let mut grad = vec![0.0; dim];
+    for (pos, &center) in kept.iter().enumerate() {
+        // Randomized effective window as in the reference
+        // implementation.
+        let b = rng.next_usize(cfg.window.max(1));
+        let win = cfg.window - b;
+        let lo = pos.saturating_sub(win);
+        let hi = (pos + win).min(kept.len().saturating_sub(1));
+        let context: Vec<u32> = (lo..=hi).filter(|&p| p != pos).map(|p| kept[p]).collect();
+        if context.is_empty() {
+            continue;
+        }
+        match cfg.mode {
+            Word2VecMode::Cbow => {
+                // Average context -> predict center.
+                neu1.iter_mut().for_each(|x| *x = 0.0);
+                for &c in &context {
+                    let row = &syn0[c as usize * dim..(c as usize + 1) * dim];
+                    for (a, &b) in neu1.iter_mut().zip(row) {
+                        *a += b;
+                    }
                 }
-                (w, 0.0)
-            };
-            let out_row = &mut syn1[word * dim..(word + 1) * dim];
-            let mut dot = 0.0;
-            for (h, o) in hidden.iter().zip(out_row.iter()) {
-                dot += h * o;
+                let inv = 1.0 / context.len() as f64;
+                neu1.iter_mut().for_each(|x| *x *= inv);
+                grad.iter_mut().for_each(|x| *x = 0.0);
+                negative_grads(
+                    &neu1, &mut grad, syn1, center, table, rng, lr, dim, cfg.negative,
+                    vocab_size, &mut sg,
+                );
+                for &c in &context {
+                    sg.rows0.push(c);
+                    sg.delta0.extend_from_slice(&grad);
+                }
             }
-            let g = (label - sigmoid(dot)) * lr;
-            for (gr, &o) in grad.iter_mut().zip(out_row.iter()) {
-                *gr += g * o;
-            }
-            for (o, &h) in out_row.iter_mut().zip(hidden) {
-                *o += g * h;
+            Word2VecMode::SkipGram => {
+                for &ctx in &context {
+                    let row_start = ctx as usize * dim;
+                    neu1.copy_from_slice(&syn0[row_start..row_start + dim]);
+                    grad.iter_mut().for_each(|x| *x = 0.0);
+                    negative_grads(
+                        &neu1, &mut grad, syn1, center, table, rng, lr, dim, cfg.negative,
+                        vocab_size, &mut sg,
+                    );
+                    sg.rows0.push(ctx);
+                    sg.delta0.extend_from_slice(&grad);
+                }
             }
         }
+    }
+    sg
+}
+
+/// One negative-sampling step against the snapshot: `hidden` is the
+/// predictor vector, `grad` accumulates its gradient, and each output
+/// row's update is *recorded* into `sg` instead of applied in place.
+#[allow(clippy::too_many_arguments)]
+fn negative_grads(
+    hidden: &[f64],
+    grad: &mut [f64],
+    syn1: &[f64],
+    target: u32,
+    table: &[u32],
+    rng: &mut SplitMix64,
+    lr: f64,
+    dim: usize,
+    negative: usize,
+    vocab_size: usize,
+    sg: &mut SentGrad,
+) {
+    for k in 0..=negative {
+        let (word, label) = if k == 0 {
+            (target as usize, 1.0)
+        } else {
+            let mut w = table[rng.next_usize(table.len())] as usize;
+            if w == target as usize {
+                w = (w + 1 + rng.next_usize(vocab_size.saturating_sub(1).max(1))) % vocab_size;
+            }
+            (w, 0.0)
+        };
+        let out_row = &syn1[word * dim..(word + 1) * dim];
+        let mut dot = 0.0;
+        for (h, o) in hidden.iter().zip(out_row.iter()) {
+            dot += h * o;
+        }
+        let g = (label - sigmoid(dot)) * lr;
+        for (gr, &o) in grad.iter_mut().zip(out_row.iter()) {
+            *gr += g * o;
+        }
+        sg.rows1.push(word as u32);
+        sg.delta1.extend(hidden.iter().map(|&h| g * h));
     }
 }
 
@@ -372,6 +474,29 @@ mod tests {
         let a = train(Word2VecMode::Cbow, 7);
         let b = train(Word2VecMode::Cbow, 7);
         assert_eq!(a.get("king"), b.get("king"));
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical() {
+        // The determinism contract: results do not depend on the
+        // thread count. Other tests in this binary may race on the
+        // env var, but by that same contract a mid-run change cannot
+        // alter their values — only their parallelism.
+        let run = |threads: &str| {
+            std::env::set_var("NEWSDIFF_THREADS", threads);
+            let wv = train(Word2VecMode::SkipGram, 13);
+            std::env::remove_var("NEWSDIFF_THREADS");
+            wv
+        };
+        let serial = run("1");
+        let parallel = run("8");
+        for (w, va) in serial.iter() {
+            let vb = parallel.get(w).expect("same vocabulary");
+            assert_eq!(va.len(), vb.len());
+            for (x, y) in va.iter().zip(vb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "word {w}");
+            }
+        }
     }
 
     #[test]

@@ -6,10 +6,11 @@ use crate::rng::SplitMix64;
 /// A dense, row-major matrix of `f64` values.
 ///
 /// `Mat` is the workhorse type shared by the NMF topic model, the
-/// embedding trainers, and the neural-network layers. It favours
-/// simple, predictable memory layout (one contiguous `Vec<f64>`)
-/// over cleverness; the hot paths (matrix products) use an `ikj`
-/// loop order so the inner loop streams both operands.
+/// embedding trainers, and the neural-network layers. It keeps one
+/// contiguous `Vec<f64>`; the hot paths (matrix products, transpose)
+/// are cache-tiled and run across threads via `nd-par`, with fixed
+/// tile boundaries and accumulation order so results are bit-for-bit
+/// identical at any `NEWSDIFF_THREADS` setting.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Mat {
@@ -182,8 +183,26 @@ impl Mat {
     }
 
     /// Copies column `j` into a new vector.
+    ///
+    /// Allocates; on hot paths prefer [`Mat::col_view`] (strided, no
+    /// allocation) or [`Mat::copy_col_into`] (reusable buffer).
     pub fn col(&self, j: usize) -> Vec<f64> {
-        (0..self.rows).map(|i| self.get(i, j)).collect()
+        self.col_view(j).iter().collect()
+    }
+
+    /// Strided, non-allocating view of column `j`.
+    #[inline]
+    pub fn col_view(&self, j: usize) -> ColView<'_> {
+        debug_assert!(j < self.cols || self.rows == 0);
+        ColView { data: &self.data, cols: self.cols.max(1), j }
+    }
+
+    /// Copies column `j` into `out`, which must hold `rows` elements.
+    pub fn copy_col_into(&self, j: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.rows);
+        for (o, v) in out.iter_mut().zip(self.col_view(j).iter()) {
+            *o = v;
+        }
     }
 
     /// Iterator over row slices.
@@ -192,22 +211,33 @@ impl Mat {
     }
 
     /// Matrix transpose.
+    ///
+    /// Processes the matrix in 32×32 blocks so both the source rows
+    /// and destination rows stay cache-resident, and splits the
+    /// destination rows across threads for large matrices.
     pub fn transpose(&self) -> Mat {
-        let mut out = Mat::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            let row = self.row(i);
-            for (j, &v) in row.iter().enumerate() {
-                out.data[j * self.rows + i] = v;
-            }
+        const BLOCK: usize = 32;
+        let (r, c) = (self.rows, self.cols);
+        let mut out = Mat::zeros(c, r);
+        if r == 0 || c == 0 {
+            return out;
         }
+        let src = &self.data;
+        nd_par::par_for_rows(&mut out.data, r, BLOCK, r, |j0, block| {
+            for i0 in (0..r).step_by(BLOCK) {
+                let i_end = (i0 + BLOCK).min(r);
+                for (jj, orow) in block.chunks_exact_mut(r).enumerate() {
+                    let j = j0 + jj;
+                    for (i, o) in orow[i0..i_end].iter_mut().enumerate() {
+                        *o = src[(i0 + i) * c + j];
+                    }
+                }
+            }
+        });
         out
     }
 
     /// Matrix product `self * rhs`.
-    ///
-    /// Uses `ikj` loop order: the inner loop walks contiguous rows of
-    /// both the output and `rhs`, which is the standard cache-friendly
-    /// formulation for row-major data.
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] when `self.cols != rhs.rows`.
@@ -219,21 +249,48 @@ impl Mat {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Mat::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += a * b;
+        Ok(self.matmul_unchecked(rhs))
+    }
+
+    /// Matrix product without the shape `Result`; for iteration-hot
+    /// call sites that validate shapes once up front.
+    ///
+    /// The right-hand side is transpose-packed so every output entry
+    /// is a contiguous–contiguous dot product; output rows are
+    /// blocked across threads and the packed rows are walked in
+    /// column tiles for cache reuse. Accumulation order per entry is
+    /// fixed (ascending `k` in [`vecops::dot`]'s four-lane pattern),
+    /// so any thread count produces identical bits.
+    ///
+    /// # Panics
+    /// Debug-asserts `self.cols == rhs.rows`.
+    pub fn matmul_unchecked(&self, rhs: &Mat) -> Mat {
+        debug_assert_eq!(self.cols, rhs.rows, "matmul_unchecked shape mismatch");
+        let (m, n) = (self.rows, rhs.cols);
+        let mut out = Mat::zeros(m, n);
+        if m == 0 || n == 0 || self.cols == 0 {
+            return out;
+        }
+        // Pack B as row-major Bᵀ: column j of B becomes contiguous
+        // row j, turning the inner loop into a streaming dot.
+        let bt = rhs.transpose();
+        // A j-tile of Bᵀ (64 rows × k) is reused across every row of
+        // an output block before moving on, keeping it in L1/L2.
+        const J_TILE: usize = 64;
+        let rows_per_chunk = nd_par::auto_chunk_len(m, 8);
+        let work_per_row = n.saturating_mul(self.cols);
+        nd_par::par_for_rows(&mut out.data, n, rows_per_chunk, work_per_row, |i0, block| {
+            for j0 in (0..n).step_by(J_TILE) {
+                let j_end = (j0 + J_TILE).min(n);
+                for (bi, out_row) in block.chunks_exact_mut(n).enumerate() {
+                    let a_row = self.row(i0 + bi);
+                    for (j, o) in out_row[j0..j_end].iter_mut().enumerate() {
+                        *o = crate::vecops::dot(a_row, bt.row(j0 + j));
+                    }
                 }
             }
-        }
-        Ok(out)
+        });
+        out
     }
 
     /// Matrix–vector product `self * v`.
@@ -248,10 +305,14 @@ impl Mat {
                 rhs: (v.len(), 1),
             });
         }
-        Ok(self
-            .row_iter()
-            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        let mut out = vec![0.0; self.rows];
+        let rows_per_chunk = nd_par::auto_chunk_len(self.rows, 64);
+        nd_par::par_for_rows(&mut out, 1, rows_per_chunk, self.cols, |i0, block| {
+            for (k, o) in block.iter_mut().enumerate() {
+                *o = crate::vecops::dot(self.row(i0 + k), v);
+            }
+        });
+        Ok(out)
     }
 
     /// Element-wise sum `self + rhs`.
@@ -506,20 +567,77 @@ impl Mat {
     }
 
     /// `A^T * A` without materializing the transpose.
+    ///
+    /// Output rows are sharded across threads; every worker streams
+    /// the source rows in ascending order and accumulates only into
+    /// its own shard, so per-entry summation order (and therefore the
+    /// result, bit-for-bit) is independent of the thread count.
     pub fn gram(&self) -> Mat {
-        let mut out = Mat::zeros(self.cols, self.cols);
-        for row in self.row_iter() {
-            for (k, &a) in row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[k * self.cols..(k + 1) * self.cols];
-                for (o, &b) in out_row.iter_mut().zip(row) {
-                    *o += a * b;
+        let (r, c) = (self.rows, self.cols);
+        let mut out = Mat::zeros(c, c);
+        if r == 0 || c == 0 {
+            return out;
+        }
+        let src = &self.data;
+        let rows_per_chunk = nd_par::auto_chunk_len(c, 4);
+        let work_per_row = r.saturating_mul(c);
+        nd_par::par_for_rows(&mut out.data, c, rows_per_chunk, work_per_row, |k0, block| {
+            for row in src.chunks_exact(c) {
+                for (kk, out_row) in block.chunks_exact_mut(c).enumerate() {
+                    let a = row[k0 + kk];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for (o, &b) in out_row.iter_mut().zip(row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
+    }
+}
+
+/// Non-allocating, strided view of one matrix column.
+///
+/// Produced by [`Mat::col_view`]; replaces the allocating
+/// [`Mat::col`] on hot paths (NMF objective, SVD orthonormalisation).
+#[derive(Debug, Clone, Copy)]
+pub struct ColView<'a> {
+    data: &'a [f64],
+    cols: usize,
+    j: usize,
+}
+
+impl<'a> ColView<'a> {
+    /// Number of entries (the matrix's row count).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.cols
+    }
+
+    /// `true` when the column has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Entry `i` of the column.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.data[i * self.cols + self.j]
+    }
+
+    /// Iterator over the column's entries, top to bottom.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = f64> + 'a {
+        self.data.get(self.j..).unwrap_or(&[]).iter().step_by(self.cols).copied()
+    }
+
+    /// Dot product with another column view of equal length.
+    pub fn dot(&self, other: &ColView<'_>) -> f64 {
+        debug_assert_eq!(self.len(), other.len());
+        self.iter().zip(other.iter()).map(|(a, b)| a * b).sum()
     }
 }
 
@@ -726,6 +844,66 @@ mod tests {
         m.clamp_min_assign(-2.0);
         assert_eq!(m.get(1, 2), -2.0);
         assert_eq!(m.get(0, 0), -1.0);
+    }
+
+    #[test]
+    fn col_view_matches_allocating_col() {
+        let m = mat2x3();
+        let v = m.col_view(1);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(0), 2.0);
+        assert_eq!(v.iter().collect::<Vec<_>>(), m.col(1));
+        let mut buf = vec![0.0; 2];
+        m.copy_col_into(2, &mut buf);
+        assert_eq!(buf, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn col_view_dot() {
+        let m = mat2x3();
+        let d = m.col_view(0).dot(&m.col_view(2));
+        assert_eq!(d, 1.0 * 3.0 + 4.0 * 6.0);
+    }
+
+    #[test]
+    fn large_matmul_matches_naive_reference() {
+        // Big enough to cross the parallel/tiling thresholds.
+        let a = Mat::random_uniform(70, 90, -1.0, 1.0, 1);
+        let b = Mat::random_uniform(90, 80, -1.0, 1.0, 2);
+        let fast = a.matmul(&b).unwrap();
+        let mut naive = Mat::zeros(70, 80);
+        for i in 0..70 {
+            for j in 0..80 {
+                let mut s = 0.0;
+                for k in 0..90 {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                naive.set(i, j, s);
+            }
+        }
+        for (x, y) in fast.as_slice().iter().zip(naive.as_slice()) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn large_transpose_round_trips() {
+        let m = Mat::random_uniform(123, 77, -1.0, 1.0, 3);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (77, 123));
+        assert_eq!(t.transpose(), m);
+        for i in 0..123 {
+            for j in 0..77 {
+                assert_eq!(m.get(i, j), t.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_unchecked_matches_matmul() {
+        let a = Mat::random_uniform(9, 13, -2.0, 2.0, 4);
+        let b = Mat::random_uniform(13, 6, -2.0, 2.0, 5);
+        assert_eq!(a.matmul(&b).unwrap(), a.matmul_unchecked(&b));
     }
 
     #[test]

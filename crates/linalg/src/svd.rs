@@ -65,11 +65,14 @@ pub fn truncated_svd(a: &Mat, k: usize, n_iter: usize, seed: u64) -> Result<Svd>
     let mut s = Vec::with_capacity(k);
     let mut u = Mat::zeros(a.rows(), k);
     let mut v = Mat::zeros(a.cols(), k);
+    // Reused across the assembly loop; `Mat::col` would allocate a
+    // fresh vector per singular triplet.
+    let mut w = vec![0.0; eigvecs.rows()];
     for (out_col, &ei) in order.iter().enumerate() {
         let sigma = eigvals[ei].max(0.0).sqrt();
         s.push(sigma);
         // Left singular vector of A: Q * w where w is the eigenvector.
-        let w = eigvecs.col(ei);
+        eigvecs.copy_col_into(ei, &mut w);
         let qu = y.matvec_cols(&w);
         for (i, &val) in qu.iter().enumerate() {
             u.set(i, out_col, val);

@@ -6,6 +6,11 @@
 
 /// Dot product of two equal-length slices.
 ///
+/// Accumulates into four independent lanes (combined as
+/// `(s0 + s1) + (s2 + s3)`) so the compiler can vectorize and overlap
+/// the FMA chains; the summation order is fixed, making results
+/// reproducible across runs and thread counts.
+///
 /// # Panics
 /// Debug-asserts equal lengths; in release, the shorter length wins
 /// (zip semantics) — callers in this workspace always pass equal
@@ -13,7 +18,21 @@
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let n = a.len().min(b.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    let quads = n / 4;
+    for q in 0..quads {
+        let i = q * 4;
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for i in quads * 4..n {
+        s += a[i] * b[i];
+    }
+    s
 }
 
 /// ℓ² (Euclidean) norm.

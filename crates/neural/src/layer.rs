@@ -147,33 +147,43 @@ impl Dense {
         Dense { in_dim, out_dim, params, grads, cached_input: Mat::zeros(0, 0) }
     }
 
-    #[inline]
-    fn bias(&self, j: usize) -> f64 {
-        self.params[self.in_dim * self.out_dim + j]
-    }
 }
+
+/// Fixed batch chunk for parameter-gradient reductions: the partial
+/// sums must combine in an order that does not move with the thread
+/// count.
+const GRAD_CHUNK: usize = 16;
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Mat, training: bool) -> Mat {
         debug_assert_eq!(input.cols(), self.in_dim, "dense input width");
         let batch = input.rows();
-        let mut out = Mat::zeros(batch, self.out_dim);
-        for r in 0..batch {
-            let x = input.row(r);
-            let o = out.row_mut(r);
-            for (j, oj) in o.iter_mut().enumerate() {
-                *oj = self.bias(j);
-            }
-            for (i, &xi) in x.iter().enumerate() {
-                if xi == 0.0 {
-                    continue;
+        let (in_dim, out_dim) = (self.in_dim, self.out_dim);
+        let params = &self.params;
+        let mut out = Mat::zeros(batch, out_dim);
+        // Samples are independent: each worker owns a disjoint block
+        // of output rows.
+        nd_par::par_for_rows(
+            out.as_mut_slice(),
+            out_dim,
+            nd_par::auto_chunk_len(batch, 8),
+            in_dim * out_dim,
+            |r0, block| {
+                for (k, o) in block.chunks_mut(out_dim).enumerate() {
+                    let x = input.row(r0 + k);
+                    o.copy_from_slice(&params[in_dim * out_dim..]);
+                    for (i, &xi) in x.iter().enumerate() {
+                        if xi == 0.0 {
+                            continue;
+                        }
+                        let w_row = &params[i * out_dim..(i + 1) * out_dim];
+                        for (oj, &w) in o.iter_mut().zip(w_row) {
+                            *oj += xi * w;
+                        }
+                    }
                 }
-                let w_row = &self.params[i * self.out_dim..(i + 1) * self.out_dim];
-                for (oj, &w) in o.iter_mut().zip(w_row) {
-                    *oj += xi * w;
-                }
-            }
-        }
+            },
+        );
         if training {
             self.cached_input = input.clone();
         }
@@ -184,37 +194,68 @@ impl Layer for Dense {
         let batch = grad_output.rows();
         debug_assert_eq!(grad_output.cols(), self.out_dim);
         debug_assert_eq!(self.cached_input.rows(), batch);
+        let (in_dim, out_dim) = (self.in_dim, self.out_dim);
 
         // Parameter gradients (averaged over the batch by the loss, so
-        // plain accumulation here).
-        for r in 0..batch {
-            let x = self.cached_input.row(r);
-            let g = grad_output.row(r);
-            for (i, &xi) in x.iter().enumerate() {
-                if xi == 0.0 {
-                    continue;
+        // plain accumulation here): per-chunk partials combine in
+        // ascending chunk order, then fold into the running grads.
+        let input = &self.cached_input;
+        let partial = nd_par::par_map_reduce(
+            batch,
+            GRAD_CHUNK,
+            in_dim * out_dim,
+            |range| {
+                let mut part = vec![0.0; in_dim * out_dim + out_dim];
+                for r in range {
+                    let x = input.row(r);
+                    let g = grad_output.row(r);
+                    for (i, &xi) in x.iter().enumerate() {
+                        if xi == 0.0 {
+                            continue;
+                        }
+                        let gw = &mut part[i * out_dim..(i + 1) * out_dim];
+                        for (gwj, &gj) in gw.iter_mut().zip(g) {
+                            *gwj += xi * gj;
+                        }
+                    }
+                    let gb = &mut part[in_dim * out_dim..];
+                    for (gbj, &gj) in gb.iter_mut().zip(g) {
+                        *gbj += gj;
+                    }
                 }
-                let gw = &mut self.grads[i * self.out_dim..(i + 1) * self.out_dim];
-                for (gwj, &gj) in gw.iter_mut().zip(g) {
-                    *gwj += xi * gj;
+                part
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
                 }
-            }
-            let gb = &mut self.grads[self.in_dim * self.out_dim..];
-            for (gbj, &gj) in gb.iter_mut().zip(g) {
-                *gbj += gj;
+                a
+            },
+        );
+        if let Some(part) = partial {
+            for (gsum, &p) in self.grads.iter_mut().zip(&part) {
+                *gsum += p;
             }
         }
 
-        // Input gradient: g W^T.
-        let mut grad_input = Mat::zeros(batch, self.in_dim);
-        for r in 0..batch {
-            let g = grad_output.row(r);
-            let gi = grad_input.row_mut(r);
-            for (i, gii) in gi.iter_mut().enumerate() {
-                let w_row = &self.params[i * self.out_dim..(i + 1) * self.out_dim];
-                *gii = w_row.iter().zip(g).map(|(&w, &gj)| w * gj).sum();
-            }
-        }
+        // Input gradient: g W^T, rows independent.
+        let mut grad_input = Mat::zeros(batch, in_dim);
+        let params = &self.params;
+        nd_par::par_for_rows(
+            grad_input.as_mut_slice(),
+            in_dim,
+            nd_par::auto_chunk_len(batch, 8),
+            in_dim * out_dim,
+            |r0, block| {
+                for (k, gi) in block.chunks_mut(in_dim).enumerate() {
+                    let g = grad_output.row(r0 + k);
+                    for (i, gii) in gi.iter_mut().enumerate() {
+                        let w_row = &params[i * out_dim..(i + 1) * out_dim];
+                        *gii = w_row.iter().zip(g).map(|(&w, &gj)| w * gj).sum();
+                    }
+                }
+            },
+        );
         grad_input
     }
 
@@ -289,22 +330,31 @@ impl Layer for Conv1d {
         debug_assert_eq!(input.cols(), self.length, "conv input width");
         let batch = input.rows();
         let out_len = self.out_len();
-        let mut out = Mat::zeros(batch, self.n_filters * out_len);
-        for r in 0..batch {
-            let x = input.row(r);
-            let o = out.row_mut(r);
-            for f in 0..self.n_filters {
-                let w = &self.params[f * self.kernel..(f + 1) * self.kernel];
-                let b = self.params[self.n_filters * self.kernel + f];
-                for p in 0..out_len {
-                    let mut acc = b;
-                    for (k, &wk) in w.iter().enumerate() {
-                        acc += wk * x[p + k];
+        let (kernel, n_filters) = (self.kernel, self.n_filters);
+        let params = &self.params;
+        let mut out = Mat::zeros(batch, n_filters * out_len);
+        nd_par::par_for_rows(
+            out.as_mut_slice(),
+            n_filters * out_len,
+            nd_par::auto_chunk_len(batch, 4),
+            n_filters * out_len * kernel,
+            |r0, block| {
+                for (rk, o) in block.chunks_mut(n_filters * out_len).enumerate() {
+                    let x = input.row(r0 + rk);
+                    for f in 0..n_filters {
+                        let w = &params[f * kernel..(f + 1) * kernel];
+                        let b = params[n_filters * kernel + f];
+                        for p in 0..out_len {
+                            let mut acc = b;
+                            for (k, &wk) in w.iter().enumerate() {
+                                acc += wk * x[p + k];
+                            }
+                            o[f * out_len + p] = acc;
+                        }
                     }
-                    o[f * out_len + p] = acc;
                 }
-            }
-        }
+            },
+        );
         if training {
             self.cached_input = input.clone();
         }
@@ -314,29 +364,78 @@ impl Layer for Conv1d {
     fn backward(&mut self, grad_output: &Mat) -> Mat {
         let batch = grad_output.rows();
         let out_len = self.out_len();
-        let mut grad_input = Mat::zeros(batch, self.length);
-        for r in 0..batch {
-            let x = self.cached_input.row(r);
-            let g = grad_output.row(r);
-            let gi = grad_input.row_mut(r);
-            for f in 0..self.n_filters {
-                let w = self.params[f * self.kernel..(f + 1) * self.kernel].to_vec();
-                let gw = &mut self.grads[f * self.kernel..(f + 1) * self.kernel];
-                let mut gb = 0.0;
-                for p in 0..out_len {
-                    let go = g[f * out_len + p];
-                    if go == 0.0 {
-                        continue;
-                    }
-                    gb += go;
-                    for k in 0..self.kernel {
-                        gw[k] += go * x[p + k];
-                        gi[p + k] += go * w[k];
+        let (kernel, n_filters) = (self.kernel, self.n_filters);
+
+        // Filter/bias gradients: fixed-chunk batch reduction, partials
+        // combined in ascending chunk order.
+        let x_cache = &self.cached_input;
+        let partial = nd_par::par_map_reduce(
+            batch,
+            GRAD_CHUNK,
+            n_filters * out_len * kernel,
+            |range| {
+                let mut part = vec![0.0; n_filters * kernel + n_filters];
+                for r in range {
+                    let x = x_cache.row(r);
+                    let g = grad_output.row(r);
+                    for f in 0..n_filters {
+                        let mut gb = 0.0;
+                        for p in 0..out_len {
+                            let go = g[f * out_len + p];
+                            if go == 0.0 {
+                                continue;
+                            }
+                            gb += go;
+                            for k in 0..kernel {
+                                part[f * kernel + k] += go * x[p + k];
+                            }
+                        }
+                        part[n_filters * kernel + f] += gb;
                     }
                 }
-                self.grads[self.n_filters * self.kernel + f] += gb;
+                part
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+        if let Some(part) = partial {
+            for (gsum, &p) in self.grads.iter_mut().zip(&part) {
+                *gsum += p;
             }
         }
+
+        // Input gradient: rows independent; reads weights in place
+        // rather than copying each filter per sample.
+        let mut grad_input = Mat::zeros(batch, self.length);
+        let params = &self.params;
+        let length = self.length;
+        nd_par::par_for_rows(
+            grad_input.as_mut_slice(),
+            length,
+            nd_par::auto_chunk_len(batch, 4),
+            n_filters * out_len * kernel,
+            |r0, block| {
+                for (rk, gi) in block.chunks_mut(length).enumerate() {
+                    let g = grad_output.row(r0 + rk);
+                    for f in 0..n_filters {
+                        let w = &params[f * kernel..(f + 1) * kernel];
+                        for p in 0..out_len {
+                            let go = g[f * out_len + p];
+                            if go == 0.0 {
+                                continue;
+                            }
+                            for (k, &wk) in w.iter().enumerate() {
+                                gi[p + k] += go * wk;
+                            }
+                        }
+                    }
+                }
+            },
+        );
         grad_input
     }
 
@@ -535,7 +634,7 @@ mod tests {
         let analytic = layer.grads().to_vec();
 
         let eps = 1e-5;
-        for p in 0..analytic.len() {
+        for (p, &a) in analytic.iter().enumerate() {
             let orig = layer.params()[p];
             layer.params_mut()[p] = orig + eps;
             let plus = layer.forward(input, false).sum();
@@ -544,9 +643,8 @@ mod tests {
             layer.params_mut()[p] = orig;
             let numeric = (plus - minus) / (2.0 * eps);
             assert!(
-                (numeric - analytic[p]).abs() < tol,
-                "param {p}: numeric {numeric} vs analytic {}",
-                analytic[p]
+                (numeric - a).abs() < tol,
+                "param {p}: numeric {numeric} vs analytic {a}"
             );
         }
     }

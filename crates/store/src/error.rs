@@ -78,7 +78,7 @@ mod tests {
 
     #[test]
     fn conversions() {
-        let io: StoreError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let io: StoreError = std::io::Error::other("x").into();
         assert!(matches!(io, StoreError::Io(_)));
         let js: StoreError =
             serde_json::from_str::<serde_json::Value>("not json").unwrap_err().into();

@@ -118,11 +118,11 @@ mod tests {
     fn every_topic_gets_at_least_one_event() {
         let evs = events();
         let topics = topic_inventory();
-        for idx in 0..topics.len() {
+        for (idx, topic) in topics.iter().enumerate() {
             assert!(
                 evs.iter().any(|e| e.topic == idx),
                 "topic {} has no event",
-                topics[idx].name
+                topic.name
             );
         }
     }

@@ -62,13 +62,13 @@ impl Lsa {
         let mut topic_term = Mat::zeros(kk, a.cols());
         for t in 0..kk {
             // Sign: make the largest-|value| term loading positive.
-            let col = svd.v.col(t);
-            let max_abs = col.iter().cloned().fold(0.0f64, |m, v| if v.abs() > m.abs() { v } else { m });
+            let col = svd.v.col_view(t);
+            let max_abs = col.iter().fold(0.0f64, |m, v| if v.abs() > m.abs() { v } else { m });
             let sign = if max_abs < 0.0 { -1.0 } else { 1.0 };
             for d in 0..a.rows() {
                 doc_topic.set(d, t, sign * svd.u.get(d, t) * svd.s[t]);
             }
-            for (j, &v) in col.iter().enumerate() {
+            for (j, v) in col.iter().enumerate() {
                 topic_term.set(t, j, sign * v);
             }
         }

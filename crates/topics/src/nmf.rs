@@ -81,19 +81,26 @@ impl Nmf {
         let mut iterations = 0;
         let mut objective = objective_value(a, &w, &h, a_fro2);
 
+        // Factor shapes are invariant across the whole loop (W is
+        // n×k, H is k×m), so validate them once here and use the
+        // unchecked product paths below — the iteration body stays
+        // branch-free instead of unwrapping a `Result` per product.
+        assert_eq!(w.shape(), (n, k), "W must be docs x topics");
+        assert_eq!(h.shape(), (k, m), "H must be topics x terms");
+
         for it in 0..self.config.max_iter {
             iterations = it + 1;
 
             // H <- H .* (W^T A) ./ (W^T W H)
             let wta = a.transpose_matmul_dense(&w).transpose(); // k x m
             let wtw = w.gram(); // k x k
-            let wtwh = wtw.matmul(&h).expect("k x k * k x m");
+            let wtwh = wtw.matmul_unchecked(&h);
             update_factor(&mut h, &wta, &wtwh);
 
             // W <- W .* (A H^T) ./ (W H H^T)
             let aht = a.matmul_dense(&h.transpose()); // n x k
-            let hht = h.matmul(&h.transpose()).expect("k x m * m x k"); // k x k
-            let whht = w.matmul(&hht).expect("n x k * k x k");
+            let hht = h.matmul_unchecked(&h.transpose()); // k x k
+            let whht = w.matmul_unchecked(&hht);
             update_factor(&mut w, &aht, &whht);
 
             objective = objective_value(a, &w, &h, a_fro2);
@@ -117,38 +124,60 @@ impl Nmf {
 }
 
 /// `x <- x .* num ./ den`, with epsilon-guarded division and a
-/// non-negativity clamp against rounding.
+/// non-negativity clamp against rounding. Element-wise and therefore
+/// trivially row-parallel.
 fn update_factor(x: &mut Mat, num: &Mat, den: &Mat) {
     debug_assert_eq!(x.shape(), num.shape());
     debug_assert_eq!(x.shape(), den.shape());
-    let xs = x.as_mut_slice();
-    for ((xv, &nv), &dv) in xs.iter_mut().zip(num.as_slice()).zip(den.as_slice()) {
-        *xv *= nv / (dv + EPS);
-        if *xv < 0.0 {
-            *xv = 0.0;
+    let cols = x.cols().max(1);
+    let rows = x.rows();
+    let ns = num.as_slice();
+    let ds = den.as_slice();
+    let rows_per_chunk = nd_par::auto_chunk_len(rows, 64);
+    nd_par::par_for_rows(x.as_mut_slice(), cols, rows_per_chunk, cols, |r0, block| {
+        let off = r0 * cols;
+        for (i, xv) in block.iter_mut().enumerate() {
+            *xv *= ns[off + i] / (ds[off + i] + EPS);
+            if *xv < 0.0 {
+                *xv = 0.0;
+            }
         }
-    }
+    });
 }
 
 /// `||A - WH||_F^2` computed without densifying `A`:
 /// `||A||² - 2·<A, WH> + ||WH||²`, with `<A, WH>` accumulated over the
 /// sparse entries and `||WH||² = tr((WᵀW)(HHᵀ))`.
 fn objective_value(a: &CsrMatrix, w: &Mat, h: &Mat, a_fro2: f64) -> f64 {
-    // <A, WH>
-    let mut cross = 0.0;
-    for i in 0..a.rows() {
-        let wrow = w.row(i);
-        for (j, v) in a.row(i).iter() {
-            let mut wh = 0.0;
-            for (t, &wv) in wrow.iter().enumerate() {
-                wh += wv * h.get(t, j);
+    // <A, WH>: document chunks run in parallel, partial sums combine
+    // in chunk order so the value is reproducible at any thread count.
+    let k = w.cols();
+    let avg_nnz = a.nnz() / a.rows().max(1);
+    // Fixed chunk length: reduction order must not move with the
+    // thread count.
+    let cross = nd_par::par_map_reduce(
+        a.rows(),
+        64,
+        avg_nnz.saturating_mul(k).max(1),
+        |range| {
+            let mut c = 0.0;
+            for i in range {
+                let wrow = w.row(i);
+                for (j, v) in a.row(i).iter() {
+                    // Strided column view of H: no per-entry allocation.
+                    let wh: f64 =
+                        wrow.iter().zip(h.col_view(j).iter()).map(|(&wv, hv)| wv * hv).sum();
+                    c += v * wh;
+                }
             }
-            cross += v * wh;
-        }
-    }
+            c
+        },
+        |x, y| x + y,
+    )
+    .unwrap_or(0.0);
     // ||WH||^2 = tr((W^T W)(H H^T))
     let wtw = w.gram();
-    let hht = h.matmul(&h.transpose()).expect("k x m * m x k");
+    let hht = h.matmul_unchecked(&h.transpose());
     let mut wh_fro2 = 0.0;
     for i in 0..wtw.rows() {
         for j in 0..wtw.cols() {

@@ -56,32 +56,103 @@ impl Plsi {
         normalize_rows_l1(&mut p_w_t);
 
         let mut nll = f64::INFINITY;
-        let mut post = vec![0f64; k];
+        // Fixed document chunk for the likelihood reduction: the
+        // combination order must not move with the thread count.
+        const DOC_CHUNK: usize = 32;
+        let avg_nnz = counts.nnz() / n_docs.max(1);
         for _ in 0..self.config.n_iter {
-            let mut new_ptd = Mat::zeros(n_docs, k);
-            let mut new_pwt = Mat::zeros(k, n_terms);
-            nll = 0.0;
-            for d in 0..n_docs {
-                let ptd_row = p_t_d.row(d);
-                for (w, c) in counts.row(d).iter() {
-                    // E step: posterior p(t | d, w).
-                    let mut total = 0.0;
-                    for t in 0..k {
-                        post[t] = ptd_row[t] * p_w_t.get(t, w);
-                        total += post[t];
+            // E step + the p(t|d) half of the M step, document-parallel.
+            // Each chunk owns its documents' new p(t|d) rows outright
+            // and contributes a partial log-likelihood; chunks merge
+            // in ascending order (concatenation + summation).
+            let (ptd_rows, nll_total) = nd_par::par_map_reduce(
+                n_docs,
+                DOC_CHUNK,
+                avg_nnz.saturating_mul(k).max(1),
+                |range| {
+                    let mut rows = vec![0.0; range.len() * k];
+                    let mut post = vec![0.0; k];
+                    let mut nll_part = 0.0;
+                    for (di, d) in range.enumerate() {
+                        let ptd_row = p_t_d.row(d);
+                        let out = &mut rows[di * k..(di + 1) * k];
+                        for (w, c) in counts.row(d).iter() {
+                            // Posterior p(t | d, w).
+                            let mut total = 0.0;
+                            for t in 0..k {
+                                post[t] = ptd_row[t] * p_w_t.get(t, w);
+                                total += post[t];
+                            }
+                            if total <= 0.0 {
+                                continue;
+                            }
+                            nll_part -= c * total.max(1e-300).ln();
+                            for t in 0..k {
+                                out[t] += c * post[t] / total;
+                            }
+                        }
                     }
-                    if total <= 0.0 {
-                        continue;
+                    (rows, nll_part)
+                },
+                |(mut ra, na), (rb, nb)| {
+                    ra.extend_from_slice(&rb);
+                    (ra, na + nb)
+                },
+            )
+            .unwrap_or((Vec::new(), 0.0));
+            nll = nll_total;
+            let mut new_ptd =
+                Mat::from_vec(n_docs, k, ptd_rows).expect("chunks cover every document row");
+
+            // The p(w|t) half of the M step, term-sharded: workers
+            // accumulate into a term-major (n_terms × k) buffer, each
+            // owning a disjoint term range and re-deriving the same
+            // posteriors. Contributions per (w, t) arrive in ascending
+            // document order whatever the shard layout, so the result
+            // is bit-for-bit reproducible.
+            let mut pwt_t = Mat::zeros(n_terms, k);
+            let shard_rows = n_terms.div_ceil(nd_par::threads()).max(1);
+            let p_t_d_ref = &p_t_d;
+            let p_w_t_ref = &p_w_t;
+            nd_par::par_for_rows(
+                pwt_t.as_mut_slice(),
+                k,
+                shard_rows,
+                avg_nnz.saturating_mul(k).max(1),
+                |w0, block| {
+                    let w_end = w0 + block.len() / k;
+                    let mut post = vec![0.0; k];
+                    for d in 0..n_docs {
+                        let row = counts.row(d);
+                        let idx = row.indices();
+                        let lo = idx.partition_point(|&c| c < w0);
+                        let hi = idx.partition_point(|&c| c < w_end);
+                        if lo == hi {
+                            continue;
+                        }
+                        let ptd_row = p_t_d_ref.row(d);
+                        for p in lo..hi {
+                            let w = idx[p];
+                            let c = row.values()[p];
+                            let mut total = 0.0;
+                            for t in 0..k {
+                                post[t] = ptd_row[t] * p_w_t_ref.get(t, w);
+                                total += post[t];
+                            }
+                            if total <= 0.0 {
+                                continue;
+                            }
+                            let local = w - w0;
+                            let out = &mut block[local * k..(local + 1) * k];
+                            for t in 0..k {
+                                out[t] += c * post[t] / total;
+                            }
+                        }
                     }
-                    nll -= c * total.max(1e-300).ln();
-                    // M-step accumulation.
-                    for t in 0..k {
-                        let r = c * post[t] / total;
-                        new_ptd.set(d, t, new_ptd.get(d, t) + r);
-                        new_pwt.set(t, w, new_pwt.get(t, w) + r);
-                    }
-                }
-            }
+                },
+            );
+            let mut new_pwt = pwt_t.transpose();
+
             normalize_rows_l1(&mut new_ptd);
             normalize_rows_l1(&mut new_pwt);
             p_t_d = new_ptd;

@@ -179,38 +179,75 @@ impl CsrMatrix {
 
     /// Sparse × dense product `self * rhs` (rhs is `cols × k`).
     ///
+    /// Output rows depend only on their own sparse row, so row blocks
+    /// run in parallel with no synchronisation; per-row accumulation
+    /// order is the stored (ascending-column) order regardless of
+    /// thread count.
+    ///
     /// # Panics
     /// Debug-asserts `rhs.rows() == self.cols()`.
     pub fn matmul_dense(&self, rhs: &Mat) -> Mat {
         debug_assert_eq!(rhs.rows(), self.cols);
         let k = rhs.cols();
         let mut out = Mat::zeros(self.rows, k);
-        for i in 0..self.rows {
-            let out_row = out.row_mut(i);
-            for (j, v) in self.row(i).iter() {
-                let rhs_row = rhs.row(j);
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += v * b;
+        if self.rows == 0 || k == 0 {
+            return out;
+        }
+        let work_per_row = (self.nnz() / self.rows).saturating_mul(k).max(1);
+        let rows_per_chunk = nd_par::auto_chunk_len(self.rows, 16);
+        nd_par::par_for_rows(out.as_mut_slice(), k, rows_per_chunk, work_per_row, |i0, block| {
+            for (bi, out_row) in block.chunks_exact_mut(k).enumerate() {
+                for (j, v) in self.row(i0 + bi).iter() {
+                    let rhs_row = rhs.row(j);
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                        *o += v * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// Transposed sparse × dense product `self^T * rhs` (rhs is `rows × k`).
+    ///
+    /// Output rows are indexed by *column* of the sparse matrix, so a
+    /// row-parallel scatter would race. Instead the output is sharded
+    /// by column range — one shard per worker — and every worker
+    /// scans the matrix once, binary-searching each sparse row for
+    /// the sub-range of columns it owns. Contributions to any output
+    /// row still arrive in ascending document order, exactly as in
+    /// the serial loop, so results are bit-for-bit reproducible.
     pub fn transpose_matmul_dense(&self, rhs: &Mat) -> Mat {
         debug_assert_eq!(rhs.rows(), self.rows);
         let k = rhs.cols();
         let mut out = Mat::zeros(self.cols, k);
-        for i in 0..self.rows {
-            let rhs_row = rhs.row(i).to_vec();
-            for (j, v) in self.row(i).iter() {
-                let out_row = out.row_mut(j);
-                for (o, &b) in out_row.iter_mut().zip(&rhs_row) {
-                    *o += v * b;
+        if self.cols == 0 || k == 0 {
+            return out;
+        }
+        // At most one shard per worker: each extra shard costs a full
+        // pass over the row structure.
+        let shard_rows = self.cols.div_ceil(nd_par::threads()).max(1);
+        let work_per_row = (self.nnz() / self.cols).saturating_mul(k).max(1);
+        nd_par::par_for_rows(out.as_mut_slice(), k, shard_rows, work_per_row, |c0, block| {
+            let c_end = c0 + block.len() / k;
+            for i in 0..self.rows {
+                let row = self.row(i);
+                let idx = row.indices();
+                let lo = idx.partition_point(|&c| c < c0);
+                let hi = idx.partition_point(|&c| c < c_end);
+                if lo == hi {
+                    continue;
+                }
+                let rhs_row = rhs.row(i);
+                for (&col, &v) in idx[lo..hi].iter().zip(&row.values()[lo..hi]) {
+                    let local = col - c0;
+                    let out_row = &mut block[local * k..(local + 1) * k];
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                        *o += v * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -312,6 +349,46 @@ mod tests {
         let got = m.transpose_matmul_dense(&rhs);
         let want = m.to_dense().transpose().matmul(&rhs).unwrap();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn large_sparse_products_match_dense_reference() {
+        // Deterministic pseudo-random sparse matrix large enough to
+        // engage the parallel/sharded paths.
+        let rows = 120;
+        let cols = 90;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let row_lists: Vec<Vec<(usize, f64)>> = (0..rows)
+            .map(|_| {
+                (0..12)
+                    .map(|_| {
+                        let c = (next() % cols as u64) as usize;
+                        let v = (next() % 100) as f64 / 10.0 - 5.0;
+                        (c, v)
+                    })
+                    .collect()
+            })
+            .collect();
+        let m = CsrMatrix::from_rows(cols, &row_lists);
+        let rhs = Mat::from_fn(cols, 7, |i, j| ((i * 7 + j) % 13) as f64 - 6.0);
+        let got = m.matmul_dense(&rhs);
+        let want = m.to_dense().matmul(&rhs).unwrap();
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+
+        let rhs_t = Mat::from_fn(rows, 7, |i, j| ((i * 5 + j) % 11) as f64 - 5.0);
+        let got_t = m.transpose_matmul_dense(&rhs_t);
+        let want_t = m.to_dense().transpose().matmul(&rhs_t).unwrap();
+        for (a, b) in got_t.as_slice().iter().zip(want_t.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -98,9 +98,7 @@ fn main() {
     }
 
     // Final daily digest: topics over the full collection.
-    let tm = build_news_tm(
-        &world.articles.iter().cloned().collect::<Vec<_>>(),
-    );
+    let tm = build_news_tm(&world.articles);
     let topics = extract_topics(&tm, &TopicModuleConfig { n_topics: 6, ..Default::default() });
     println!("\nfinal topic digest:");
     for t in &topics.topics {

@@ -1,0 +1,170 @@
+//! Cross-thread-count determinism suite.
+//!
+//! The `nd-par` contract is that every parallel kernel in the
+//! workspace produces **bit-for-bit identical** results at any
+//! `NEWSDIFF_THREADS` setting: fixed chunk boundaries, in-order
+//! reductions, and per-element accumulation orders that do not move
+//! with the schedule. These tests run each hot kernel at 1, 2, and 8
+//! threads and compare raw `f64` bits.
+//!
+//! Tests in this binary serialise their env-var mutations through a
+//! mutex; even if a mutation raced, the contract itself guarantees the
+//! values could not change — only the parallelism would.
+
+use nd_embed::{Word2Vec, Word2VecConfig, Word2VecMode};
+use nd_linalg::rng::SplitMix64;
+use nd_linalg::Mat;
+use nd_neural::layer::{Conv1d, Dense, Layer};
+use nd_topics::plsi::{Plsi, PlsiConfig};
+use nd_topics::{Nmf, NmfConfig};
+use nd_vectorize::DtmBuilder;
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once per thread count and asserts every run returns the
+/// same `Vec<f64>` bit-for-bit.
+fn assert_bitwise_stable<F: Fn() -> Vec<f64>>(label: &str, f: F) {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("NEWSDIFF_THREADS", threads);
+        runs.push((threads, f()));
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+    let (_, reference) = &runs[0];
+    for (threads, run) in &runs[1..] {
+        assert_eq!(reference.len(), run.len(), "{label}: length at {threads} threads");
+        for (i, (a, b)) in reference.iter().zip(run).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{label}: element {i} differs between 1 and {threads} threads ({a} vs {b})"
+            );
+        }
+    }
+}
+
+fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut rng = SplitMix64::new(seed);
+    Mat::from_fn(rows, cols, |_, _| rng.next_range(-1.0, 1.0))
+}
+
+/// A small synthetic corpus with heavy term overlap, enough rows for
+/// the parallel paths to engage.
+fn corpus() -> Vec<Vec<String>> {
+    let pools = [
+        ["market", "trade", "tariff", "import", "export"],
+        ["vote", "party", "poll", "seat", "ballot"],
+        ["storm", "flood", "rain", "wind", "coast"],
+    ];
+    let mut rng = SplitMix64::new(7);
+    (0..120)
+        .map(|i| {
+            let pool = &pools[i % pools.len()];
+            (0..14).map(|_| pool[rng.next_usize(pool.len())].to_string()).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn dense_matmul_is_thread_count_invariant() {
+    let a = random_mat(64, 96, 1);
+    let b = random_mat(96, 48, 2);
+    assert_bitwise_stable("matmul", || a.matmul(&b).unwrap().as_slice().to_vec());
+}
+
+#[test]
+fn matvec_transpose_gram_are_thread_count_invariant() {
+    let a = random_mat(120, 70, 3);
+    let x: Vec<f64> = (0..70).map(|i| (i as f64).sin()).collect();
+    assert_bitwise_stable("matvec", || a.matvec(&x).unwrap());
+    assert_bitwise_stable("transpose", || a.transpose().as_slice().to_vec());
+    assert_bitwise_stable("gram", || a.gram().as_slice().to_vec());
+}
+
+#[test]
+fn sparse_products_are_thread_count_invariant() {
+    let dtm = DtmBuilder::new().build(&corpus());
+    let counts = dtm.counts();
+    let rhs = random_mat(counts.cols(), 12, 4);
+    let rhs_t = random_mat(counts.rows(), 12, 5);
+    assert_bitwise_stable("csr * dense", || {
+        counts.matmul_dense(&rhs).as_slice().to_vec()
+    });
+    assert_bitwise_stable("csr^T * dense", || {
+        counts.transpose_matmul_dense(&rhs_t).as_slice().to_vec()
+    });
+}
+
+#[test]
+fn nmf_fit_is_thread_count_invariant() {
+    let dtm = DtmBuilder::new().build(&corpus());
+    assert_bitwise_stable("nmf", || {
+        let m = Nmf::new(NmfConfig { n_topics: 3, max_iter: 5, tol: 0.0, seed: 11 })
+            .fit(dtm.counts(), dtm.vocab());
+        let mut out = m.doc_topic.as_slice().to_vec();
+        out.extend_from_slice(m.topic_term.as_slice());
+        out.push(m.objective);
+        out
+    });
+}
+
+#[test]
+fn plsi_fit_is_thread_count_invariant() {
+    let dtm = DtmBuilder::new().build(&corpus());
+    assert_bitwise_stable("plsi", || {
+        let m = Plsi::new(PlsiConfig { n_topics: 3, n_iter: 4, seed: 13 })
+            .fit(dtm.counts(), dtm.vocab());
+        let mut out = m.doc_topic.as_slice().to_vec();
+        out.extend_from_slice(m.topic_term.as_slice());
+        out.push(m.objective);
+        out
+    });
+}
+
+#[test]
+fn word2vec_training_is_thread_count_invariant() {
+    let docs = corpus();
+    assert_bitwise_stable("word2vec", || {
+        let wv = Word2Vec::new(Word2VecConfig {
+            dim: 16,
+            window: 3,
+            negative: 4,
+            epochs: 2,
+            min_count: 1,
+            subsample: 1e-3,
+            mode: Word2VecMode::Cbow,
+            seed: 17,
+            ..Default::default()
+        })
+        .train(&docs);
+        // Deterministic word order for the comparison.
+        let mut words: Vec<&str> = wv.iter().map(|(w, _)| w).collect();
+        words.sort_unstable();
+        words.into_iter().flat_map(|w| wv.get(w).unwrap().to_vec()).collect()
+    });
+}
+
+#[test]
+fn neural_layers_are_thread_count_invariant() {
+    let input = random_mat(24, 40, 19);
+    assert_bitwise_stable("dense fwd/bwd", || {
+        let mut layer = Dense::new(40, 24, 23);
+        let out = layer.forward(&input, true);
+        let grad_in = layer.backward(&out);
+        let mut v = out.as_slice().to_vec();
+        v.extend_from_slice(grad_in.as_slice());
+        v.extend_from_slice(layer.grads());
+        v
+    });
+    assert_bitwise_stable("conv1d fwd/bwd", || {
+        let mut layer = Conv1d::new(40, 5, 6, 29);
+        let out = layer.forward(&input, true);
+        let grad_in = layer.backward(&out);
+        let mut v = out.as_slice().to_vec();
+        v.extend_from_slice(grad_in.as_slice());
+        v.extend_from_slice(layer.grads());
+        v
+    });
+}

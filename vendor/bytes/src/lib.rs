@@ -1,0 +1,169 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the surface the WAL framing code uses:
+//! [`BytesMut`] as a growable buffer with [`BufMut`] writes, and
+//! [`Buf`] reads over `&[u8]`.
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Current readable slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics when `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads a little-endian `u32` and advances past it.
+    ///
+    /// # Panics
+    /// Panics when fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "get_u32_le: buffer underflow");
+        let c = self.chunk();
+        let v = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian `u32` and advances past it.
+    ///
+    /// # Panics
+    /// Panics when fewer than 4 bytes remain.
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "get_u32: buffer underflow");
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write sink for growable buffers.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+/// A growable byte buffer (thin wrapper over `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Consumes the buffer, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Appends bytes from a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut frame = BytesMut::with_capacity(16);
+        frame.put_u32_le(5);
+        frame.put_slice(b"hello");
+        assert_eq!(frame.len(), 9);
+
+        let mut buf: &[u8] = &frame;
+        assert_eq!(buf.remaining(), 9);
+        assert_eq!(buf.get_u32_le(), 5);
+        assert_eq!(buf.chunk(), b"hello");
+        buf.advance(5);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn peek_without_advance_matches_wal_usage() {
+        // The WAL reads the length with `(&buf[..4]).get_u32_le()`
+        // before deciding to advance; that pattern must work.
+        let mut frame = BytesMut::new();
+        frame.put_u32_le(0xDEAD_BEEF);
+        let buf: &[u8] = &frame;
+        let peeked = (&buf[..4]).get_u32_le();
+        assert_eq!(peeked, 0xDEAD_BEEF);
+        assert_eq!(buf.len(), 4, "peek must not consume");
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Benchmarks run with `cargo bench` exactly like the real crate
+//! (`harness = false` targets calling [`criterion_main!`]). Each
+//! benchmark is timed over `sample_size` samples after a short
+//! warm-up; mean / median / min wall-clock times are printed per
+//! benchmark. There are no statistical regressions reports or HTML
+//! output.
+//!
+//! When the `ND_BENCH_JSON` environment variable names a file, a JSON
+//! summary `[{"name", "mean_ns", "median_ns", "min_ns", "samples"}]`
+//! is appended for downstream tooling.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Collected timing for one benchmark.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, records: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single benchmark closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let rec = run_bench(name, self.sample_size, &mut f);
+        self.records.push(rec);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn finalize(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        if let Ok(path) = std::env::var("ND_BENCH_JSON") {
+            if !path.is_empty() {
+                let mut out = String::from("[");
+                for (i, r) in self.records.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"name\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{}}}",
+                        r.name.replace('"', "'"),
+                        r.mean_ns,
+                        r.median_ns,
+                        r.min_ns,
+                        r.samples
+                    ));
+                }
+                out.push_str("]\n");
+                use std::io::Write;
+                if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path)
+                {
+                    let _ = f.write_all(out.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.text);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let rec = run_bench(&full, samples, &mut |b: &mut Bencher| f(b, input));
+        self.parent.records.push(rec);
+        self
+    }
+
+    /// Runs a benchmark closure under this group's name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let rec = run_bench(&full, samples, &mut f);
+        self.parent.records.push(rec);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { text: format!("{name}/{param}") }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { text: param.to_string() }
+    }
+}
+
+/// Controls how per-iteration setup cost is amortised in
+/// [`Bencher::iter_batched`]. The stand-in times every routine call
+/// individually, so the variants only influence nothing but intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    /// Accumulated sample durations for the current run.
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then timed samples.
+        black_box(routine());
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_bench(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) -> Record {
+    let mut b = Bencher { samples: Vec::with_capacity(samples), target_samples: samples };
+    f(&mut b);
+    let mut ns: Vec<f64> = b.samples.iter().map(|d| d.as_nanos() as f64).collect();
+    if ns.is_empty() {
+        ns.push(0.0);
+    }
+    ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+    let median = ns[ns.len() / 2];
+    let min = ns[0];
+    println!(
+        "bench {name:<48} mean {:>12}  median {:>12}  min {:>12}  ({} samples)",
+        fmt_ns(mean),
+        fmt_ns(median),
+        fmt_ns(min),
+        ns.len()
+    );
+    Record { name: name.to_string(), mean_ns: mean, median_ns: median, min_ns: min, samples: ns.len() }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a benchmark group; both the simple list form and the
+/// `name = ...; config = ...; targets = ...` form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            $crate::__finalize(&mut criterion);
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[doc(hidden)]
+pub fn __finalize(c: &mut Criterion) {
+    c.finalize();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default().sample_size(4);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.records.len(), 1);
+        assert_eq!(c.records[0].samples, 4);
+    }
+
+    #[test]
+    fn group_and_batched_work() {
+        let mut c = Criterion::default().sample_size(3);
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::new("sum", 8), &8usize, |b, &n| {
+                b.iter_batched(|| vec![1u64; n], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert_eq!(c.records[0].name, "grp/sum/8");
+        assert_eq!(c.records[0].samples, 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serialization framework under the same crate
+//! names the code already uses. Unlike real serde's visitor-based
+//! design, this implementation round-trips everything through a JSON
+//! [`Value`] tree — dramatically simpler, and fully sufficient for the
+//! document store, WAL, and synth corpus types that rely on it.
+//!
+//! The `serde_derive` proc-macro crate provides `#[derive(Serialize)]`
+//! / `#[derive(Deserialize)]` for named-field structs and enums with
+//! unit or named-field variants (externally tagged, matching serde's
+//! default representation).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{to_json_string, Map, Number, Value};
+
+/// A type that can be converted into a JSON [`Value`].
+pub trait Serialize {
+    /// Converts `self` to a JSON value tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value tree.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first mismatch.
+    fn from_json_value(v: &Value) -> Result<Self, String>;
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        v.as_bool().ok_or_else(|| format!("expected bool, got {v:?}"))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        v.as_str().map(str::to_string).ok_or_else(|| format!("expected string, got {v:?}"))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, String> {
+                let n = v.as_u64().ok_or_else(|| format!("expected unsigned int, got {v:?}"))?;
+                <$t>::try_from(n).map_err(|_| format!("{n} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, String> {
+                let n = v.as_i64().ok_or_else(|| format!("expected int, got {v:?}"))?;
+                <$t>::try_from(n).map_err(|_| format!("{n} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        v.as_f64().ok_or_else(|| format!("expected number, got {v:?}"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        v.as_f64().map(|x| x as f32).ok_or_else(|| format!("expected number, got {v:?}"))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        v.as_array()
+            .ok_or_else(|| format!("expected array, got {v:?}"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeMap<String, T> {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_json_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::BTreeMap<String, T> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        let obj = v.as_object().ok_or_else(|| format!("expected object, got {v:?}"))?;
+        obj.iter().map(|(k, v)| Ok((k.clone(), T::from_json_value(v)?))).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::HashMap<String, T> {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_json_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::HashMap<String, T> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        let obj = v.as_object().ok_or_else(|| format!("expected object, got {v:?}"))?;
+        obj.iter().map(|(k, v)| Ok((k.clone(), T::from_json_value(v)?))).collect()
+    }
+}

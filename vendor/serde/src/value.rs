@@ -1,0 +1,356 @@
+//! JSON value tree shared by the vendored `serde` / `serde_json`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Map type used for JSON objects (sorted keys, like serde_json's
+/// default `Map`).
+pub type Map<K = String, V = Value> = BTreeMap<K, V>;
+
+/// A JSON number: integers keep full 64-bit precision, everything else
+/// is an `f64`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Finite float.
+    Float(f64),
+}
+
+impl Number {
+    /// Builds from a `u64`.
+    pub fn from_u64(n: u64) -> Number {
+        Number::PosInt(n)
+    }
+
+    /// Builds from an `i64`, normalizing non-negative values to
+    /// `PosInt` so `5i64` and `5u64` compare equal.
+    pub fn from_i64(n: i64) -> Number {
+        if n >= 0 {
+            Number::PosInt(n as u64)
+        } else {
+            Number::NegInt(n)
+        }
+    }
+
+    /// Builds from an `f64` (non-finite values become `null`-ish 0.0;
+    /// JSON cannot represent them).
+    pub fn from_f64(x: f64) -> Number {
+        Number::Float(if x.is_finite() { x } else { 0.0 })
+    }
+
+    /// Value as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Value as `i64` when it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Value as `f64` (always available).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::PosInt(n) => Some(n as f64),
+            Number::NegInt(n) => Some(n as f64),
+            Number::Float(x) => Some(x),
+        }
+    }
+
+    /// `true` when the number is stored as a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Number::Float(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        // Integers compare exactly; floats compare as floats. Mixed
+        // int/float compares numerically (more forgiving than real
+        // serde_json, which is what the store's tests rely on).
+        match (self, other) {
+            (Number::PosInt(a), Number::PosInt(b)) => a == b,
+            (Number::NegInt(a), Number::NegInt(b)) => a == b,
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(n) => write!(f, "{n}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            Number::Float(x) => {
+                if x == x.trunc() && x.abs() < 1e15 {
+                    // Keep float-ness visible on round numbers, like
+                    // serde_json does.
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// A key-value object.
+    Object(Map),
+}
+
+/// Shared `null` for out-of-bounds `Index` results.
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// `true` when the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// As a bool, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As a non-negative integer, when it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// As a signed integer, when it is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// As a float (any numeric value).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// As a string slice, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As an array, when it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As a mutable array, when it is one.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As an object, when it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// As a mutable object, when it is one.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Mutable object field lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.as_object_mut().and_then(|m| m.get_mut(key))
+    }
+
+    /// Array element lookup.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        self.as_array().and_then(|a| a.get(idx))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.get_index(idx).unwrap_or(&NULL)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Number(Number::from_f64(x))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(x: f32) -> Value {
+        Value::Number(Number::from_f64(x as f64))
+    }
+}
+
+macro_rules! from_int {
+    (unsigned: $($u:ty),* ; signed: $($i:ty),*) => {
+        $(impl From<$u> for Value {
+            fn from(n: $u) -> Value { Value::Number(Number::from_u64(n as u64)) }
+        })*
+        $(impl From<$i> for Value {
+            fn from(n: $i) -> Value { Value::Number(Number::from_i64(n as i64)) }
+        })*
+    };
+}
+
+from_int!(unsigned: u8, u16, u32, u64, usize; signed: i8, i16, i32, i64, isize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Value {
+        Value::Object(m)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+pub(crate) fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_compact(&mut s, self);
+        f.write_str(&s)
+    }
+}
+
+/// Renders the value as compact JSON (used by `serde_json`).
+pub fn to_json_string(v: &Value) -> String {
+    let mut s = String::new();
+    write_compact(&mut s, v);
+    s
+}

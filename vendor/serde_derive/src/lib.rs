@@ -1,0 +1,280 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports the shapes the workspace actually uses:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit or have named fields (serialized
+//!   with serde's default external tagging: `"Variant"` for unit
+//!   variants, `{"Variant": {fields...}}` for struct variants).
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`
+//! — they are not available offline). Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<(String, Vec<String>)> },
+}
+
+/// Skips `#[...]` attribute pairs at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility prefix.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Extracts field names from the token body of a named-field brace
+/// group. Types are skipped by munching to the next comma outside any
+/// `<...>` nesting (proc-macro groups make (), [], {} atomic already).
+fn parse_named_fields(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected field name, found {other}"),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde_derive: expected ':' after field `{name}`"),
+        }
+        // Skip the type: munch to the next top-level comma.
+        let mut angle = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_input(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (type `{name}`)");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive: expected braced body for `{name}`, found {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Shape::Struct { name, fields: parse_named_fields(&body) },
+        "enum" => {
+            let tokens: Vec<TokenTree> = body.into_iter().collect();
+            let mut variants = Vec::new();
+            let mut i = 0;
+            while i < tokens.len() {
+                i = skip_attrs(&tokens, i);
+                let vname = match tokens.get(i) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    Some(other) => panic!("serde_derive: expected variant name, found {other}"),
+                    None => break,
+                };
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        parse_named_fields(&g.stream())
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!("serde_derive: tuple variants not supported (`{name}::{vname}`)")
+                    }
+                    _ => Vec::new(),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == ',' {
+                        i += 1;
+                    }
+                }
+                variants.push((vname, fields));
+            }
+            Shape::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// `#[derive(Serialize)]` — see crate docs for the supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Shape::Struct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.insert({f:?}.to_string(), ::serde::Serialize::to_json_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::Value {{\n\
+                 let mut __m = ::serde::Map::new();\n\
+                 {inserts}\
+                 ::serde::Value::Object(__m)\n\
+                 }}\n}}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| {
+                    if fields.is_empty() {
+                        format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n")
+                    } else {
+                        let binds = fields.join(", ");
+                        let inserts: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "__inner.insert({f:?}.to_string(), ::serde::Serialize::to_json_value({f}));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __inner = ::serde::Map::new();\n\
+                             {inserts}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert({v:?}.to_string(), ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n\
+                             }}\n"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]` — see crate docs for the supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Shape::Struct { name, fields } => {
+            let builds: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(\
+                         __obj.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| format!(\"{name}.{f}: {{e}}\"))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(__v: &::serde::Value) -> ::std::result::Result<Self, String> {{\n\
+                 let __obj = __v.as_object().ok_or_else(|| format!(\"{name}: expected object\"))?;\n\
+                 Ok({name} {{\n{builds}}})\n\
+                 }}\n}}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_empty())
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),\n"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| !fields.is_empty())
+                .map(|(v, fields)| {
+                    let builds: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_json_value(\
+                                 __inner.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                                 .map_err(|e| format!(\"{name}::{v}.{f}: {{e}}\"))?,\n"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{v:?} => {{\n\
+                         let __inner = __payload.as_object()\
+                         .ok_or_else(|| format!(\"{name}::{v}: expected object payload\"))?;\n\
+                         Ok({name}::{v} {{\n{builds}}})\n\
+                         }}\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(__v: &::serde::Value) -> ::std::result::Result<Self, String> {{\n\
+                 if let Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}\
+                 __other => return Err(format!(\"{name}: unknown unit variant {{__other}}\")),\n}}\n\
+                 }}\n\
+                 let __obj = __v.as_object().ok_or_else(|| format!(\"{name}: expected object\"))?;\n\
+                 let (__tag, __payload) = __obj.iter().next()\
+                 .ok_or_else(|| format!(\"{name}: empty enum object\"))?;\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => Err(format!(\"{name}: unknown variant {{__other}}\")),\n}}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,168 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the subset of the real crate's API that the workspace
+//! uses: [`Value`] / [`Map`] / [`Number`] (re-exported from the
+//! vendored `serde`), the [`json!`] macro, compact serialization
+//! ([`to_string`] / [`to_vec`]) and parsing ([`from_str`] /
+//! [`from_slice`]) through the [`serde::Serialize`] /
+//! [`serde::Deserialize`] traits.
+
+pub use serde::{Map, Number, Value};
+
+mod parse;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::to_json_string(&value.to_json_value()))
+}
+
+/// Serializes to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a JSON string into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse::parse(s).map_err(Error)?;
+    T::from_json_value(&v).map_err(Error)
+}
+
+/// Parses JSON bytes into any deserializable type.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from JSON-like syntax; see the real serde_json's
+/// `json!` for the grammar. Object keys must be string literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal_list!(() () $($tt)+)) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut __map = $crate::Map::new();
+        $crate::json_internal_obj!(__map $($tt)+);
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: array-element muncher (splits on top-level commas).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_list {
+    (($($out:expr,)*) ()) => { vec![$($out),*] };
+    (($($out:expr,)*) ($($buf:tt)+)) => { vec![$($out,)* $crate::json!($($buf)+)] };
+    (($($out:expr,)*) ($($buf:tt)+) , $($rest:tt)*) => {
+        $crate::json_internal_list!(($($out,)* $crate::json!($($buf)+),) () $($rest)*)
+    };
+    (($($out:expr,)*) ($($buf:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal_list!(($($out,)*) ($($buf)* $next) $($rest)*)
+    };
+}
+
+/// Internal: object-entry muncher. Keys are string literals.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_obj {
+    ($map:ident) => {};
+    ($map:ident $k:literal : $($rest:tt)+) => {
+        $crate::json_internal_objval!($map ($k) () $($rest)+)
+    };
+}
+
+/// Internal: object-value muncher (splits on top-level commas).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_objval {
+    ($map:ident ($k:literal) ($($buf:tt)+)) => {
+        $map.insert(($k).to_string(), $crate::json!($($buf)+));
+    };
+    ($map:ident ($k:literal) ($($buf:tt)+) , $($rest:tt)*) => {
+        $map.insert(($k).to_string(), $crate::json!($($buf)+));
+        $crate::json_internal_obj!($map $($rest)*);
+    };
+    ($map:ident ($k:literal) ($($buf:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal_objval!($map ($k) ($($buf)* $next) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(5), Value::Number(Number::from_u64(5)));
+        assert_eq!(json!("hi"), Value::String("hi".to_string()));
+        let arr = json!([1, "two", null, [3]]);
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_str(), Some("two"));
+        assert!(arr[2].is_null());
+        assert_eq!(arr[3][0].as_u64(), Some(3));
+        let x = 7u64;
+        let obj = json!({"a": 1, "b": {"c": x + 1}, "d": [true, false]});
+        assert_eq!(obj["a"].as_u64(), Some(1));
+        assert_eq!(obj["b"]["c"].as_u64(), Some(8));
+        assert_eq!(obj["d"][0].as_bool(), Some(true));
+        assert_eq!(obj["missing"], Value::Null);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let v = json!({"name": "x", "xs": [1.5, -2, 1e3], "nested": {"ok": true}});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = json!({"s": "line\nbreak \"quoted\" \\ tab\t"});
+        let back: Value = from_slice(&to_vec(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn parse_errors_reported() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("{\"unterminated\": ").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+    }
+
+    #[test]
+    fn float_roundtrip_precision() {
+        let v = json!([0.1, 1.0 / 3.0, 1e-300, 12345.6789]);
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+    }
+}
