@@ -20,4 +20,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> determinism suite"
 NEWSDIFF_THREADS=4 cargo test -q --test determinism
 
+echo "==> serving round-trip (bit-identity, hot swap, backpressure)"
+NEWSDIFF_THREADS=4 cargo test -q --test serve_roundtrip
+
+echo "==> serving load smoke (zero 5xx outside the overload drill)"
+cargo run --release --example serve_demo -- --smoke
+
 echo "==> ci.sh: all green"

@@ -11,11 +11,29 @@
 
 use crate::error::{CoreError, Result};
 use nd_neural::Network;
-use nd_store::{Database, Filter};
-use serde_json::json;
+use nd_store::{Collection, Database, Filter};
+use serde_json::{json, Value};
 
 /// Collection holding model checkpoints.
 pub const MODELS_COLLECTION: &str = "models";
+
+/// One pass over the collection: the highest-version checkpoint doc
+/// for `name`. Checkpoint docs carry full parameter vectors, so the
+/// lookup must not materialize (or clone) every version the way a
+/// filter-then-max over `find` results would.
+fn latest_doc<'a>(coll: &'a Collection, name: &str) -> Option<&'a Value> {
+    let mut best: Option<(u64, &Value)> = None;
+    for doc in coll.iter() {
+        if doc["name"].as_str() != Some(name) {
+            continue;
+        }
+        let version = doc["version"].as_u64().unwrap_or(0);
+        if best.is_none_or(|(b, _)| version > b) {
+            best = Some((version, doc));
+        }
+    }
+    best.map(|(_, doc)| doc)
+}
 
 /// Saves a network checkpoint under `name`, returning its version
 /// (monotonically increasing per name).
@@ -35,10 +53,7 @@ pub fn save_checkpoint(db: &mut Database, name: &str, network: &Network) -> Resu
 /// Highest checkpoint version stored under `name`, if any.
 pub fn latest_version(db: &Database, name: &str) -> Option<u64> {
     let coll = db.get_collection(MODELS_COLLECTION)?;
-    coll.find(&Filter::eq("name", name))
-        .iter()
-        .filter_map(|d| d["version"].as_u64())
-        .max()
+    latest_doc(coll, name).and_then(|d| d["version"].as_u64())
 }
 
 /// Loads the newest checkpoint for `name` into `network` (which must
@@ -53,11 +68,8 @@ pub fn load_checkpoint(db: &Database, name: &str, network: &mut Network) -> Resu
     let coll = db
         .get_collection(MODELS_COLLECTION)
         .ok_or(CoreError::NoOutput("checkpoint load: no models collection"))?;
-    let docs = coll.find(&Filter::eq("name", name));
-    let doc = docs
-        .iter()
-        .max_by_key(|d| d["version"].as_u64().unwrap_or(0))
-        .ok_or(CoreError::NoOutput("checkpoint load: name not found"))?;
+    let doc =
+        latest_doc(coll, name).ok_or(CoreError::NoOutput("checkpoint load: name not found"))?;
     let params: Vec<Vec<f64>> = doc["params"]
         .as_array()
         .ok_or(CoreError::EmptyInput("checkpoint load: malformed params"))?

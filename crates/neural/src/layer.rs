@@ -15,6 +15,12 @@ pub trait Layer {
     /// is true the layer caches activations for `backward`.
     fn forward(&mut self, input: &Mat, training: bool) -> Mat;
 
+    /// Inference-only forward pass: no activation caching, no gradient
+    /// state touched. Taking `&self` lets a frozen layer stack be
+    /// shared across threads (the serving path runs concurrent
+    /// forward passes over one `Arc`-held network).
+    fn forward_infer(&self, input: &Mat) -> Mat;
+
     /// Backward pass: consumes `dL/d(output)` and returns
     /// `dL/d(input)`, accumulating parameter gradients internally.
     fn backward(&mut self, grad_output: &Mat) -> Mat;
@@ -99,11 +105,15 @@ impl ActivationLayer {
 
 impl Layer for ActivationLayer {
     fn forward(&mut self, input: &Mat, training: bool) -> Mat {
-        let out = input.map(|z| self.activation.apply(z));
+        let out = self.forward_infer(input);
         if training {
             self.cached_output = out.clone();
         }
         out
+    }
+
+    fn forward_infer(&self, input: &Mat) -> Mat {
+        input.map(|z| self.activation.apply(z))
     }
 
     fn backward(&mut self, grad_output: &Mat) -> Mat {
@@ -156,6 +166,14 @@ const GRAD_CHUNK: usize = 16;
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Mat, training: bool) -> Mat {
+        let out = self.forward_infer(input);
+        if training {
+            self.cached_input = input.clone();
+        }
+        out
+    }
+
+    fn forward_infer(&self, input: &Mat) -> Mat {
         debug_assert_eq!(input.cols(), self.in_dim, "dense input width");
         let batch = input.rows();
         let (in_dim, out_dim) = (self.in_dim, self.out_dim);
@@ -184,9 +202,6 @@ impl Layer for Dense {
                 }
             },
         );
-        if training {
-            self.cached_input = input.clone();
-        }
         out
     }
 
@@ -327,6 +342,14 @@ impl Conv1d {
 
 impl Layer for Conv1d {
     fn forward(&mut self, input: &Mat, training: bool) -> Mat {
+        let out = self.forward_infer(input);
+        if training {
+            self.cached_input = input.clone();
+        }
+        out
+    }
+
+    fn forward_infer(&self, input: &Mat) -> Mat {
         debug_assert_eq!(input.cols(), self.length, "conv input width");
         let batch = input.rows();
         let out_len = self.out_len();
@@ -355,9 +378,6 @@ impl Layer for Conv1d {
                 }
             },
         );
-        if training {
-            self.cached_input = input.clone();
-        }
         out
     }
 
@@ -492,18 +512,14 @@ impl MaxPool1d {
     pub fn out_len(&self) -> usize {
         self.in_len.div_ceil(self.pool)
     }
-}
 
-impl Layer for MaxPool1d {
-    fn forward(&mut self, input: &Mat, training: bool) -> Mat {
+    /// The pooling computation; fills `argmax` (when given) with the
+    /// winning index per output cell for the backward pass.
+    fn pool(&self, input: &Mat, mut argmax: Option<&mut Vec<usize>>) -> Mat {
         debug_assert_eq!(input.cols(), self.n_filters * self.in_len, "pool input width");
         let batch = input.rows();
         let out_len = self.out_len();
         let mut out = Mat::zeros(batch, self.n_filters * out_len);
-        if training {
-            self.cached_argmax = vec![0; batch * self.n_filters * out_len];
-            self.cached_batch = batch;
-        }
         for r in 0..batch {
             let x = input.row(r);
             let o = out.row_mut(r);
@@ -521,14 +537,31 @@ impl Layer for MaxPool1d {
                         }
                     }
                     o[f * out_len + p] = best;
-                    if training {
-                        self.cached_argmax
-                            [r * self.n_filters * out_len + f * out_len + p] = best_idx;
+                    if let Some(marks) = argmax.as_deref_mut() {
+                        marks[r * self.n_filters * out_len + f * out_len + p] = best_idx;
                     }
                 }
             }
         }
         out
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn forward(&mut self, input: &Mat, training: bool) -> Mat {
+        if !training {
+            return self.pool(input, None);
+        }
+        let batch = input.rows();
+        let mut argmax = vec![0; batch * self.n_filters * self.out_len()];
+        let out = self.pool(input, Some(&mut argmax));
+        self.cached_argmax = argmax;
+        self.cached_batch = batch;
+        out
+    }
+
+    fn forward_infer(&self, input: &Mat) -> Mat {
+        self.pool(input, None)
     }
 
     fn backward(&mut self, grad_output: &Mat) -> Mat {
@@ -579,13 +612,9 @@ impl Dropout {
         assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
         Dropout { rate, rng: SplitMix64::new(seed), mask: Vec::new(), cols: 0 }
     }
-}
 
-impl Layer for Dropout {
-    fn forward(&mut self, input: &Mat, training: bool) -> Mat {
-        if !training || self.rate == 0.0 {
-            return input.clone();
-        }
+    /// Training-mode forward: draws a fresh mask and applies it.
+    fn forward_train(&mut self, input: &Mat) -> Mat {
         let keep = 1.0 - self.rate;
         let scale = 1.0 / keep;
         self.cols = input.cols();
@@ -597,6 +626,20 @@ impl Layer for Dropout {
             *v *= m;
         }
         out
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Mat, training: bool) -> Mat {
+        if !training || self.rate == 0.0 {
+            return input.clone();
+        }
+        self.forward_train(input)
+    }
+
+    fn forward_infer(&self, input: &Mat) -> Mat {
+        // Inverted dropout: inference is the identity.
+        input.clone()
     }
 
     fn backward(&mut self, grad_output: &Mat) -> Mat {

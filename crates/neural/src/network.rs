@@ -7,8 +7,12 @@ use nd_linalg::Mat;
 
 /// A feed-forward network: an ordered stack of layers trained end to
 /// end against a [`Loss`].
+///
+/// Layers are `Send + Sync` so a frozen network can be shared behind
+/// an `Arc` and run concurrent [`Network::predict_batch`] passes (the
+/// online serving path).
 pub struct Network {
-    layers: Vec<Box<dyn Layer>>,
+    layers: Vec<Box<dyn Layer + Send + Sync>>,
     loss: Loss,
 }
 
@@ -20,7 +24,7 @@ impl Network {
 
     /// Appends a layer (builder style).
     #[allow(clippy::should_implement_trait)]
-    pub fn add(mut self, layer: impl Layer + 'static) -> Self {
+    pub fn add(mut self, layer: impl Layer + Send + Sync + 'static) -> Self {
         self.layers.push(Box::new(layer));
         self
     }
@@ -47,9 +51,20 @@ impl Network {
 
     /// Forward pass (inference mode: no activation caching).
     pub fn predict(&mut self, input: &Mat) -> Mat {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, false);
+        self.predict_batch(input)
+    }
+
+    /// Inference-only forward pass over a batch of rows. Unlike
+    /// [`Network::predict`] this takes `&self`: no activation caches
+    /// or gradient buffers are touched, so a shared (`Arc`-held)
+    /// network can serve concurrent callers. Row outputs are
+    /// independent of the surrounding batch composition, which is what
+    /// lets the serving micro-batcher coalesce requests without
+    /// changing any caller's bits.
+    pub fn predict_batch(&self, rows: &Mat) -> Mat {
+        let mut x = rows.clone();
+        for layer in &self.layers {
+            x = layer.forward_infer(&x);
         }
         x
     }
@@ -201,6 +216,49 @@ mod tests {
         let a = net.predict(&x);
         let b = net.predict(&x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_bit_for_bit() {
+        let (x, y) = xor_data();
+        let mut net = xor_network(3);
+        let mut opt = Sgd::new(0.5);
+        for _ in 0..100 {
+            net.train_batch(&x, &y, &mut opt);
+        }
+        let expected = net.predict(&x);
+        assert_eq!(net.predict_batch(&x), expected);
+
+        // Row outputs do not depend on the surrounding batch: running
+        // each row alone reproduces the batched bits (the property the
+        // serving micro-batcher relies on).
+        for r in 0..x.rows() {
+            let one = Mat::from_vec(1, x.cols(), x.row(r).to_vec()).unwrap();
+            assert_eq!(net.predict_batch(&one).row(0), expected.row(r));
+        }
+    }
+
+    #[test]
+    fn predict_batch_shares_across_threads() {
+        let (x, y) = xor_data();
+        let mut net = xor_network(7);
+        let mut opt = Sgd::new(0.5);
+        for _ in 0..100 {
+            net.train_batch(&x, &y, &mut opt);
+        }
+        let expected = net.predict(&x);
+        let shared = std::sync::Arc::new(net);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let net = shared.clone();
+                let x = x.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || assert_eq!(net.predict_batch(&x), expected))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! LRU prediction cache.
+//!
+//! Keyed on `(model, checkpoint version, feature-vector bits)`: news
+//! audiences hammer the same trending topics, so repeated queries for
+//! one feature vector are served from memory without touching the
+//! batcher. Keying on the *bit pattern* of the features (not an
+//! epsilon) plus the model version guarantees a hit returns exactly
+//! the bytes a fresh forward pass would — a hot swap changes the
+//! version and therefore misses, never serving stale-model outputs.
+//!
+//! The LRU index is a lazy-eviction queue: reads push a fresh
+//! `(stamp, key)` entry instead of splicing a linked list, and
+//! eviction skips entries whose stamp no longer matches. O(1)
+//! amortized, no unsafe, no pointer chasing.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Cache key: model identity + exact input bits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    model: String,
+    version: u64,
+    bits: Vec<u64>,
+}
+
+impl Key {
+    fn new(model: &str, version: u64, row: &[f64]) -> Key {
+        Key {
+            model: model.to_string(),
+            version,
+            bits: row.iter().map(|v| v.to_bits()).collect(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    scores: Vec<f64>,
+    stamp: u64,
+}
+
+/// A bounded least-recently-used map from feature rows to output
+/// rows.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<Key, Slot>,
+    order: VecDeque<(u64, Key)>,
+    tick: u64,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` rows.
+    pub fn new(capacity: usize) -> Self {
+        LruCache { capacity, map: HashMap::new(), order: VecDeque::new(), tick: 0 }
+    }
+
+    /// Cached output row for this exact input, refreshing its
+    /// recency.
+    pub fn get(&mut self, model: &str, version: u64, row: &[f64]) -> Option<Vec<f64>> {
+        let key = Key::new(model, version, row);
+        let slot = self.map.get_mut(&key)?;
+        self.tick += 1;
+        slot.stamp = self.tick;
+        let scores = slot.scores.clone();
+        self.order.push_back((self.tick, key));
+        self.compact();
+        Some(scores)
+    }
+
+    /// Drops stale front-of-queue entries so the recency queue stays
+    /// proportional to the live map even under hit-only workloads.
+    fn compact(&mut self) {
+        while self.order.len() > 2 * self.map.len() + 8 {
+            let Some((stamp, key)) = self.order.front() else { break };
+            if self.map.get(key).is_some_and(|s| s.stamp == *stamp) {
+                break; // front is live: queue is as tight as it gets
+            }
+            self.order.pop_front();
+        }
+    }
+
+    /// Stores an output row, evicting least-recently-used rows past
+    /// capacity.
+    pub fn insert(&mut self, model: &str, version: u64, row: &[f64], scores: Vec<f64>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = Key::new(model, version, row);
+        self.tick += 1;
+        self.order.push_back((self.tick, key.clone()));
+        self.map.insert(key, Slot { scores, stamp: self.tick });
+        while self.map.len() > self.capacity {
+            let Some((stamp, key)) = self.order.pop_front() else { break };
+            // Stale queue entries (the key was touched again later)
+            // are skipped; the live entry sits further back.
+            if self.map.get(&key).is_some_and(|s| s.stamp == stamp) {
+                self.map.remove(&key);
+            }
+        }
+        self.compact();
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_exact_bits() {
+        let mut c = LruCache::new(4);
+        let row = [0.1, -0.0, f64::MIN_POSITIVE];
+        c.insert("m", 1, &row, vec![1.5, 2.5]);
+        assert_eq!(c.get("m", 1, &row), Some(vec![1.5, 2.5]));
+        // +0.0 and -0.0 differ in bits: distinct keys by design.
+        assert_eq!(c.get("m", 1, &[0.1, 0.0, f64::MIN_POSITIVE]), None);
+    }
+
+    #[test]
+    fn version_change_misses() {
+        let mut c = LruCache::new(4);
+        c.insert("m", 1, &[1.0], vec![9.0]);
+        assert!(c.get("m", 2, &[1.0]).is_none(), "swap must invalidate");
+        assert!(c.get("other", 1, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("m", 1, &[1.0], vec![1.0]);
+        c.insert("m", 1, &[2.0], vec![2.0]);
+        // Touch [1.0] so [2.0] is the LRU entry.
+        assert!(c.get("m", 1, &[1.0]).is_some());
+        c.insert("m", 1, &[3.0], vec![3.0]);
+        assert_eq!(c.len(), 2);
+        assert!(c.get("m", 1, &[1.0]).is_some());
+        assert!(c.get("m", 1, &[2.0]).is_none(), "LRU entry evicted");
+        assert!(c.get("m", 1, &[3.0]).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.insert("m", 1, &[1.0], vec![1.0]);
+        assert!(c.is_empty());
+        assert!(c.get("m", 1, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn heavy_reuse_stays_bounded() {
+        let mut c = LruCache::new(8);
+        for i in 0..1000 {
+            let row = [(i % 16) as f64];
+            if c.get("m", 1, &row).is_none() {
+                c.insert("m", 1, &row, vec![row[0] * 2.0]);
+            }
+        }
+        assert!(c.len() <= 8);
+        // The queue must not grow without bound under churn.
+        assert!(c.order.len() <= 128, "lazy queue grew to {}", c.order.len());
+    }
+}

@@ -1,0 +1,346 @@
+//! Minimal HTTP/1.1 framing over `std::net::TcpStream`.
+//!
+//! Just enough of RFC 9112 for the serving API: request-line +
+//! headers + `Content-Length` bodies, keep-alive by default, no
+//! chunked transfer encoding, no TLS. Reads run against the stream's
+//! read timeout so idle keep-alive connections poll the server's
+//! shutdown flag instead of blocking forever.
+
+use serde_json::Value;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Upper bound on the request line + headers (a parsing budget, not a
+/// protocol limit).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// How long a *partially received* request may take to finish
+/// arriving before the connection is dropped as malformed.
+const PARTIAL_DEADLINE: Duration = Duration::from_secs(5);
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component, query string included.
+    pub path: String,
+    /// Header name/value pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value matching `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body parsed as JSON.
+    pub fn json(&self) -> Result<Value, serde_json::Error> {
+        serde_json::from_slice(&self.body)
+    }
+
+    /// `true` unless the client asked for `Connection: close`.
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// What a read attempt produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Clean EOF before any request bytes — the peer closed.
+    Closed,
+    /// No bytes arrived within the stream's read timeout; the caller
+    /// decides whether to keep waiting (idle keep-alive) or hang up.
+    TimedOut,
+    /// Head or body exceeded the configured limits; respond 413/431
+    /// and close.
+    TooLarge,
+    /// Unparseable framing; respond 400 and close.
+    Malformed,
+}
+
+/// One head line, with the conditions a caller must tell apart.
+enum Line {
+    /// A non-empty line (terminators stripped).
+    Data(String),
+    /// A bare CRLF (the head/body separator).
+    Blank,
+    /// Clean EOF with no bytes consumed.
+    Eof,
+    /// Read timeout with no bytes consumed.
+    Idle,
+    /// Torn, over-budget, or non-UTF-8 line.
+    Bad,
+}
+
+/// Reads one CRLF-terminated line, retrying timeouts while a partial
+/// line is pending.
+fn read_line(reader: &mut BufReader<TcpStream>, budget: &mut usize) -> std::io::Result<Line> {
+    let mut buf = Vec::new();
+    let started = Instant::now();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                // EOF. Mid-line EOF is a torn request.
+                return Ok(if buf.is_empty() { Line::Eof } else { Line::Bad });
+            }
+            Ok(_) => break,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if buf.is_empty() {
+                    return Ok(Line::Idle);
+                }
+                // Partial line: keep waiting, bounded.
+                if started.elapsed() > PARTIAL_DEADLINE {
+                    return Ok(Line::Bad);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    if buf.len() > *budget {
+        *budget = 0;
+        return Ok(Line::Bad);
+    }
+    *budget -= buf.len();
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(s) if s.is_empty() => Ok(Line::Blank),
+        Ok(s) => Ok(Line::Data(s)),
+        Err(_) => Ok(Line::Bad),
+    }
+}
+
+/// Reads the next request off the connection.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> std::io::Result<ReadOutcome> {
+    let mut budget = MAX_HEAD_BYTES;
+    let bad = |budget: usize| {
+        Ok(if budget == 0 { ReadOutcome::TooLarge } else { ReadOutcome::Malformed })
+    };
+    let line = match read_line(reader, &mut budget)? {
+        Line::Idle => return Ok(ReadOutcome::TimedOut),
+        Line::Eof => return Ok(ReadOutcome::Closed),
+        Line::Bad | Line::Blank => return bad(budget),
+        Line::Data(l) => l,
+    };
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => {
+            (m.to_ascii_uppercase(), p.to_string())
+        }
+        _ => return Ok(ReadOutcome::Malformed),
+    };
+
+    // Headers. A stall between lines retries until the head deadline.
+    let mut headers = Vec::new();
+    let started = Instant::now();
+    loop {
+        match read_line(reader, &mut budget)? {
+            Line::Idle => {
+                if started.elapsed() > PARTIAL_DEADLINE {
+                    return Ok(ReadOutcome::Malformed);
+                }
+            }
+            Line::Eof | Line::Bad => return bad(budget),
+            Line::Blank => break,
+            Line::Data(l) => match l.split_once(':') {
+                Some((name, value)) => {
+                    headers.push((name.trim().to_string(), value.trim().to_string()))
+                }
+                None => return Ok(ReadOutcome::Malformed),
+            },
+        }
+    }
+
+    // Body.
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Ok(ReadOutcome::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    let mut read = 0;
+    let started = Instant::now();
+    while read < content_length {
+        match reader.read(&mut body[read..]) {
+            Ok(0) => return Ok(ReadOutcome::Malformed),
+            Ok(n) => read += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if started.elapsed() > PARTIAL_DEADLINE {
+                    return Ok(ReadOutcome::Malformed);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    Ok(ReadOutcome::Request(Request { method, path, headers, body }))
+}
+
+/// Standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response (always with `Content-Length`).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Runs `client` against a connection whose peer wrote `raw`.
+    fn feed(raw: &[u8]) -> BufReader<TcpStream> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // Keep the socket open briefly so reads see data, not RST.
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(Duration::from_millis(10))).unwrap();
+        BufReader::new(stream)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let mut r = feed(
+            b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        );
+        match read_request(&mut r, 1024).unwrap() {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/predict");
+                assert_eq!(req.header("host"), Some("x"));
+                assert_eq!(req.body, b"{\"a\":1}");
+                assert_eq!(req.json().unwrap()["a"].as_u64(), Some(1));
+                assert!(req.keep_alive());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_close_detected() {
+        let mut r = feed(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        match read_request(&mut r, 1024).unwrap() {
+            ReadOutcome::Request(req) => assert!(!req.keep_alive()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let mut r = feed(b"POST /p HTTP/1.1\r\nContent-Length: 9999\r\n\r\n");
+        assert!(matches!(read_request(&mut r, 100).unwrap(), ReadOutcome::TooLarge));
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        let mut r = feed(b"not http at all\r\n\r\n");
+        assert!(matches!(read_request(&mut r, 1024).unwrap(), ReadOutcome::Malformed));
+    }
+
+    #[test]
+    fn idle_times_out_then_closed_on_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(Duration::from_millis(5))).unwrap();
+        let mut r = BufReader::new(stream);
+        assert!(matches!(read_request(&mut r, 1024).unwrap(), ReadOutcome::TimedOut));
+        drop(client);
+        assert!(matches!(read_request(&mut r, 1024).unwrap(), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+            let mut raw = Vec::new();
+            c.read_to_end(&mut raw).unwrap();
+            String::from_utf8(raw).unwrap()
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        write_response(
+            &mut stream,
+            503,
+            "application/json",
+            &[("Retry-After", "1".to_string())],
+            b"{}",
+            false,
+        )
+        .unwrap();
+        drop(stream);
+        let raw = t.join().unwrap();
+        assert!(raw.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{raw}");
+        assert!(raw.contains("Retry-After: 1\r\n"));
+        assert!(raw.contains("Connection: close\r\n"));
+        assert!(raw.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Online audience-interest prediction service.
+//!
+//! The paper's deployed system retrains every two hours as new
+//! social-media reactions arrive and serves interest predictions for
+//! incoming news topics continuously. `nd-serve` is that serving
+//! tier: a dependency-free HTTP/1.1 server over
+//! [`std::net::TcpListener`] that loads trained checkpoints from the
+//! embedded `nd-store` database and answers `POST /predict` with the
+//! exact scores an offline [`nd_neural::Network::predict_batch`] call
+//! would produce.
+//!
+//! Layout, front to back:
+//!
+//! - [`http`] — minimal HTTP/1.1 framing (request parsing, response
+//!   writing, keep-alive, read-timeout polling).
+//! - [`server`] — the listener: routing, validation, graceful
+//!   shutdown, the background checkpoint refresher.
+//! - [`cache`] — LRU over exact feature-vector bit patterns; repeat
+//!   queries for trending topics skip the network entirely.
+//! - [`batcher`] — micro-batching: concurrent requests coalesce into
+//!   one forward pass, bounded queues shed overload as `503`.
+//! - [`registry`] — versioned models behind swappable [`std::sync::Arc`]
+//!   handles; hot swap never tears an in-flight request.
+//! - [`metrics`] — lock-free counters/histograms for `GET /metrics`.
+//! - [`client`] — a small blocking client used by the tests, the
+//!   demo, and the load generator.
+//!
+//! # Endpoints
+//!
+//! | Route                | Purpose                                    |
+//! |----------------------|--------------------------------------------|
+//! | `POST /predict`      | Single (`features`) or batch (`rows`)      |
+//! | `GET /models`        | Serving versions and parameter counts      |
+//! | `GET /healthz`       | Liveness                                   |
+//! | `GET /metrics`       | Prometheus-style exposition text           |
+//! | `POST /admin/reload` | Synchronous checkpoint refresh + hot swap  |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatchConfig, Batcher, SubmitError};
+pub use cache::LruCache;
+pub use client::{Client, Response};
+pub use metrics::{Endpoint, Metrics};
+pub use registry::{ModelHandle, ModelSpec, Registry, SwapEvent};
+pub use server::{ServeConfig, Server};
+
+/// Errors surfaced while configuring or running the service.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Bad configuration (no specs, missing checkpoints, bad bind
+    /// address).
+    Config(String),
+    /// The backing document store failed.
+    Store(nd_store::StoreError),
+    /// Checkpoint load/prune failed.
+    Core(nd_core::CoreError),
+    /// Socket-level failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "config error: {msg}"),
+            ServeError::Store(e) => write!(f, "store error: {e}"),
+            ServeError::Core(e) => write!(f, "checkpoint error: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<nd_store::StoreError> for ServeError {
+    fn from(e: nd_store::StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+impl From<nd_core::CoreError> for ServeError {
+    fn from(e: nd_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

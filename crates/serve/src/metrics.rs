@@ -1,0 +1,271 @@
+//! Service metrics: lock-free counters and log-scale histograms,
+//! rendered at `GET /metrics` in a Prometheus-style text format.
+//!
+//! Everything is `AtomicU64` with relaxed ordering — metrics are
+//! advisory and must never contend with the request path.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram (cumulative `le` buckets, like
+/// Prometheus).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<AtomicU64>, // one per bound, plus +Inf
+    sum: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram over ascending `bounds`.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds, counts, sum: AtomicU64::new(0), total: AtomicU64::new(0) }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx =
+            self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, out: &mut String, name: &str) {
+        let mut cumulative = 0;
+        for (i, bound) in self.bounds.iter().enumerate() {
+            cumulative += self.counts[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += self.counts[self.bounds.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum());
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+/// The service endpoints tracked per-endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /predict`.
+    Predict,
+    /// `GET /models`.
+    Models,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /admin/reload`.
+    Reload,
+    /// Anything else (404/405 traffic).
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 6] = [
+        Endpoint::Predict,
+        Endpoint::Models,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Reload,
+        Endpoint::Other,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::Predict => "predict",
+            Endpoint::Models => "models",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Reload => "reload",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL.iter().position(|&e| e == self).unwrap_or(5)
+    }
+}
+
+/// Request latency buckets (microseconds).
+const LATENCY_BOUNDS: &[u64] =
+    &[50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 500_000];
+
+/// Micro-batch fill buckets (rows per forward pass).
+const BATCH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// All metrics for one server instance.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Requests received, per endpoint.
+    requests: [Counter; 6],
+    /// Errors (4xx/5xx) returned, per endpoint.
+    errors: [Counter; 6],
+    /// 503s returned because the admission queue was full.
+    pub overload_rejections: Counter,
+    /// Feature rows predicted (cache hits included).
+    pub predictions: Counter,
+    /// Forward passes run by the micro-batcher.
+    pub batches: Counter,
+    /// Prediction-cache hits.
+    pub cache_hits: Counter,
+    /// Prediction-cache misses.
+    pub cache_misses: Counter,
+    /// Completed hot model swaps.
+    pub model_swaps: Counter,
+    /// Checkpoints pruned after swaps.
+    pub checkpoints_pruned: Counter,
+    /// `/predict` end-to-end latency (µs).
+    pub predict_latency_us: Histogram,
+    /// Rows per forward pass.
+    pub batch_rows: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: Default::default(),
+            errors: Default::default(),
+            overload_rejections: Counter::default(),
+            predictions: Counter::default(),
+            batches: Counter::default(),
+            cache_hits: Counter::default(),
+            cache_misses: Counter::default(),
+            model_swaps: Counter::default(),
+            checkpoints_pruned: Counter::default(),
+            predict_latency_us: Histogram::new(LATENCY_BOUNDS),
+            batch_rows: Histogram::new(BATCH_BOUNDS),
+        }
+    }
+}
+
+impl Metrics {
+    /// Records an arrived request.
+    pub fn request(&self, endpoint: Endpoint) {
+        self.requests[endpoint.index()].inc();
+    }
+
+    /// Records a non-2xx response.
+    pub fn error(&self, endpoint: Endpoint) {
+        self.errors[endpoint.index()].inc();
+    }
+
+    /// Requests seen on `endpoint`.
+    pub fn requests_for(&self, endpoint: Endpoint) -> u64 {
+        self.requests[endpoint.index()].get()
+    }
+
+    /// Renders the exposition text. `gauges` carries point-in-time
+    /// values owned elsewhere (queue depth, open connections, model
+    /// versions).
+    pub fn render(&self, gauges: &[(String, u64)]) -> String {
+        let mut out = String::with_capacity(2048);
+        for e in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "nd_serve_requests_total{{endpoint=\"{}\"}} {}",
+                e.label(),
+                self.requests[e.index()].get()
+            );
+        }
+        for e in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "nd_serve_errors_total{{endpoint=\"{}\"}} {}",
+                e.label(),
+                self.errors[e.index()].get()
+            );
+        }
+        let scalars: [(&str, &Counter); 7] = [
+            ("nd_serve_overload_rejections_total", &self.overload_rejections),
+            ("nd_serve_predictions_total", &self.predictions),
+            ("nd_serve_batches_total", &self.batches),
+            ("nd_serve_cache_hits_total", &self.cache_hits),
+            ("nd_serve_cache_misses_total", &self.cache_misses),
+            ("nd_serve_model_swaps_total", &self.model_swaps),
+            ("nd_serve_checkpoints_pruned_total", &self.checkpoints_pruned),
+        ];
+        for (name, counter) in scalars {
+            let _ = writeln!(out, "{name} {}", counter.get());
+        }
+        self.predict_latency_us.render(&mut out, "nd_serve_predict_latency_us");
+        self.batch_rows.render(&mut out, "nd_serve_batch_rows");
+        for (name, value) in gauges {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::default();
+        m.request(Endpoint::Predict);
+        m.request(Endpoint::Predict);
+        m.error(Endpoint::Predict);
+        assert_eq!(m.requests_for(Endpoint::Predict), 2);
+        let text = m.render(&[]);
+        assert!(text.contains("nd_serve_requests_total{endpoint=\"predict\"} 2"), "{text}");
+        assert!(text.contains("nd_serve_errors_total{endpoint=\"predict\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 50, 500, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5555);
+        let mut out = String::new();
+        h.render(&mut out, "x");
+        assert!(out.contains("x_bucket{le=\"10\"} 1"), "{out}");
+        assert!(out.contains("x_bucket{le=\"100\"} 2"));
+        assert!(out.contains("x_bucket{le=\"1000\"} 3"));
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 4"));
+    }
+
+    #[test]
+    fn gauges_appended() {
+        let m = Metrics::default();
+        let text = m.render(&[("nd_serve_queue_depth".to_string(), 7)]);
+        assert!(text.contains("nd_serve_queue_depth 7"));
+    }
+}

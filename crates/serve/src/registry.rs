@@ -1,0 +1,277 @@
+//! Versioned model registry with hot swap.
+//!
+//! Each served model is an immutable [`ModelHandle`] behind an `Arc`:
+//! request handlers resolve the handle once at admission and keep it
+//! for the request's whole life, so a swap never tears a response —
+//! in-flight work finishes on the version it started with while new
+//! admissions see the fresh handle. Swaps load the newest
+//! `nd-core::checkpoint` version from the `models` collection into a
+//! freshly built architecture (paper §4.9: retraining continues from
+//! checkpoints as data arrives; the serving tier picks the results up
+//! without a restart) and then prune superseded checkpoint versions.
+//!
+//! The embedded store is single-writer: the registry opens the
+//! database only inside [`Registry::refresh`] / [`Registry::load`]
+//! and never holds it across requests, so an external trainer process
+//! can write checkpoints between refreshes.
+
+use crate::ServeError;
+use nd_core::checkpoint::{latest_version, load_checkpoint, prune_checkpoints};
+use nd_neural::Network;
+use nd_store::Database;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+/// How to (re)build a served model's architecture; checkpoint
+/// parameters are loaded on top.
+pub struct ModelSpec {
+    /// Checkpoint name in the `models` collection.
+    pub name: String,
+    /// Expected feature-vector width (request validation).
+    pub input_dim: usize,
+    builder: Box<dyn Fn() -> Network + Send + Sync>,
+}
+
+impl ModelSpec {
+    /// Creates a spec. `builder` must construct the same architecture
+    /// the checkpoints under `name` were exported from (its init seed
+    /// is irrelevant — parameters are overwritten on load).
+    pub fn new(
+        name: impl Into<String>,
+        input_dim: usize,
+        builder: impl Fn() -> Network + Send + Sync + 'static,
+    ) -> Self {
+        ModelSpec { name: name.into(), input_dim, builder: Box::new(builder) }
+    }
+}
+
+/// An immutable loaded model version.
+pub struct ModelHandle {
+    /// Model name.
+    pub name: String,
+    /// Loaded checkpoint version.
+    pub version: u64,
+    /// Feature-vector width.
+    pub input_dim: usize,
+    /// Trainable parameter count.
+    pub n_params: usize,
+    /// The frozen network (inference via `predict_batch(&self)`).
+    pub network: Network,
+}
+
+/// One completed hot swap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapEvent {
+    /// Model name.
+    pub name: String,
+    /// Version serving before the swap.
+    pub from: u64,
+    /// Version serving after the swap.
+    pub to: u64,
+    /// Checkpoint documents pruned after the swap.
+    pub pruned: usize,
+}
+
+/// The live model table.
+pub struct Registry {
+    db_dir: PathBuf,
+    specs: BTreeMap<String, ModelSpec>,
+    models: RwLock<BTreeMap<String, Arc<ModelHandle>>>,
+    keep_checkpoints: usize,
+}
+
+impl Registry {
+    /// Opens the store, loads the newest checkpoint for every spec,
+    /// and prunes superseded versions. Fails fast when any spec has no
+    /// checkpoint — a server with nothing to serve is a deploy error.
+    pub fn load(
+        db_dir: impl Into<PathBuf>,
+        specs: Vec<ModelSpec>,
+        keep_checkpoints: usize,
+    ) -> Result<Registry, ServeError> {
+        if specs.is_empty() {
+            return Err(ServeError::Config("at least one model spec is required".into()));
+        }
+        let registry = Registry {
+            db_dir: db_dir.into(),
+            specs: specs.into_iter().map(|s| (s.name.clone(), s)).collect(),
+            models: RwLock::new(BTreeMap::new()),
+            keep_checkpoints: keep_checkpoints.max(1),
+        };
+        let swapped = registry.refresh()?;
+        if swapped.len() != registry.specs.len() {
+            let missing: Vec<&str> = registry
+                .specs
+                .keys()
+                .filter(|n| !swapped.iter().any(|s| &s.name == *n))
+                .map(String::as_str)
+                .collect();
+            return Err(ServeError::Config(format!(
+                "no checkpoint found for model(s): {}",
+                missing.join(", ")
+            )));
+        }
+        Ok(registry)
+    }
+
+    /// Directory of the backing store.
+    pub fn db_dir(&self) -> &Path {
+        &self.db_dir
+    }
+
+    /// The live handle for `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelHandle>> {
+        self.models.read().unwrap().get(name).cloned()
+    }
+
+    /// The only model, when exactly one is served (lets single-model
+    /// deployments omit the `model` request field).
+    pub fn single(&self) -> Option<Arc<ModelHandle>> {
+        let models = self.models.read().unwrap();
+        if models.len() == 1 {
+            models.values().next().cloned()
+        } else {
+            None
+        }
+    }
+
+    /// All live handles, name-ordered.
+    pub fn list(&self) -> Vec<Arc<ModelHandle>> {
+        self.models.read().unwrap().values().cloned().collect()
+    }
+
+    /// Re-opens the store and hot-swaps every model whose newest
+    /// checkpoint is ahead of the serving version, pruning superseded
+    /// checkpoints afterwards. Returns one event per swap. In-flight
+    /// requests keep their admitted handle; only new admissions see
+    /// the swapped version.
+    pub fn refresh(&self) -> Result<Vec<SwapEvent>, ServeError> {
+        let mut db = Database::open(&self.db_dir)?;
+        let mut events = Vec::new();
+        for (name, spec) in &self.specs {
+            let serving = self.get(name).map(|h| h.version).unwrap_or(0);
+            let newest = latest_version(&db, name).unwrap_or(0);
+            if newest <= serving {
+                continue;
+            }
+            // Build + load outside the lock: the write lock is held
+            // only for the pointer swap.
+            let mut network = (spec.builder)();
+            let version = load_checkpoint(&db, name, &mut network)?;
+            let handle = Arc::new(ModelHandle {
+                name: name.clone(),
+                version,
+                input_dim: spec.input_dim,
+                n_params: network.n_params(),
+                network,
+            });
+            self.models.write().unwrap().insert(name.clone(), handle);
+            let pruned = prune_checkpoints(&mut db, name, self.keep_checkpoints)?;
+            events.push(SwapEvent { name: name.clone(), from: serving, to: version, pruned });
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_core::checkpoint::save_checkpoint;
+    use nd_core::predict::build_mlp;
+    use nd_linalg::Mat;
+    use nd_store::Filter;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("ndreg-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    fn spec(dim: usize) -> ModelSpec {
+        ModelSpec::new("likes", dim, move || build_mlp(dim, 0))
+    }
+
+    #[test]
+    fn loads_latest_and_serves_it() {
+        let dir = tmpdir("load");
+        let trained = build_mlp(6, 7);
+        {
+            let mut db = Database::open(&dir).unwrap();
+            save_checkpoint(&mut db, "likes", &build_mlp(6, 1)).unwrap();
+            save_checkpoint(&mut db, "likes", &trained).unwrap();
+        }
+        let reg = Registry::load(&dir, vec![spec(6)], 3).unwrap();
+        let h = reg.get("likes").unwrap();
+        assert_eq!(h.version, 2);
+        assert_eq!(h.input_dim, 6);
+        let x = Mat::random_normal(3, 6, 0.0, 1.0, 1);
+        assert_eq!(h.network.predict_batch(&x), trained.predict_batch(&x));
+        assert!(reg.single().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_checkpoint_fails_fast() {
+        let dir = tmpdir("missing");
+        Database::open(&dir).unwrap().persist().unwrap();
+        let err = Registry::load(&dir, vec![spec(6)], 3).err().expect("must fail");
+        assert!(err.to_string().contains("likes"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refresh_swaps_in_newer_version_and_prunes() {
+        let dir = tmpdir("swap");
+        {
+            let mut db = Database::open(&dir).unwrap();
+            save_checkpoint(&mut db, "likes", &build_mlp(6, 1)).unwrap();
+        }
+        let reg = Registry::load(&dir, vec![spec(6)], 1).unwrap();
+        let old = reg.get("likes").unwrap();
+        assert_eq!(old.version, 1);
+        assert!(reg.refresh().unwrap().is_empty(), "no new version yet");
+
+        let newer = build_mlp(6, 99);
+        {
+            let mut db = Database::open(&dir).unwrap();
+            save_checkpoint(&mut db, "likes", &newer).unwrap();
+            save_checkpoint(&mut db, "likes", &newer).unwrap();
+        }
+        let events = reg.refresh().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!((events[0].from, events[0].to), (1, 3));
+        assert_eq!(events[0].pruned, 2, "keep_last=1 prunes versions 1 and 2");
+        assert_eq!(reg.get("likes").unwrap().version, 3);
+        // The old Arc still works: in-flight requests are unaffected.
+        let x = Mat::random_normal(2, 6, 0.0, 1.0, 2);
+        let _ = old.network.predict_batch(&x);
+
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(
+            db.get_collection(nd_core::checkpoint::MODELS_COLLECTION)
+                .unwrap()
+                .count(&Filter::eq("name", "likes")),
+            1
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_is_none_with_two_models() {
+        let dir = tmpdir("two");
+        {
+            let mut db = Database::open(&dir).unwrap();
+            save_checkpoint(&mut db, "likes", &build_mlp(4, 1)).unwrap();
+            save_checkpoint(&mut db, "retweets", &build_mlp(4, 2)).unwrap();
+        }
+        let specs = vec![
+            ModelSpec::new("likes", 4, || build_mlp(4, 0)),
+            ModelSpec::new("retweets", 4, || build_mlp(4, 0)),
+        ];
+        let reg = Registry::load(&dir, specs, 3).unwrap();
+        assert!(reg.single().is_none());
+        assert_eq!(reg.list().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,699 @@
+//! The HTTP listener: routing, validation, backpressure, graceful
+//! shutdown, and the background checkpoint refresher.
+//!
+//! Threading layout: one non-blocking acceptor polls the listener and
+//! the shutdown flag; each connection gets its own handler thread
+//! (keep-alive loops there, with a short read timeout so idle
+//! connections also poll the flag); forward passes run on the
+//! [`Batcher`]'s worker pool; an optional refresher thread hot-swaps
+//! newer checkpoints on an interval. Shutdown order is: close the
+//! front door (flag + acceptor join), let in-flight connections finish
+//! writing, then drain the batcher so every admitted row is answered.
+
+use crate::batcher::{BatchConfig, Batcher, SubmitError};
+use crate::cache::LruCache;
+use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::metrics::{Endpoint, Metrics};
+use crate::registry::{ModelHandle, Registry};
+use crate::ServeError;
+use nd_linalg::vecops::argmax;
+use serde_json::{json, Value};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Micro-batching parameters.
+    pub batch: BatchConfig,
+    /// Prediction-cache capacity in rows (`0` disables).
+    pub cache_rows: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Poll the store for newer checkpoints this often (`None` =
+    /// manual `POST /admin/reload` only).
+    pub refresh_interval: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch: BatchConfig::default(),
+            cache_rows: 4096,
+            max_body_bytes: 1 << 20,
+            refresh_interval: None,
+        }
+    }
+}
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(5);
+
+/// Per-connection read timeout; bounds how long an idle keep-alive
+/// connection can ignore shutdown.
+const READ_TIMEOUT: Duration = Duration::from_millis(25);
+
+struct Shared {
+    registry: Registry,
+    batcher: Batcher,
+    cache: Mutex<LruCache>,
+    metrics: Arc<Metrics>,
+    shutdown: AtomicBool,
+    open_conns: AtomicUsize,
+    max_body: usize,
+}
+
+impl Shared {
+    fn apply_swaps(&self, events: &[crate::registry::SwapEvent]) {
+        self.metrics.model_swaps.add(events.len() as u64);
+        let pruned: usize = events.iter().map(|e| e.pruned).sum();
+        self.metrics.checkpoints_pruned.add(pruned as u64);
+    }
+}
+
+/// A running server. Dropping it signals shutdown; call
+/// [`Server::shutdown`] for the full graceful drain.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    refresher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving `registry` in background threads.
+    pub fn start(config: ServeConfig, registry: Registry) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::default());
+        let shared = Arc::new(Shared {
+            registry,
+            batcher: Batcher::start(config.batch.clone(), Arc::clone(&metrics)),
+            cache: Mutex::new(LruCache::new(config.cache_rows)),
+            metrics,
+            shutdown: AtomicBool::new(false),
+            open_conns: AtomicUsize::new(0),
+            max_body: config.max_body_bytes,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("nd-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(ServeError::Io)?
+        };
+
+        let refresher = match config.refresh_interval {
+            Some(interval) => {
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("nd-serve-refresh".to_string())
+                    .spawn(move || refresh_loop(&shared, interval))
+                    .map_err(ServeError::Io)?;
+                Some(handle)
+            }
+            None => None,
+        };
+
+        Ok(Server { addr, shared, acceptor: Some(acceptor), refresher })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This server's metrics.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// The model registry.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight connections
+    /// finish, answer every admitted prediction, join all threads.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        if let Some(refresher) = self.refresher.take() {
+            let _ = refresher.join();
+        }
+        // Connection handlers see the flag within one read timeout;
+        // the deadline only guards against a wedged peer.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.shared.open_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(POLL);
+        }
+        self.shared.batcher.drain();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.open_conns.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("nd-serve-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(&conn_shared, stream);
+                        conn_shared.open_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.open_conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn refresh_loop(shared: &Arc<Shared>, interval: Duration) {
+    let mut last = Instant::now();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(POLL);
+        if last.elapsed() < interval {
+            continue;
+        }
+        last = Instant::now();
+        // A refresh hitting a mid-write store surfaces as Err here and
+        // is retried next tick; serving continues on the old version.
+        if let Ok(events) = shared.registry.refresh() {
+            shared.apply_swaps(&events);
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, shared.max_body) {
+            Ok(ReadOutcome::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::TooLarge) => {
+                let _ = respond_json(
+                    &mut writer,
+                    413,
+                    &[],
+                    &json!({"error": "request too large"}),
+                    false,
+                );
+                return;
+            }
+            Ok(ReadOutcome::Malformed) => {
+                let _ = respond_json(
+                    &mut writer,
+                    400,
+                    &[],
+                    &json!({"error": "malformed request"}),
+                    false,
+                );
+                return;
+            }
+            Ok(ReadOutcome::Request(request)) => {
+                // During shutdown the response still goes out, but the
+                // connection closes behind it.
+                let keep_alive =
+                    request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+                if handle_request(shared, &request, &mut writer, keep_alive).is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &Value,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write_response(
+        stream,
+        status,
+        "application/json",
+        extra_headers,
+        body.to_string().as_bytes(),
+        keep_alive,
+    )
+}
+
+fn handle_request(
+    shared: &Arc<Shared>,
+    request: &Request,
+    writer: &mut TcpStream,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let path = request.path.split('?').next().unwrap_or("");
+    let endpoint = match (request.method.as_str(), path) {
+        ("POST", "/predict") => Endpoint::Predict,
+        ("GET", "/models") => Endpoint::Models,
+        ("GET", "/healthz") => Endpoint::Healthz,
+        ("GET", "/metrics") => Endpoint::Metrics,
+        ("POST", "/admin/reload") => Endpoint::Reload,
+        _ => Endpoint::Other,
+    };
+    shared.metrics.request(endpoint);
+
+    if endpoint == Endpoint::Metrics {
+        let text = render_metrics(shared);
+        return write_response(writer, 200, "text/plain; version=0.0.4", &[], text.as_bytes(), keep_alive);
+    }
+
+    let (status, extra, body) = match endpoint {
+        Endpoint::Predict => handle_predict(shared, request),
+        Endpoint::Models => handle_models(shared),
+        Endpoint::Healthz => {
+            (200, Vec::new(), json!({"status": "ok", "models": shared.registry.list().len()}))
+        }
+        Endpoint::Reload => handle_reload(shared),
+        Endpoint::Metrics => unreachable!("handled above"),
+        Endpoint::Other => {
+            let known = matches!(path, "/predict" | "/models" | "/healthz" | "/metrics" | "/admin/reload");
+            if known {
+                (405, Vec::new(), json!({"error": "method not allowed"}))
+            } else {
+                (404, Vec::new(), json!({"error": "no such route"}))
+            }
+        }
+    };
+    if status >= 400 {
+        shared.metrics.error(endpoint);
+    }
+    let extra: Vec<(&str, String)> =
+        extra.iter().map(|(n, v)| (*n, v.clone())).collect();
+    respond_json(writer, status, &extra, &body, keep_alive)
+}
+
+fn render_metrics(shared: &Arc<Shared>) -> String {
+    let mut gauges = vec![
+        ("nd_serve_queue_depth".to_string(), shared.batcher.queue_depth() as u64),
+        (
+            "nd_serve_open_connections".to_string(),
+            shared.open_conns.load(Ordering::SeqCst) as u64,
+        ),
+        (
+            "nd_serve_cache_entries".to_string(),
+            shared.cache.lock().unwrap().len() as u64,
+        ),
+    ];
+    for handle in shared.registry.list() {
+        gauges.push((
+            format!("nd_serve_model_version{{model=\"{}\"}}", handle.name),
+            handle.version,
+        ));
+    }
+    shared.metrics.render(&gauges)
+}
+
+fn handle_models(shared: &Arc<Shared>) -> (u16, Vec<(&'static str, String)>, Value) {
+    let models: Vec<Value> = shared
+        .registry
+        .list()
+        .iter()
+        .map(|h| {
+            json!({
+                "name": h.name,
+                "version": h.version,
+                "input_dim": h.input_dim,
+                "n_params": h.n_params,
+            })
+        })
+        .collect();
+    (200, Vec::new(), json!({"models": models}))
+}
+
+fn handle_reload(shared: &Arc<Shared>) -> (u16, Vec<(&'static str, String)>, Value) {
+    match shared.registry.refresh() {
+        Ok(events) => {
+            shared.apply_swaps(&events);
+            let swapped: Vec<Value> = events
+                .iter()
+                .map(|e| {
+                    json!({"model": e.name, "from": e.from, "to": e.to, "pruned": e.pruned})
+                })
+                .collect();
+            (200, Vec::new(), json!({"swapped": swapped}))
+        }
+        Err(e) => (500, Vec::new(), json!({"error": e.to_string()})),
+    }
+}
+
+fn parse_row(value: &Value) -> Option<Vec<f64>> {
+    let items = value.as_array()?;
+    let row: Vec<f64> = items.iter().filter_map(Value::as_f64).collect();
+    (row.len() == items.len() && !row.is_empty()).then_some(row)
+}
+
+/// Extracts `(rows, is_batch)` from a predict body.
+fn parse_rows(body: &Value) -> Result<(Vec<Vec<f64>>, bool), &'static str> {
+    if let Some(raw) = body["rows"].as_array() {
+        if raw.is_empty() {
+            return Err("rows must be a non-empty array of number arrays");
+        }
+        let rows: Option<Vec<Vec<f64>>> = raw.iter().map(parse_row).collect();
+        match rows {
+            Some(rows) => Ok((rows, true)),
+            None => Err("rows must be a non-empty array of number arrays"),
+        }
+    } else if body.get("features").is_some() {
+        match parse_row(&body["features"]) {
+            Some(row) => Ok((vec![row], false)),
+            None => Err("features must be a non-empty number array"),
+        }
+    } else {
+        Err("body needs a features array or a rows array of arrays")
+    }
+}
+
+fn handle_predict(
+    shared: &Arc<Shared>,
+    request: &Request,
+) -> (u16, Vec<(&'static str, String)>, Value) {
+    let started = Instant::now();
+    let err = |status: u16, msg: String| (status, Vec::new(), json!({"error": msg}));
+
+    let body = match request.json() {
+        Ok(v) => v,
+        Err(e) => return err(400, format!("invalid JSON: {e}")),
+    };
+    let handle: Arc<ModelHandle> = match body["model"].as_str() {
+        Some(name) => match shared.registry.get(name) {
+            Some(h) => h,
+            None => return err(404, format!("unknown model: {name}")),
+        },
+        None => match shared.registry.single() {
+            Some(h) => h,
+            None => return err(400, "model field is required when serving multiple models".into()),
+        },
+    };
+    let (rows, is_batch) = match parse_rows(&body) {
+        Ok(parsed) => parsed,
+        Err(msg) => return err(400, msg.into()),
+    };
+    if let Some(bad) = rows.iter().find(|r| r.len() != handle.input_dim) {
+        return err(
+            400,
+            format!("feature vector has {} values, model {} expects {}",
+                bad.len(), handle.name, handle.input_dim),
+        );
+    }
+
+    // Cache pass. The admitted handle pins the version: a hot swap
+    // between here and the forward pass changes nothing for this
+    // request.
+    let mut scores: Vec<Option<Vec<f64>>> = Vec::with_capacity(rows.len());
+    let mut miss_indices = Vec::new();
+    {
+        let mut cache = shared.cache.lock().unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            match cache.get(&handle.name, handle.version, row) {
+                Some(hit) => scores.push(Some(hit)),
+                None => {
+                    scores.push(None);
+                    miss_indices.push(i);
+                }
+            }
+        }
+    }
+    let hits = rows.len() - miss_indices.len();
+    shared.metrics.cache_hits.add(hits as u64);
+    shared.metrics.cache_misses.add(miss_indices.len() as u64);
+
+    if !miss_indices.is_empty() {
+        let miss_rows: Vec<Vec<f64>> =
+            miss_indices.iter().map(|&i| rows[i].clone()).collect();
+        let receiver = match shared.batcher.submit(Arc::clone(&handle), miss_rows) {
+            Ok(rx) => rx,
+            Err(SubmitError::Overloaded { queued_rows }) => {
+                return (
+                    503,
+                    vec![("Retry-After", "1".to_string())],
+                    json!({"error": "overloaded", "queued_rows": queued_rows}),
+                );
+            }
+            Err(SubmitError::ShuttingDown) => {
+                return (
+                    503,
+                    vec![("Retry-After", "1".to_string())],
+                    json!({"error": "shutting down"}),
+                );
+            }
+        };
+        let outputs = match receiver.recv() {
+            Ok(outputs) => outputs,
+            Err(_) => return err(500, "prediction worker failed".into()),
+        };
+        let mut cache = shared.cache.lock().unwrap();
+        for (&i, output) in miss_indices.iter().zip(outputs) {
+            cache.insert(&handle.name, handle.version, &rows[i], output.clone());
+            scores[i] = Some(output);
+        }
+    }
+
+    shared.metrics.predictions.add(rows.len() as u64);
+    shared
+        .metrics
+        .predict_latency_us
+        .observe(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+
+    let results: Vec<(Vec<f64>, usize)> = scores
+        .into_iter()
+        .map(|s| {
+            let s = s.expect("every row resolved via cache or batcher");
+            let class = argmax(&s).unwrap_or(0);
+            (s, class)
+        })
+        .collect();
+    let body = if is_batch {
+        let predictions: Vec<Value> = results
+            .iter()
+            .map(|(s, class)| json!({"scores": s, "class": class}))
+            .collect();
+        json!({
+            "model": handle.name,
+            "version": handle.version,
+            "predictions": predictions,
+        })
+    } else {
+        let (s, class) = &results[0];
+        json!({
+            "model": handle.name,
+            "version": handle.version,
+            "scores": s,
+            "class": class,
+        })
+    };
+    (200, Vec::new(), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::registry::ModelSpec;
+    use nd_core::checkpoint::save_checkpoint;
+    use nd_core::predict::build_mlp;
+    use nd_linalg::Mat;
+    use nd_store::Database;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("ndsrv-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    fn boot(dir: &PathBuf, dim: usize) -> Server {
+        {
+            let mut db = Database::open(dir).unwrap();
+            save_checkpoint(&mut db, "likes", &build_mlp(dim, 11)).unwrap();
+        }
+        let spec = ModelSpec::new("likes", dim, move || build_mlp(dim, 0));
+        let registry = Registry::load(dir, vec![spec], 2).unwrap();
+        Server::start(ServeConfig::default(), registry).unwrap()
+    }
+
+    #[test]
+    fn healthz_models_and_metrics_respond() {
+        let dir = tmpdir("basic");
+        let server = boot(&dir, 6);
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert_eq!(health.json().unwrap()["status"].as_str(), Some("ok"));
+
+        let models = client.get("/models").unwrap();
+        assert_eq!(models.status, 200);
+        let list = models.json().unwrap();
+        assert_eq!(list["models"][0]["name"].as_str(), Some("likes"));
+        assert_eq!(list["models"][0]["version"].as_u64(), Some(1));
+
+        let metrics = client.get("/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        let text = metrics.text();
+        assert!(text.contains("nd_serve_requests_total{endpoint=\"healthz\"} 1"), "{text}");
+        assert!(text.contains("nd_serve_model_version{model=\"likes\"} 1"));
+
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_single_matches_offline() {
+        let dir = tmpdir("predict");
+        let server = boot(&dir, 6);
+        let handle = server.registry().get("likes").unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        let features: Vec<f64> = (0..6).map(|j| 0.25 * j as f64 - 0.5).collect();
+        let response = client
+            .post_json("/predict", &json!({"features": features}))
+            .unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
+        let body = response.json().unwrap();
+
+        let offline = handle
+            .network
+            .predict_batch(&Mat::from_rows(std::slice::from_ref(&features)).unwrap());
+        let served: Vec<f64> = body["scores"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        assert_eq!(served, offline.row(0).to_vec(), "served scores must be bit-identical");
+        assert_eq!(body["class"].as_u64(), Some(argmax(offline.row(0)).unwrap() as u64));
+        assert_eq!(body["version"].as_u64(), Some(1));
+
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_validation_errors() {
+        let dir = tmpdir("validate");
+        let server = boot(&dir, 6);
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        let bad_dim = client
+            .post_json("/predict", &json!({"features": [1.0, 2.0]}))
+            .unwrap();
+        assert_eq!(bad_dim.status, 400);
+        assert!(bad_dim.json().unwrap()["error"].as_str().unwrap().contains("expects 6"));
+
+        let no_rows = client.post_json("/predict", &json!({"rows": []})).unwrap();
+        assert_eq!(no_rows.status, 400);
+
+        let unknown = client
+            .post_json("/predict", &json!({"model": "ghost", "features": vec![0.0; 6]}))
+            .unwrap();
+        assert_eq!(unknown.status, 404);
+
+        let not_json = client.request("POST", "/predict", None).unwrap();
+        assert_eq!(not_json.status, 400);
+
+        let wrong_method = client.get("/predict").unwrap();
+        assert_eq!(wrong_method.status, 405);
+
+        let missing = client.get("/nope").unwrap();
+        assert_eq!(missing.status, 404);
+
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_predict_and_cache_hits() {
+        let dir = tmpdir("batchcache");
+        let server = boot(&dir, 6);
+        let metrics = server.metrics();
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        let rows = vec![vec![0.0_f64; 6], vec![1.0; 6], vec![2.0; 6]];
+        let body = json!({"rows": rows});
+        let first = client.post_json("/predict", &body).unwrap();
+        assert_eq!(first.status, 200, "{}", first.text());
+        assert_eq!(first.json().unwrap()["predictions"].as_array().unwrap().len(), 3);
+        assert_eq!(metrics.cache_misses.get(), 3);
+
+        let second = client.post_json("/predict", &body).unwrap();
+        assert_eq!(second.status, 200);
+        assert_eq!(metrics.cache_hits.get(), 3, "repeat rows must hit the cache");
+        assert_eq!(
+            first.json().unwrap()["predictions"],
+            second.json().unwrap()["predictions"],
+            "cached scores are the same bytes"
+        );
+
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_swaps_to_new_checkpoint() {
+        let dir = tmpdir("reload");
+        let server = boot(&dir, 6);
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        let noop = client.post_json("/admin/reload", &json!({})).unwrap();
+        assert_eq!(noop.status, 200);
+        assert_eq!(noop.json().unwrap()["swapped"].as_array().unwrap().len(), 0);
+
+        {
+            let mut db = Database::open(&dir).unwrap();
+            save_checkpoint(&mut db, "likes", &build_mlp(6, 77)).unwrap();
+        }
+        let reload = client.post_json("/admin/reload", &json!({})).unwrap();
+        assert_eq!(reload.status, 200);
+        let swapped = reload.json().unwrap();
+        assert_eq!(swapped["swapped"][0]["to"].as_u64(), Some(2));
+        assert_eq!(server.registry().get("likes").unwrap().version, 2);
+        assert_eq!(server.metrics().model_swaps.get(), 1);
+
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

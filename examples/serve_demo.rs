@@ -1,0 +1,244 @@
+//! Serving demo + load generator: train, checkpoint, boot the HTTP
+//! server, drive it with concurrent clients, hot-swap a retrained
+//! model mid-traffic, then demonstrate overload shedding.
+//!
+//! ```bash
+//! cargo run --release --example serve_demo            # full pipeline
+//! cargo run --release --example serve_demo -- --smoke # fast CI mode
+//! ```
+//!
+//! Flags: `--smoke` (tiny synthetic dataset, fixed request budget,
+//! asserts zero non-overload 5xx), `--clients N`, `--requests N`.
+
+use newsdiff::core::checkpoint::save_checkpoint;
+use newsdiff::core::features::DatasetVariant;
+use newsdiff::core::pipeline::{Pipeline, PipelineConfig};
+use newsdiff::core::predict::build_mlp;
+use newsdiff::linalg::Mat;
+use newsdiff::neural::{Network, Sgd, Trainer, TrainerConfig};
+use newsdiff::serve::{BatchConfig, Client, ModelSpec, Registry, ServeConfig, Server};
+use newsdiff::store::Database;
+use serde_json::json;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Options {
+    smoke: bool,
+    clients: usize,
+    requests: usize,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let value_of = |flag: &str, default: usize| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    Options {
+        smoke,
+        clients: value_of("--clients", if smoke { 4 } else { 8 }),
+        requests: value_of("--requests", if smoke { 25 } else { 200 }),
+    }
+}
+
+/// Trains the served model. Smoke mode uses a synthetic separable
+/// dataset; full mode runs the paper pipeline on a small world and
+/// trains on the A2 (embedding + metadata) features.
+fn train(smoke: bool) -> (Network, Mat, Vec<usize>) {
+    if smoke {
+        let dim = 24;
+        let x = Mat::random_normal(128, dim, 0.0, 1.0, 11);
+        let y: Vec<usize> = (0..x.rows())
+            .map(|i| {
+                let s: f64 = x.row(i).iter().sum();
+                if s < -1.0 {
+                    0
+                } else if s < 1.0 {
+                    1
+                } else {
+                    2
+                }
+            })
+            .collect();
+        let mut network = build_mlp(dim, 11);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..15 {
+            network.train_batch(&x, &y, &mut opt);
+        }
+        return (network, x, y);
+    }
+    println!("running the paper pipeline on a small synthetic world…");
+    let output = Pipeline::new(PipelineConfig::small()).run().expect("pipeline");
+    let dataset = output.dataset(DatasetVariant::A2, 7);
+    println!(
+        "pipeline done: {} event-tweet samples, {} features each",
+        dataset.len(),
+        dataset.x.cols()
+    );
+    let mut network = build_mlp(dataset.x.cols(), 7);
+    let mut opt = Sgd::new(0.5);
+    let trainer = Trainer::new(TrainerConfig {
+        batch_size: 512,
+        max_epochs: 40,
+        early_stopping: None,
+        seed: 7,
+    });
+    let report = trainer.fit(&mut network, &dataset.x, &dataset.y_likes, &mut opt);
+    println!("trained MLP to loss {:.4} in {} epochs", report.final_loss(), report.epochs);
+    (network, dataset.x.clone(), dataset.y_likes.clone())
+}
+
+fn checkpoint(dir: &PathBuf, network: &Network) -> u64 {
+    let mut db = Database::open(dir).expect("open store");
+    save_checkpoint(&mut db, "likes", network).expect("save checkpoint")
+}
+
+/// Drives the server with `clients` threads x `requests` requests and
+/// returns `(status_2xx, status_503, other, rows_predicted)`.
+fn run_load(
+    addr: std::net::SocketAddr,
+    probe: &Arc<Mat>,
+    clients: usize,
+    requests: usize,
+) -> (usize, usize, usize, usize) {
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let probe = Arc::clone(probe);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut counts = (0usize, 0usize, 0usize, 0usize);
+                for r in 0..requests {
+                    let i = (c * 31 + r * 7) % probe.rows();
+                    // Every third request is a 4-row batch.
+                    let body = if r % 3 == 0 {
+                        let rows: Vec<Vec<f64>> = (0..4)
+                            .map(|k| probe.row((i + k) % probe.rows()).to_vec())
+                            .collect();
+                        json!({"rows": rows})
+                    } else {
+                        json!({"features": probe.row(i).to_vec()})
+                    };
+                    let rows_sent = if r % 3 == 0 { 4 } else { 1 };
+                    match client.post_json("/predict", &body) {
+                        Ok(response) if response.status == 200 => {
+                            counts.0 += 1;
+                            counts.3 += rows_sent;
+                        }
+                        Ok(response) if response.status == 503 => counts.1 += 1,
+                        Ok(_) | Err(_) => counts.2 += 1,
+                    }
+                }
+                counts
+            })
+        })
+        .collect();
+    let mut total = (0, 0, 0, 0);
+    for w in workers {
+        let c = w.join().expect("load client");
+        total.0 += c.0;
+        total.1 += c.1;
+        total.2 += c.2;
+        total.3 += c.3;
+    }
+    total
+}
+
+fn main() {
+    let options = parse_args();
+    let dir = std::env::temp_dir().join(format!("nd-serve-demo-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // 1. Train and checkpoint.
+    let (network, x, y) = train(options.smoke);
+    let input_dim = x.cols();
+    let version = checkpoint(&dir, &network);
+    println!("checkpointed model 'likes' v{version} ({input_dim} inputs)\n");
+
+    // 2. Boot the server on an ephemeral port.
+    let registry = Registry::load(
+        &dir,
+        vec![ModelSpec::new("likes", input_dim, move || build_mlp(input_dim, 0))],
+        2,
+    )
+    .expect("load registry");
+    let server = Server::start(ServeConfig::default(), registry).expect("start server");
+    println!("serving on http://{}  (POST /predict, GET /models|/healthz|/metrics)\n", server.addr());
+
+    // 3. Concurrent load.
+    let probe = Arc::new(x);
+    let started = Instant::now();
+    let (ok, rejected, failed, rows) =
+        run_load(server.addr(), &probe, options.clients, options.requests);
+    let elapsed = started.elapsed();
+    let metrics = server.metrics();
+    println!(
+        "load: {} clients x {} requests -> {} ok, {} shed (503), {} failed in {:.2?}",
+        options.clients, options.requests, ok, rejected, failed, elapsed
+    );
+    println!(
+        "      {:.0} rows/s | {} forward passes for {} rows (mean batch {:.1}) | cache hits {}",
+        rows as f64 / elapsed.as_secs_f64(),
+        metrics.batches.get(),
+        metrics.batch_rows.sum(),
+        metrics.batch_rows.sum() as f64 / metrics.batches.get().max(1) as f64,
+        metrics.cache_hits.get(),
+    );
+
+    // 4. Retrain briefly and hot-swap while the server keeps running.
+    let mut retrained = build_mlp(input_dim, 0);
+    retrained.import_params(&network.export_params()).expect("same architecture");
+    let mut opt = Sgd::new(0.05);
+    for _ in 0..3 {
+        retrained.train_batch(&probe, &y, &mut opt);
+    }
+    let v2 = checkpoint(&dir, &retrained);
+    let mut admin = Client::connect(server.addr()).expect("admin connect");
+    let reload = admin.post_json("/admin/reload", &json!({})).expect("reload");
+    assert_eq!(reload.status, 200, "reload failed: {}", reload.text());
+    println!("\nhot swap: checkpointed v{v2}, reloaded -> {}", reload.text());
+    let (ok2, _, failed2, _) = run_load(server.addr(), &probe, options.clients, 10);
+    println!("post-swap traffic: {ok2} ok, {failed2} failed");
+
+    let demo_failures = failed + failed2;
+    server.shutdown();
+
+    // 5. Deliberate overload against a deliberately tiny queue.
+    let registry = Registry::load(
+        &dir,
+        vec![ModelSpec::new("likes", input_dim, move || build_mlp(input_dim, 0))],
+        2,
+    )
+    .expect("reload registry");
+    let tiny = Server::start(
+        ServeConfig {
+            batch: BatchConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(50),
+                queue_capacity: 4,
+                workers: 1,
+            },
+            cache_rows: 0,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("start overload server");
+    let (ok3, rejected3, failed3, _) = run_load(tiny.addr(), &probe, 6, 8);
+    println!(
+        "\noverload drill (queue=4 rows): {ok3} ok, {rejected3} shed with 503+Retry-After, {failed3} failed"
+    );
+    tiny.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
+    if options.smoke {
+        assert_eq!(demo_failures, 0, "non-overload load phases must see zero 5xx");
+        assert_eq!(failed3, 0, "overload must shed as 503, never 5xx/hang");
+        assert!(rejected3 > 0, "overload drill must trigger backpressure");
+        println!("\nsmoke OK: zero unexpected errors, backpressure engaged");
+    }
+}

@@ -54,6 +54,10 @@ pub use nd_store as store;
 /// Synthetic world model (topics, events, users, engagement, APIs).
 pub use nd_synth as synth;
 
+/// Online prediction service (HTTP API, micro-batching, hot model
+/// swap, backpressure).
+pub use nd_serve as serve;
+
 /// The assembled paper architecture (Figure 1) and experiment
 /// utilities.
 pub use nd_core as core;
