@@ -17,6 +17,9 @@ NEWSDIFF_THREADS=4 cargo test -q --workspace
 echo "==> clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> nd-lint (workspace invariants: determinism, panic-safety, unsafe audit, lock discipline)"
+cargo run -q --release -p nd-lint -- --deny --json > lint_report.json
+
 echo "==> determinism suite"
 NEWSDIFF_THREADS=4 cargo test -q --test determinism
 

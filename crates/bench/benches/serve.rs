@@ -55,7 +55,8 @@ fn bench_microbatch(c: &mut Criterion) {
             workers: 1,
         },
         Arc::new(Metrics::default()),
-    );
+    )
+    .unwrap();
     c.bench_function("serve_predict_64rows_batch1", |b| {
         b.iter(|| {
             let receivers: Vec<_> = rows
@@ -77,7 +78,8 @@ fn bench_microbatch(c: &mut Criterion) {
             workers: 1,
         },
         Arc::new(Metrics::default()),
-    );
+    )
+    .unwrap();
     c.bench_function("serve_predict_64rows_batch64", |b| {
         b.iter(|| {
             let receivers: Vec<_> = rows

@@ -9,7 +9,7 @@
 //! bench can quantify that design decision.
 
 use nd_linalg::rng::SplitMix64;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Doc2Vec architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,8 +96,9 @@ impl Doc2Vec {
         let dim = cfg.dim;
         let n_docs = corpus.len();
 
-        // Vocabulary.
-        let mut counts: HashMap<&str, usize> = HashMap::new();
+        // Vocabulary. BTreeMap: the collect below iterates it, and
+        // vocabulary order seeds ids and init vectors downstream.
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
         for doc in corpus {
             for t in doc {
                 *counts.entry(t.as_str()).or_insert(0) += 1;

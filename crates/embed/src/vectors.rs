@@ -11,6 +11,10 @@ use std::collections::HashMap;
 pub struct WordVectors {
     dim: usize,
     index: HashMap<String, usize>,
+    /// Words in row order — the insertion order, kept alongside the
+    /// hash index so [`WordVectors::iter`] is deterministic without
+    /// giving up O(1) lookup.
+    words: Vec<String>,
     /// Flat row-major storage, one row per word.
     data: Vec<f64>,
 }
@@ -18,7 +22,7 @@ pub struct WordVectors {
 impl WordVectors {
     /// Creates an empty table of the given dimensionality.
     pub fn new(dim: usize) -> Self {
-        WordVectors { dim, index: HashMap::new(), data: Vec::new() }
+        WordVectors { dim, index: HashMap::new(), words: Vec::new(), data: Vec::new() }
     }
 
     /// Vector dimensionality.
@@ -50,7 +54,8 @@ impl WordVectors {
             }
             None => {
                 let row = self.index.len();
-                self.index.insert(word, row);
+                self.index.insert(word.clone(), row);
+                self.words.push(word);
                 self.data.extend_from_slice(vector);
             }
         }
@@ -66,11 +71,14 @@ impl WordVectors {
         self.index.contains_key(word)
     }
 
-    /// Iterator over `(word, vector)` pairs (arbitrary order).
+    /// Iterator over `(word, vector)` pairs in insertion order —
+    /// deterministic, since trainers insert in sorted-vocabulary
+    /// order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[f64])> {
-        self.index
+        self.words
             .iter()
-            .map(move |(w, &row)| (w.as_str(), &self.data[row * self.dim..(row + 1) * self.dim]))
+            .enumerate()
+            .map(move |(row, w)| (w.as_str(), &self.data[row * self.dim..(row + 1) * self.dim]))
     }
 
     /// Cosine similarity between two words; `None` if either is

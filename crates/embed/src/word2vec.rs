@@ -25,7 +25,7 @@
 
 use crate::vectors::WordVectors;
 use nd_linalg::rng::SplitMix64;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Architecture selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,8 +137,10 @@ impl Word2Vec {
     /// word vectors.
     pub fn train(&self, corpus: &[Vec<String>]) -> WordVectors {
         let cfg = &self.config;
-        // --- Vocabulary with counts.
-        let mut counts: HashMap<&str, usize> = HashMap::new();
+        // --- Vocabulary with counts. BTreeMap: the collect below
+        // iterates it, and vocabulary order seeds everything
+        // downstream (ids, init vectors, negative-sampling table).
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
         for doc in corpus {
             for tok in doc {
                 *counts.entry(tok.as_str()).or_insert(0) += 1;

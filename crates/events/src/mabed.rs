@@ -25,7 +25,7 @@
 use crate::event::Event;
 use crate::timeslice::SlicedCorpus;
 use nd_linalg::stats::erdem_weight;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which engagement signal drives the anomaly measure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,7 +182,9 @@ impl Mabed {
 
         // Candidate related words: co-occurring with the main word in
         // documents inside the interval.
-        let mut cooc: HashMap<&str, u32> = HashMap::new();
+        // BTreeMap: the weighting loop below iterates this, and ties
+        // at the `max_related` cut must break identically every run.
+        let mut cooc: BTreeMap<&str, u32> = BTreeMap::new();
         let mut n_docs_with_main = 0usize;
         for doc_id in corpus.docs_in_slices(cand.from, cand.to) {
             let toks = corpus.doc_tokens(doc_id);

@@ -3,7 +3,7 @@
 //! MABED operates on per-slice word statistics: the paper uses 60-min
 //! slices for news and 30-min slices for tweets (§5.3–5.4).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A preprocessed document with its publication timestamp.
 #[derive(Debug, Clone)]
@@ -38,8 +38,11 @@ pub struct SlicedCorpus {
     pub docs_per_slice: Vec<u32>,
     /// For each word: per-slice count of documents containing it
     /// (`N_t^i` in the paper), plus the same restricted to documents
-    /// with ≥1 mention (`M_t^i`), plus totals.
-    words: HashMap<String, WordStats>,
+    /// with ≥1 mention (`M_t^i`), plus totals. A `BTreeMap` so
+    /// [`SlicedCorpus::iter_words`] yields a deterministic
+    /// (lexicographic) order — downstream event ranking iterates this
+    /// and must be bit-stable run to run.
+    words: BTreeMap<String, WordStats>,
     /// Document index per slice (indices into the input corpus), used
     /// to gather event keyword candidates.
     slice_docs: Vec<Vec<u32>>,
@@ -78,7 +81,7 @@ impl SlicedCorpus {
                 n_slices: 0,
                 n_docs: 0,
                 docs_per_slice: Vec::new(),
-                words: HashMap::new(),
+                words: BTreeMap::new(),
                 slice_docs: Vec::new(),
                 doc_tokens: Vec::new(),
             };
@@ -88,7 +91,7 @@ impl SlicedCorpus {
         let n_slices = ((max_ts - origin) / slice_secs + 1) as usize;
 
         let mut docs_per_slice = vec![0u32; n_slices];
-        let mut words: HashMap<String, WordStats> = HashMap::new();
+        let mut words: BTreeMap<String, WordStats> = BTreeMap::new();
         let mut slice_docs: Vec<Vec<u32>> = vec![Vec::new(); n_slices];
         let mut doc_tokens: Vec<Vec<String>> = Vec::with_capacity(docs.len());
 
@@ -136,7 +139,8 @@ impl SlicedCorpus {
         self.words.get(word)
     }
 
-    /// Iterator over `(word, stats)` pairs.
+    /// Iterator over `(word, stats)` pairs in lexicographic word
+    /// order (deterministic across runs and platforms).
     pub fn iter_words(&self) -> impl Iterator<Item = (&str, &WordStats)> {
         self.words.iter().map(|(w, s)| (w.as_str(), s))
     }

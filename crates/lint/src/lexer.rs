@@ -1,0 +1,484 @@
+//! A hand-rolled Rust lexer, just deep enough for syntactic linting.
+//!
+//! The rules in [`crate::rules`] need to see identifiers, punctuation,
+//! and comments with accurate line numbers while never being fooled by
+//! the contents of string literals ("call .unwrap() here" in a doc
+//! string must not trip the panic rule). That takes a real tokenizer:
+//! raw strings with arbitrary `#` fences, nested block comments, and
+//! the `'a'`-char-versus-`'a`-lifetime ambiguity all have to lex
+//! correctly or the scanner misreads everything after them.
+//!
+//! The lexer is lossless: every byte of the input lands in exactly one
+//! token, so concatenating `Tok::text` in order reproduces the source
+//! (see the round-trip tests). Rules then work on a filtered view that
+//! drops whitespace and comments.
+
+/// Token classes. Deliberately coarse — rules match on text, the kind
+/// exists to separate code from non-code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `unsafe`, `r#match`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Character literal (`'x'`, `'\n'`, `'\u{1F600}'`).
+    CharLit,
+    /// String literal of any flavor (`"s"`, `b"s"`).
+    StrLit,
+    /// Raw string literal (`r"s"`, `r#"s"#`, `br##"s"##`).
+    RawStrLit,
+    /// Numeric literal, including suffixes (`0x1F`, `1_000u64`, `1e-3`).
+    NumLit,
+    /// Single punctuation byte (`::` arrives as two `:` tokens).
+    Punct,
+    /// `// ...` comment, doc comments included.
+    LineComment,
+    /// `/* ... */` comment, nesting handled.
+    BlockComment,
+    /// Run of whitespace.
+    Whitespace,
+}
+
+/// One lexed token: classification, exact source text, and the
+/// 1-based line its first byte sits on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The exact bytes of the token as they appear in the source.
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Tokenizes `src`. Never fails: bytes that fit no class become
+/// single-byte [`TokKind::Punct`] tokens, which is exactly what the
+/// syntactic rules want from code they do not fully understand.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { b: src.as_bytes(), i: 0, line: 1, out: Vec::new() }.run(src)
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self, src: &str) -> Vec<Tok> {
+        while self.i < self.b.len() {
+            let start = self.i;
+            let start_line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.i > start, "lexer must always advance");
+            self.out.push(Tok {
+                kind,
+                text: src[start..self.i].to_string(),
+                line: start_line,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.b.get(self.i + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) {
+        if self.i >= self.b.len() {
+            return; // clamp at EOF so unterminated literals stay in range
+        }
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn next_kind(&mut self) -> TokKind {
+        let c = self.peek(0);
+        if c.is_ascii_whitespace() {
+            while self.peek(0).is_ascii_whitespace() {
+                self.bump();
+            }
+            return TokKind::Whitespace;
+        }
+        if c == b'/' && self.peek(1) == b'/' {
+            while self.i < self.b.len() && self.peek(0) != b'\n' {
+                self.bump();
+            }
+            return TokKind::LineComment;
+        }
+        if c == b'/' && self.peek(1) == b'*' {
+            self.bump();
+            self.bump();
+            let mut depth = 1usize;
+            while self.i < self.b.len() && depth > 0 {
+                if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                } else {
+                    self.bump();
+                }
+            }
+            return TokKind::BlockComment;
+        }
+        // Raw strings / raw identifiers: r"..", r#".."#, r#ident.
+        if c == b'r' || c == b'b' {
+            if let Some(kind) = self.try_string_prefix() {
+                return kind;
+            }
+        }
+        if c == b'"' {
+            self.scan_quoted(b'"');
+            return TokKind::StrLit;
+        }
+        if c == b'\'' {
+            return self.char_or_lifetime();
+        }
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        if is_ident_start(c) {
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            return TokKind::Ident;
+        }
+        self.bump();
+        TokKind::Punct
+    }
+
+    /// Handles `r`/`b`-prefixed literals: `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`, `b'x'`, and raw identifiers `r#match`. Returns
+    /// `None` when the `r`/`b` is just the start of a plain ident.
+    fn try_string_prefix(&mut self) -> Option<TokKind> {
+        let mut j = 0usize;
+        let c0 = self.peek(0);
+        // Accept the prefixes r, b, rb, br.
+        let mut has_r = false;
+        if c0 == b'r' {
+            has_r = true;
+            j = 1;
+            if self.peek(1) == b'b' {
+                j = 2;
+            }
+        } else if c0 == b'b' {
+            j = 1;
+            if self.peek(1) == b'r' {
+                has_r = true;
+                j = 2;
+            }
+        }
+        // Byte char literal b'x'.
+        if c0 == b'b' && self.peek(1) == b'\'' {
+            self.bump(); // b
+            self.bump(); // '
+            self.scan_char_body();
+            return Some(TokKind::CharLit);
+        }
+        if has_r {
+            // Count # fence.
+            let mut hashes = 0usize;
+            while self.peek(j + hashes) == b'#' {
+                hashes += 1;
+            }
+            if self.peek(j + hashes) == b'"' {
+                for _ in 0..(j + hashes + 1) {
+                    self.bump();
+                }
+                self.scan_raw_body(hashes);
+                return Some(TokKind::RawStrLit);
+            }
+            // Raw identifier r#ident.
+            if c0 == b'r' && hashes == 1 && is_ident_start(self.peek(2)) {
+                self.bump(); // r
+                self.bump(); // #
+                while is_ident_continue(self.peek(0)) {
+                    self.bump();
+                }
+                return Some(TokKind::Ident);
+            }
+            return None;
+        }
+        // b"..." byte string.
+        if c0 == b'b' && self.peek(1) == b'"' {
+            self.bump();
+            self.scan_quoted(b'"');
+            return Some(TokKind::StrLit);
+        }
+        None
+    }
+
+    /// Consumes a `"`-delimited body starting at the opening quote,
+    /// honoring backslash escapes.
+    fn scan_quoted(&mut self, quote: u8) {
+        self.bump(); // opening quote
+        while self.i < self.b.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                c if c == quote => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw-string body after the opening quote until `"`
+    /// followed by `hashes` `#` bytes.
+    fn scan_raw_body(&mut self, hashes: usize) {
+        while self.i < self.b.len() {
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..(hashes + 1) {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a char-literal body after the opening `'` (escape or
+    /// a possibly multi-byte char, then the closing `'`). Scanning to
+    /// the closing quote byte keeps token boundaries on UTF-8 char
+    /// boundaries for literals like `'█'`.
+    fn scan_char_body(&mut self) {
+        if self.peek(0) == b'\\' {
+            self.bump();
+            self.bump();
+        }
+        while self.i < self.b.len() && self.peek(0) != b'\'' {
+            self.bump();
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime/label): after
+    /// the quote, an escape or a non-ident char is always a char
+    /// literal; an ident run is a char literal only when a closing
+    /// quote follows immediately.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        let next = self.peek(1);
+        if next == b'\\' || (!is_ident_start(next) && next != 0) {
+            // '\n' or ' ' or '(' … — char literal.
+            self.bump(); // '
+            self.scan_char_body();
+            return TokKind::CharLit;
+        }
+        // Ident run after the quote.
+        let mut j = 1usize;
+        while is_ident_continue(self.peek(j)) {
+            j += 1;
+        }
+        if self.peek(j) == b'\'' {
+            self.bump(); // '
+            self.scan_char_body();
+            TokKind::CharLit
+        } else {
+            self.bump(); // '
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            TokKind::Lifetime
+        }
+    }
+
+    fn number(&mut self) -> TokKind {
+        // Integer part (also covers 0x/0b/0o since letters are valid
+        // continue chars below).
+        while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        // Fraction: only when a digit follows the dot, so `0..10`
+        // stays three tokens.
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        // Exponent sign: `1e-3` / `2.5E+7`.
+        if (self.b.get(self.i.wrapping_sub(1)) == Some(&b'e')
+            || self.b.get(self.i.wrapping_sub(1)) == Some(&b'E'))
+            && (self.peek(0) == b'-' || self.peek(0) == b'+')
+            && self.peek(1).is_ascii_digit()
+        {
+            self.bump();
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        TokKind::NumLit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Vec<Tok> {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(rebuilt, src, "lexer must be lossless");
+        toks
+    }
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        roundtrip(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_punct() {
+        let toks = roundtrip("let x = foo::bar(1, 2.5);");
+        let texts: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind != TokKind::Whitespace)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "foo", ":", ":", "bar", "(", "1", ",", "2.5", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r###"let s = r#"quote " inside"#; let t = r"plain";"###;
+        let toks = roundtrip(src);
+        let raws: Vec<&Tok> =
+            toks.iter().filter(|t| t.kind == TokKind::RawStrLit).collect();
+        assert_eq!(raws.len(), 2);
+        assert_eq!(raws[0].text, r###"r#"quote " inside"#"###);
+        assert_eq!(raws[1].text, r#"r"plain""#);
+    }
+
+    #[test]
+    fn raw_byte_strings_and_byte_chars() {
+        let toks = roundtrip(r##"let a = br#"raw bytes"#; let b = b"x"; let c = b'y';"##);
+        assert!(toks.iter().any(|t| t.kind == TokKind::RawStrLit && t.text.starts_with("br#")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::StrLit && t.text == "b\"x\""));
+        assert!(toks.iter().any(|t| t.kind == TokKind::CharLit && t.text == "b'y'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        let toks = roundtrip(src);
+        let comment: Vec<&Tok> =
+            toks.iter().filter(|t| t.kind == TokKind::BlockComment).collect();
+        assert_eq!(comment.len(), 1);
+        assert_eq!(comment[0].text, "/* outer /* inner */ still outer */");
+        // `a` and `b` survive as idents around it.
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Ident).count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(
+            kinds("'a' 'b 'static '\\n' '\\u{1F600}' ' '"),
+            [
+                TokKind::CharLit,
+                TokKind::Lifetime,
+                TokKind::Lifetime,
+                TokKind::CharLit,
+                TokKind::CharLit,
+                TokKind::CharLit,
+            ]
+        );
+        // Generic bounds keep their lifetimes, fn pointers their chars.
+        let toks = roundtrip("fn f<'a, T: 'a>(c: char) -> bool { c == 'x' }");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::CharLit).count(), 1);
+    }
+
+    #[test]
+    fn strings_swallow_code_like_content() {
+        let toks = roundtrip(r#"let s = "call .unwrap() and panic!()"; x.len();"#);
+        // Nothing inside the string surfaces as an ident.
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "x", "len"]);
+    }
+
+    #[test]
+    fn numbers_ranges_and_suffixes() {
+        let texts: Vec<String> = roundtrip("0..10 1_000u64 0x1F 1e-3 2.5E+7 3.14f32")
+            .into_iter()
+            .filter(|t| t.kind == TokKind::NumLit)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(texts, ["0", "10", "1_000u64", "0x1F", "1e-3", "2.5E+7", "3.14f32"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = roundtrip("let r#match = r#fn; r#\"not ident\"#;");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "r#match"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::RawStrLit));
+    }
+
+    #[test]
+    fn line_numbers_track_every_token_flavor() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e\n'z'";
+        let toks = lex(src);
+        let find = |text: &str| toks.iter().find(|t| t.text == text).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("\"two\nlines\""), 2);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("e"), 5);
+        assert_eq!(find("'z'"), 6);
+    }
+
+    #[test]
+    fn multibyte_char_literals_stay_on_boundaries() {
+        let toks = roundtrip("let block = '█'; let accent = 'é'; let s = \"café\";");
+        assert!(toks.iter().any(|t| t.kind == TokKind::CharLit && t.text == "'█'"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::CharLit && t.text == "'é'"));
+    }
+
+    #[test]
+    fn unterminated_input_never_hangs() {
+        // Torture inputs: lexing must terminate and stay lossless.
+        for src in ["\"open", "r#\"open", "/* open", "'", "b'", "r#"] {
+            let toks = lex(src);
+            let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+            assert_eq!(rebuilt, src);
+        }
+    }
+}

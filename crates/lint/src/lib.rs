@@ -1,0 +1,93 @@
+//! `nd-lint` — workspace invariant analyzer.
+//!
+//! The paper's evaluation is reproducible because two invariants hold
+//! everywhere: kernels are bit-for-bit deterministic at any thread
+//! count (DESIGN.md §8) and the serving tier never lets a panic kill a
+//! worker mid-request (DESIGN.md §9). Those invariants used to live in
+//! prose and tests; this crate turns them into a CI gate that rejects
+//! violating code before it merges, the way clippy rejects style
+//! drift — but for rules clippy cannot express because they are
+//! *project policy*, not Rust misuse.
+//!
+//! The analyzer is a from-scratch, dependency-free lexer
+//! ([`lexer`]) plus a syntactic rule engine ([`rules`]): no `syn`, no
+//! registry access, builds in seconds before anything else in the
+//! workspace. See `DESIGN.md` §10 for the rule catalogue, the
+//! suppression syntax (`// nd-lint: allow(rule-name)`), and the
+//! `lint.allow` baseline workflow.
+//!
+//! Run it as `cargo run -p nd-lint -- --deny` (the CI form) or with
+//! `--json` for the machine-readable `lint_report.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::{AllowEntry, Baseline};
+pub use rules::{analyze, scope_for, FileScope, Finding, RULE_NAMES};
+
+use std::path::{Path, PathBuf};
+
+/// Workspace-relative source files the analyzer covers: every `.rs`
+/// under the root `src/` and under each `crates/*/src/`. Tests,
+/// benches, examples, and `vendor/` stubs are out of scope — they may
+/// unwrap, spawn, and time things freely.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every workspace source under `root`, returning findings with
+/// workspace-relative forward-slash paths, plus the file count.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let files = workspace_sources(root)?;
+    let n = files.len();
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(analyze(&rel, &src));
+    }
+    Ok((findings, n))
+}

@@ -1,0 +1,111 @@
+//! CLI entry point: `cargo run -p nd-lint -- [--deny] [--json] [--root DIR]`.
+//!
+//! Exit status: `0` when every finding is baselined (or `--deny` is
+//! absent), `1` when active findings remain under `--deny`, `2` on
+//! usage or I/O errors. Human output goes to stderr so `--json` on
+//! stdout stays machine-clean for `> lint_report.json`.
+
+use nd_lint::{analyze_workspace, Baseline, RULE_NAMES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    deny: bool,
+    json: bool,
+    root: PathBuf,
+    allow: Option<PathBuf>,
+}
+
+fn usage() -> String {
+    format!(
+        "nd-lint: workspace invariant analyzer\n\n\
+         USAGE: nd-lint [--deny] [--json] [--root DIR] [--allow FILE]\n\n\
+         \x20 --deny        exit non-zero when non-baselined findings exist\n\
+         \x20 --json        print the machine-readable report to stdout\n\
+         \x20 --root DIR    workspace root (default: current directory)\n\
+         \x20 --allow FILE  baseline file (default: ROOT/lint.allow)\n\n\
+         rules: {}\n\
+         suppress one site: `// nd-lint: allow(rule-name)` on the line or the line above",
+        RULE_NAMES.join(", ")
+    )
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { deny: false, json: false, root: PathBuf::from("."), allow: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--json" => args.json = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--allow" => {
+                args.allow = Some(PathBuf::from(it.next().ok_or("--allow needs a file")?));
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (findings, files_scanned) = match analyze_workspace(&args.root) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("nd-lint: failed to scan {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let allow_path = args.allow.clone().unwrap_or_else(|| args.root.join("lint.allow"));
+    let baseline = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => Baseline::parse(&text),
+        Err(_) => Baseline::default(), // no baseline file: nothing grandfathered
+    };
+    for problem in &baseline.problems {
+        eprintln!("nd-lint: warning: {problem}");
+    }
+    for stale in baseline.stale(&findings) {
+        eprintln!(
+            "nd-lint: warning: stale baseline entry `{} {}{}` matches nothing — delete it",
+            stale.rule,
+            stale.file,
+            stale.line.map(|l| format!(":{l}")).unwrap_or_default()
+        );
+    }
+
+    let tagged: Vec<_> = findings.into_iter().map(|f| (f.clone(), baseline.covers(&f))).collect();
+    let active: Vec<_> = tagged.iter().filter(|(_, baselined)| !baselined).collect();
+
+    for (f, _) in &active {
+        eprintln!("{f}");
+    }
+    eprintln!(
+        "nd-lint: {} file(s), {} finding(s), {} baselined, {} active",
+        files_scanned,
+        tagged.len(),
+        tagged.len() - active.len(),
+        active.len()
+    );
+
+    if args.json {
+        print!("{}", nd_lint::report::render_json(&tagged, files_scanned));
+    }
+
+    if args.deny && !active.is_empty() {
+        eprintln!("nd-lint: failing (--deny): fix the findings above, suppress a verified-safe site with `// nd-lint: allow(rule)`, or baseline it in lint.allow");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

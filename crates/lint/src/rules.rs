@@ -1,0 +1,869 @@
+//! The invariant rules and the scanner that applies them.
+//!
+//! Everything here is deliberately *syntactic*: no type inference, no
+//! name resolution. Each rule is a token-pattern heuristic tuned to
+//! this workspace's idioms, scoped by file path (see [`FileScope`]),
+//! with escape hatches for the cases the heuristic cannot see:
+//! `// nd-lint: allow(rule-name)` on the finding's line or the line
+//! above, and the checked-in `lint.allow` baseline for grandfathered
+//! findings.
+//!
+//! | Rule              | Scope                         | Catches |
+//! |-------------------|-------------------------------|---------|
+//! | `nondet-time`     | kernel crates                 | `Instant::now`, `SystemTime` |
+//! | `nondet-hash-iter`| kernel crates                 | iterating a `HashMap`/`HashSet` |
+//! | `stray-spawn`     | everywhere but nd-par/nd-serve| `thread::spawn` & friends |
+//! | `panic-path`      | nd-serve, nd-core checkpoints | `unwrap`/`expect`/`panic!`/`x[0]` |
+//! | `unsafe-comment`  | whole workspace               | `unsafe` without `// SAFETY:` |
+//! | `lock-across-io`  | nd-serve                      | guard live across blocking I/O |
+//!
+//! Code under `#[cfg(test)]` / `#[test]` is skipped: tests are allowed
+//! to unwrap, spawn, and time things.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// Crates whose numeric output must be bit-for-bit reproducible
+/// (DESIGN.md §8): the determinism rules apply to their `src/` trees.
+const KERNEL_CRATES: &[&str] = &["linalg", "topics", "events", "embed", "neural", "par"];
+
+/// Crates allowed to create threads (DESIGN.md §8–9): nd-par owns the
+/// deterministic fan-out, nd-serve owns the server's thread pool.
+const SPAWN_CRATES: &[&str] = &["par", "serve"];
+
+/// Every rule name, for `--help` and baseline validation.
+pub const RULE_NAMES: &[&str] = &[
+    "nondet-time",
+    "nondet-hash-iter",
+    "stray-spawn",
+    "panic-path",
+    "unsafe-comment",
+    "lock-across-io",
+];
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (kebab-case, from [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Which rule families apply to a file, derived from its
+/// workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileScope {
+    /// Determinism rules (`nondet-time`, `nondet-hash-iter`).
+    pub determinism: bool,
+    /// `stray-spawn` applies (false inside nd-par / nd-serve).
+    pub spawn_check: bool,
+    /// `panic-path` applies (serve request path, checkpoint I/O).
+    pub panic_path: bool,
+    /// `lock-across-io` applies.
+    pub lock_check: bool,
+}
+
+/// Scope for a workspace-relative path like `crates/serve/src/server.rs`.
+pub fn scope_for(rel: &str) -> FileScope {
+    let rel = rel.replace('\\', "/");
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("");
+    let in_src = rel.contains("/src/") || rel.starts_with("src/");
+    FileScope {
+        determinism: in_src && KERNEL_CRATES.contains(&crate_name),
+        spawn_check: in_src && !SPAWN_CRATES.contains(&crate_name),
+        panic_path: in_src
+            && (crate_name == "serve" || rel == "crates/core/src/checkpoint.rs"),
+        lock_check: in_src && crate_name == "serve",
+    }
+}
+
+/// A significant token: text + line, whitespace and comments removed.
+#[derive(Clone)]
+struct STok {
+    text: String,
+    kind: TokKind,
+    line: u32,
+}
+
+/// Lexes and lints one file. `rel` decides the scope; suppression
+/// comments are honored here, the baseline is the caller's business.
+pub fn analyze(rel: &str, src: &str) -> Vec<Finding> {
+    let scope = scope_for(rel);
+    let toks = lex(src);
+
+    // Comment index for SAFETY / suppression lookups.
+    let comments: Vec<(u32, &str)> = toks
+        .iter()
+        .filter(|t| matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .map(|t| (t.line, t.text.as_str()))
+        .collect();
+
+    let sig = significant_outside_tests(&toks);
+
+    let mut findings = Vec::new();
+    if scope.determinism {
+        rule_nondet_time(rel, &sig, &mut findings);
+        rule_nondet_hash_iter(rel, &sig, &mut findings);
+    }
+    if scope.spawn_check {
+        rule_stray_spawn(rel, &sig, &mut findings);
+    }
+    if scope.panic_path {
+        rule_panic_path(rel, &sig, &mut findings);
+    }
+    rule_unsafe_comment(rel, &sig, &comments, &mut findings);
+    if scope.lock_check {
+        rule_lock_across_io(rel, &sig, &mut findings);
+    }
+
+    findings.retain(|f| !suppressed(&comments, f));
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    findings
+}
+
+/// True when a `// nd-lint: allow(rule, …)` comment on the finding's
+/// line or the line above names this finding's rule.
+fn suppressed(comments: &[(u32, &str)], f: &Finding) -> bool {
+    comments.iter().any(|&(line, text)| {
+        (line == f.line || line + 1 == f.line) && comment_allows(text, f.rule)
+    })
+}
+
+fn comment_allows(comment: &str, rule: &str) -> bool {
+    let Some(idx) = comment.find("nd-lint:") else { return false };
+    let rest = &comment[idx + "nd-lint:".len()..];
+    let Some(open) = rest.find("allow(") else { return false };
+    let args = &rest[open + "allow(".len()..];
+    let Some(close) = args.find(')') else { return false };
+    args[..close].split(',').any(|r| r.trim() == rule)
+}
+
+/// Filters to significant tokens, dropping any item annotated
+/// `#[cfg(test)]` / `#[test]` (attributes included) and everything in
+/// its braces.
+fn significant_outside_tests(toks: &[Tok]) -> Vec<STok> {
+    let sig: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+            )
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(sig.len());
+    let mut i = 0usize;
+    let mut pending_test_attr = false;
+    while i < sig.len() {
+        if sig[i].text == "#" && i + 1 < sig.len() && sig[i + 1].text == "[" {
+            // Attribute: bracket-match its contents.
+            let close = match_delim(&sig, i + 1, "[", "]");
+            let body: Vec<&str> =
+                sig[i + 2..close.min(sig.len())].iter().map(|t| t.text.as_str()).collect();
+            let is_test = body.first() == Some(&"test")
+                || (body.contains(&"cfg") && body.contains(&"test"));
+            if is_test {
+                pending_test_attr = true;
+                i = close + 1;
+                continue; // drop the attribute itself too
+            }
+            if pending_test_attr {
+                // Attribute stacked between #[cfg(test)] and the item:
+                // swallow it as part of the skipped item.
+                i = close + 1;
+                continue;
+            }
+            for t in &sig[i..=close.min(sig.len() - 1)] {
+                out.push(STok { text: t.text.clone(), kind: t.kind, line: t.line });
+            }
+            i = close + 1;
+            continue;
+        }
+        if pending_test_attr {
+            // Skip the annotated item: everything up to the first `;`
+            // at item level, or the matching `}` of its first block.
+            let mut j = i;
+            let mut depth = 0i32;
+            while j < sig.len() {
+                match sig[j].text.as_str() {
+                    "{" => {
+                        let close = match_delim(&sig, j, "{", "}");
+                        j = close;
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j + 1;
+            pending_test_attr = false;
+            continue;
+        }
+        out.push(STok { text: sig[i].text.clone(), kind: sig[i].kind, line: sig[i].line });
+        i += 1;
+    }
+    out
+}
+
+/// Index of the token matching the opener at `open_idx` (which must
+/// hold `open`). Returns the last index when unbalanced.
+fn match_delim(sig: &[&Tok], open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in sig.iter().enumerate().skip(open_idx) {
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    sig.len().saturating_sub(1)
+}
+
+fn is(sig: &[STok], i: usize, text: &str) -> bool {
+    sig.get(i).is_some_and(|t| t.text == text)
+}
+
+// ---------------------------------------------------------------- D —
+
+fn rule_nondet_time(rel: &str, sig: &[STok], out: &mut Vec<Finding>) {
+    for i in 0..sig.len() {
+        if sig[i].text == "SystemTime" {
+            out.push(Finding {
+                rule: "nondet-time",
+                file: rel.to_string(),
+                line: sig[i].line,
+                message: "`SystemTime` in a kernel crate: wall-clock values are \
+                          nondeterministic and must not reach numeric output"
+                    .to_string(),
+            });
+        }
+        if sig[i].text == "Instant" && is(sig, i + 1, ":") && is(sig, i + 2, ":") && is(sig, i + 3, "now")
+        {
+            out.push(Finding {
+                rule: "nondet-time",
+                file: rel.to_string(),
+                line: sig[i].line,
+                message: "`Instant::now()` in a kernel crate: wall-clock readings are \
+                          nondeterministic; keep timing out of kernels or suppress if \
+                          observability-only"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn rule_nondet_hash_iter(rel: &str, sig: &[STok], out: &mut Vec<Finding>) {
+    let names = hash_bound_names(sig);
+    if names.is_empty() {
+        return;
+    }
+    let iter_methods =
+        ["iter", "iter_mut", "into_iter", "keys", "values", "values_mut", "drain", "into_keys", "into_values"];
+    let flag = |name: &str, line: u32, out: &mut Vec<Finding>| {
+        out.push(Finding {
+            rule: "nondet-hash-iter",
+            file: rel.to_string(),
+            line,
+            message: format!(
+                "iteration over hash-ordered `{name}`: HashMap/HashSet order is \
+                 nondeterministic; use BTreeMap/BTreeSet or collect-and-sort"
+            ),
+        });
+    };
+    // A field access `recv.name.iter()` only counts when `recv` is
+    // `self`: the registry is file-global, so `other.name` may be an
+    // unrelated (non-hash) field that merely shares the identifier.
+    let self_or_bare = |i: usize| !is(sig, i.wrapping_sub(1), ".") || is(sig, i.wrapping_sub(2), "self");
+    for i in 0..sig.len() {
+        // name.iter() / self.name.keys() / …
+        if sig[i].kind == TokKind::Ident
+            && names.contains(&sig[i].text)
+            && self_or_bare(i)
+            && is(sig, i + 1, ".")
+            && sig.get(i + 2).is_some_and(|t| iter_methods.contains(&t.text.as_str()))
+            && is(sig, i + 3, "(")
+        {
+            flag(&sig[i].text, sig[i].line, out);
+        }
+        // for pat in name { / for pat in &name { / for pat in &mut name {
+        if sig[i].text == "for" {
+            // Find the matching `in` at depth 0, then the loop `{`.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < sig.len() && !(depth == 0 && sig[j].text == "in") {
+                match sig[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" | ";" => break, // not a for-loop header after all
+                    _ => {}
+                }
+                j += 1;
+            }
+            if !is(sig, j, "in") {
+                continue;
+            }
+            // Iterable expression: tokens up to the body `{`.
+            let mut k = j + 1;
+            let mut depth = 0i32;
+            while k < sig.len() && !(depth == 0 && sig[k].text == "{") {
+                match sig[k].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            let expr = &sig[j + 1..k.min(sig.len())];
+            // Flag `… name` and `… &name` (a bare map/set as the
+            // iterable); method calls were handled above.
+            if let Some(last) = expr.last() {
+                if last.kind == TokKind::Ident
+                    && names.contains(&last.text)
+                    && self_or_bare(k.min(sig.len()) - 1)
+                {
+                    flag(&last.text, last.line, out);
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers syntactically bound to a `HashMap`/`HashSet` anywhere
+/// in the file: `let x: HashMap<…>`, `let x = HashMap::new()`, struct
+/// fields and fn params `x: &HashMap<…>`. File-global and
+/// flow-insensitive by design.
+fn hash_bound_names(sig: &[STok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..sig.len() {
+        if sig[i].text != "HashMap" && sig[i].text != "HashSet" {
+            continue;
+        }
+        // Walk back over path/reference noise: `std :: collections ::`,
+        // `&`, `mut`, lifetimes.
+        let mut j = i;
+        while j > 0 {
+            let prev = &sig[j - 1];
+            let skip = matches!(prev.text.as_str(), ":" | "&" | "mut" | "std" | "collections")
+                || prev.kind == TokKind::Lifetime;
+            if !skip {
+                break;
+            }
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        match sig[j - 1].text.as_str() {
+            // `name : HashMap` — but the colon-skipping loop above also
+            // eats the `:` itself, so check the ident directly.
+            _ if sig[j - 1].kind == TokKind::Ident
+                && sig[j - 1].text != "use"
+                && j >= 2
+                && sig[j - 2].text != "::" =>
+            {
+                // Reached `name` right before the (skipped) `:`/path —
+                // only meaningful if a `:` actually separated them.
+                let between_has_colon = sig[j..i].iter().any(|t| t.text == ":");
+                if between_has_colon {
+                    names.push(sig[j - 1].text.clone());
+                }
+            }
+            // `let name = HashMap::new()` (require a let/mut two
+            // back to avoid arbitrary reassignments).
+            "=" if j >= 3
+                && sig[j - 2].kind == TokKind::Ident
+                && matches!(sig[j - 3].text.as_str(), "let" | "mut") =>
+            {
+                names.push(sig[j - 2].text.clone());
+            }
+            _ => {}
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn rule_stray_spawn(rel: &str, sig: &[STok], out: &mut Vec<Finding>) {
+    for i in 0..sig.len() {
+        let spawnish = sig[i].text == "spawn";
+        if spawnish && is(sig, i + 1, "(") {
+            out.push(Finding {
+                rule: "stray-spawn",
+                file: rel.to_string(),
+                line: sig[i].line,
+                message: "thread spawned outside nd-par/nd-serve: ad-hoc threads break \
+                          the deterministic scheduling contract — route fan-out through \
+                          nd-par"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- P —
+
+fn rule_panic_path(rel: &str, sig: &[STok], out: &mut Vec<Finding>) {
+    let flag = |line: u32, what: &str, out: &mut Vec<Finding>| {
+        out.push(Finding {
+            rule: "panic-path",
+            file: rel.to_string(),
+            line,
+            message: format!(
+                "{what} on a no-panic path: a panic here kills a worker mid-request; \
+                 return a structured error instead"
+            ),
+        });
+    };
+    for i in 0..sig.len() {
+        // .unwrap( / .expect(
+        if is(sig, i, ".")
+            && sig.get(i + 1).is_some_and(|t| t.text == "unwrap" || t.text == "expect")
+            && is(sig, i + 2, "(")
+        {
+            flag(sig[i + 1].line, &format!("`.{}()`", sig[i + 1].text), out);
+        }
+        // panic!/unreachable!/unimplemented!/todo!
+        if sig[i].kind == TokKind::Ident
+            && matches!(sig[i].text.as_str(), "panic" | "unreachable" | "unimplemented" | "todo")
+            && is(sig, i + 1, "!")
+        {
+            flag(sig[i].line, &format!("`{}!`", sig[i].text), out);
+        }
+        // Unguarded literal index: expr[0] where expr ends in an ident
+        // or closing bracket. Array literals ([0; 4], [0.0, 1.0]) do
+        // not match because nothing indexable precedes them.
+        if sig[i].text == "["
+            && i > 0
+            && (sig[i - 1].kind == TokKind::Ident || sig[i - 1].text == ")" || sig[i - 1].text == "]")
+            && sig.get(i + 1).is_some_and(|t| t.kind == TokKind::NumLit)
+            && is(sig, i + 2, "]")
+        {
+            flag(
+                sig[i].line,
+                &format!("literal index `[{}]` without a length guard", sig[i + 1].text),
+                out,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- U —
+
+fn rule_unsafe_comment(
+    rel: &str,
+    sig: &[STok],
+    comments: &[(u32, &str)],
+    out: &mut Vec<Finding>,
+) {
+    for t in sig {
+        if t.text != "unsafe" {
+            continue;
+        }
+        let documented = comments
+            .iter()
+            .any(|&(line, text)| line + 2 >= t.line && line <= t.line && text.contains("SAFETY:"));
+        if !documented {
+            out.push(Finding {
+                rule: "unsafe-comment",
+                file: rel.to_string(),
+                line: t.line,
+                message: "`unsafe` without a `// SAFETY:` comment within the two lines \
+                          above: every unsafe block must state why it is sound"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L —
+
+/// Blocking calls a lock guard must not be held across. `open` is
+/// matched only as a path segment (`Database::open`).
+const IO_CALLS: &[&str] = &[
+    "write_response",
+    "write_all",
+    "write_fmt",
+    "flush",
+    "read_to_end",
+    "read_exact",
+    "read_line",
+    "read_until",
+    "persist",
+    "join",
+    "recv",
+    "recv_timeout",
+    "accept",
+    "connect",
+    "sleep",
+    "send_to",
+    "sync_all",
+];
+
+fn rule_lock_across_io(rel: &str, sig: &[STok], out: &mut Vec<Finding>) {
+    // Pre-compute brace depth at every token.
+    let mut depth_at = Vec::with_capacity(sig.len());
+    let mut depth = 0i32;
+    for t in sig {
+        if t.text == "}" {
+            depth -= 1;
+        }
+        depth_at.push(depth);
+        if t.text == "{" {
+            depth += 1;
+        }
+    }
+
+    for i in 0..sig.len() {
+        if sig[i].text == "let" {
+            // let [mut] NAME = … .lock() … ;
+            let mut j = i + 1;
+            if is(sig, j, "mut") {
+                j += 1;
+            }
+            if sig.get(j).map(|t| t.kind) != Some(TokKind::Ident) {
+                continue; // destructuring patterns: out of scope
+            }
+            let name = sig[j].text.clone();
+            if !is(sig, j + 1, "=") {
+                continue;
+            }
+            // Statement end: first `;` back at this brace depth.
+            let Some(stmt_end) = (j..sig.len())
+                .find(|&k| sig[k].text == ";" && depth_at[k] == depth_at[i])
+            else {
+                continue;
+            };
+            // Only the initializer's own depth counts: a `.lock()`
+            // inside a nested `{ … }` produces a guard that dies at
+            // that inner block, not one bound to this `let`
+            // (`let v = { let g = m.lock(); *g };` is the sanctioned
+            // copy-out-then-release idiom).
+            let top_level: Vec<STok> = (j + 2..stmt_end)
+                .filter(|&k| depth_at[k] == depth_at[i])
+                .map(|k| sig[k].clone())
+                .collect();
+            if !acquires_guard(&top_level) {
+                continue;
+            }
+            // Guard lives until the enclosing block closes or an
+            // explicit drop(name).
+            let scope_end = (stmt_end..sig.len())
+                .find(|&k| depth_at[k] < depth_at[i])
+                .unwrap_or(sig.len());
+            scan_guard_scope(rel, sig, stmt_end + 1, scope_end, Some(&name), sig[i].line, out);
+        } else if sig[i].text == "for" {
+            // for PAT in …lock()… { body } — the temporary guard lives
+            // for the whole loop. Stop at `{`/`;` so `impl X for Y`
+            // never pairs with an unrelated later `in`.
+            let Some(in_idx) = (i + 1..sig.len())
+                .take_while(|&k| {
+                    depth_at[k] > depth_at[i]
+                        || (sig[k].text != "{" && sig[k].text != ";")
+                })
+                .find(|&k| sig[k].text == "in" && depth_at[k] == depth_at[i])
+            else {
+                continue;
+            };
+            let Some(body_open) = (in_idx + 1..sig.len()).find(|&k| {
+                sig[k].text == "{" && depth_at[k] == depth_at[i]
+            }) else {
+                continue;
+            };
+            if body_open <= in_idx + 1 || !acquires_guard(&sig[in_idx + 1..body_open]) {
+                continue;
+            }
+            let body_close = (body_open + 1..sig.len())
+                .find(|&k| depth_at[k] < depth_at[body_open] + 1)
+                .unwrap_or(sig.len());
+            scan_guard_scope(rel, sig, body_open + 1, body_close, None, sig[i].line, out);
+        }
+    }
+}
+
+/// Does this expression acquire a `Mutex`/`RwLock` guard? Matches
+/// `.lock()`, `.read()`, `.write()` — empty argument lists only, so
+/// `stream.write(buf)` (I/O) never matches.
+fn acquires_guard(expr: &[STok]) -> bool {
+    for i in 0..expr.len() {
+        if is(expr, i, ".")
+            && expr
+                .get(i + 1)
+                .is_some_and(|t| matches!(t.text.as_str(), "lock" | "read" | "write"))
+            && is(expr, i + 2, "(")
+            && is(expr, i + 3, ")")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn scan_guard_scope(
+    rel: &str,
+    sig: &[STok],
+    start: usize,
+    end: usize,
+    guard_name: Option<&str>,
+    acquired_line: u32,
+    out: &mut Vec<Finding>,
+) {
+    for k in start..end.min(sig.len()) {
+        // Early release: drop(guard).
+        if let Some(name) = guard_name {
+            if sig[k].text == "drop" && is(sig, k + 1, "(") && is(sig, k + 2, name) {
+                return;
+            }
+        }
+        let callish = is(sig, k + 1, "(");
+        if !callish || sig[k].kind != TokKind::Ident {
+            continue;
+        }
+        let txt = sig[k].text.as_str();
+        let is_io = IO_CALLS.contains(&txt)
+            || (txt == "open" && k > 0 && sig[k - 1].text == ":");
+        if is_io {
+            let held = guard_name.unwrap_or("<temporary>");
+            out.push(Finding {
+                rule: "lock-across-io",
+                file: rel.to_string(),
+                line: sig[k].line,
+                message: format!(
+                    "`{txt}()` called while lock guard `{held}` (line {acquired_line}) is \
+                     live: blocking I/O under a lock stalls every other request — drop \
+                     the guard first"
+                ),
+            });
+            return; // one finding per guard is enough
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNEL: &str = "crates/events/src/x.rs";
+    const SERVE: &str = "crates/serve/src/x.rs";
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn scope_mapping() {
+        assert!(scope_for("crates/linalg/src/mat.rs").determinism);
+        assert!(!scope_for("crates/core/src/pipeline.rs").determinism);
+        assert!(!scope_for("crates/par/src/lib.rs").spawn_check);
+        assert!(!scope_for("crates/serve/src/server.rs").spawn_check);
+        assert!(scope_for("crates/neural/src/train.rs").spawn_check);
+        assert!(scope_for("crates/serve/src/server.rs").panic_path);
+        assert!(scope_for("crates/core/src/checkpoint.rs").panic_path);
+        assert!(!scope_for("crates/core/src/predict.rs").panic_path);
+        assert!(scope_for("crates/serve/src/batcher.rs").lock_check);
+        assert!(!scope_for("crates/linalg/src/mat.rs").lock_check);
+        // Non-src files are never linted.
+        assert!(!scope_for("crates/events/tests/proptests.rs").determinism);
+    }
+
+    #[test]
+    fn hash_iteration_flagged_lookup_not() {
+        let src = r#"
+            fn f() {
+                let mut counts: HashMap<String, usize> = HashMap::new();
+                for (k, v) in &counts { body(k, v); }
+                let hit = counts.get("x");
+                let keys: Vec<_> = counts.keys().collect();
+            }
+        "#;
+        let rules = rules_of(&analyze(KERNEL, src));
+        assert_eq!(rules, ["nondet-hash-iter", "nondet-hash-iter"], "iter + keys, not get");
+    }
+
+    #[test]
+    fn foreign_field_sharing_a_hash_name_is_clean() {
+        // `keywords` is a HashSet param here, but `t.keywords` is a Vec
+        // field on another type — only `self.keywords` may match.
+        let src = r#"
+            fn f(keywords: &HashSet<String>, topics: &[Topic]) -> Vec<String> {
+                topics.iter().flat_map(|t| t.keywords.iter().cloned()).collect()
+            }
+            impl S {
+                fn g(&self) -> usize { self.keywords.iter().count() }
+            }
+            struct S { keywords: HashSet<String> }
+        "#;
+        assert_eq!(rules_of(&analyze(KERNEL, src)), ["nondet-hash-iter"], "only self.keywords");
+    }
+
+    #[test]
+    fn btreemap_is_clean() {
+        let src = r#"
+            fn f() {
+                let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+                for (k, v) in &counts { body(k, v); }
+            }
+        "#;
+        assert!(analyze(KERNEL, src).is_empty());
+    }
+
+    #[test]
+    fn struct_field_hash_iteration_flagged() {
+        let src = r#"
+            struct S { words: HashMap<String, u32> }
+            impl S {
+                fn all(&self) -> Vec<u32> { self.words.values().cloned().collect() }
+            }
+        "#;
+        assert_eq!(rules_of(&analyze(KERNEL, src)), ["nondet-hash-iter"]);
+    }
+
+    #[test]
+    fn time_and_spawn_in_kernel() {
+        let src = "fn f() { let t = Instant::now(); std::thread::spawn(|| {}); }";
+        let mut rules = rules_of(&analyze(KERNEL, src));
+        rules.sort();
+        assert_eq!(rules, ["nondet-time", "stray-spawn"]);
+        // Same code inside nd-par is fine for spawn, still flagged for time.
+        assert_eq!(rules_of(&analyze("crates/par/src/lib.rs", src)), ["nondet-time"]);
+    }
+
+    #[test]
+    fn panic_path_patterns() {
+        let src = r#"
+            fn f(xs: &[f64]) -> f64 {
+                let a = xs.first().unwrap();
+                let b = maybe().expect("present");
+                if bad { panic!("boom"); }
+                xs[0]
+            }
+        "#;
+        let rules = rules_of(&analyze(SERVE, src));
+        assert_eq!(rules, ["panic-path"; 4].to_vec());
+        // unwrap_or_else / array literals / ident indices don't trip it.
+        let clean = r#"
+            fn g(m: &Mutex<u32>, xs: &[f64], i: usize) -> f64 {
+                let v = m.lock().unwrap_or_else(PoisonError::into_inner);
+                let arr = [0; 4];
+                let row = [0.0, 1.0];
+                xs[i] + *v as f64
+            }
+        "#;
+        assert!(analyze(SERVE, clean).is_empty());
+    }
+
+    #[test]
+    fn string_contents_never_trip_rules() {
+        let src = r#"fn f() { let s = "please .unwrap() and panic!"; log(s); }"#;
+        assert!(analyze(SERVE, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = r#"
+            fn real() -> u32 { 1 }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { maybe().unwrap(); let m: HashMap<u32, u32> = HashMap::new(); for x in &m {} }
+            }
+        "#;
+        assert!(analyze(SERVE, src).is_empty());
+        assert!(analyze(KERNEL, src).is_empty());
+    }
+
+    #[test]
+    fn suppression_same_line_and_line_above() {
+        let src = "fn f() { let t = Instant::now(); // nd-lint: allow(nondet-time)\n}";
+        assert!(analyze(KERNEL, src).is_empty());
+        let src2 = "fn f() {\n    // timing is observability-only; nd-lint: allow(nondet-time)\n    let t = Instant::now();\n}";
+        assert!(analyze(KERNEL, src2).is_empty());
+        // Wrong rule name does not suppress.
+        let src3 = "fn f() { let t = Instant::now(); // nd-lint: allow(panic-path)\n}";
+        assert_eq!(rules_of(&analyze(KERNEL, src3)), ["nondet-time"]);
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        assert_eq!(rules_of(&analyze(KERNEL, bad)), ["unsafe-comment"]);
+        let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}";
+        assert!(analyze(KERNEL, good).is_empty());
+    }
+
+    #[test]
+    fn lock_across_io_let_guard() {
+        let src = r#"
+            fn f(m: &Mutex<State>, s: &mut TcpStream) {
+                let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
+                g.counter += 1;
+                s.write_all(b"hi");
+            }
+        "#;
+        assert_eq!(rules_of(&analyze(SERVE, src)), ["lock-across-io"]);
+    }
+
+    #[test]
+    fn lock_released_before_io_is_clean() {
+        let src = r#"
+            fn f(m: &Mutex<State>, s: &mut TcpStream) {
+                {
+                    let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
+                    g.counter += 1;
+                }
+                s.write_all(b"hi");
+            }
+            fn g(m: &Mutex<State>, s: &mut TcpStream) {
+                let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
+                g.counter += 1;
+                drop(g);
+                s.write_all(b"hi");
+            }
+        "#;
+        assert!(analyze(SERVE, src).is_empty());
+    }
+
+    #[test]
+    fn lock_in_for_head_held_across_join() {
+        let src = r#"
+            fn drain(workers: &Mutex<Vec<JoinHandle<()>>>) {
+                for w in workers.lock().unwrap_or_else(PoisonError::into_inner).drain(..) {
+                    let _ = w.join();
+                }
+            }
+        "#;
+        assert_eq!(rules_of(&analyze(SERVE, src)), ["lock-across-io"]);
+    }
+
+    #[test]
+    fn io_write_with_args_is_not_a_guard() {
+        let src = r#"
+            fn f(s: &mut TcpStream) {
+                let n = s.write(buf);
+                other.flush();
+            }
+        "#;
+        assert!(analyze(SERVE, src).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Fixture-driven end-to-end checks: every rule has one violating and
+//! one clean fixture under `tests/fixtures/`, analyzed under a
+//! virtual workspace path that places it in the rule's scope. The
+//! fixtures are real Rust source the lexer must survive, but they are
+//! never compiled — `analyze` is purely syntactic.
+
+use nd_lint::{analyze, Baseline};
+
+/// A path inside a determinism-scoped kernel crate.
+const KERNEL: &str = "crates/neural/src/fixture.rs";
+/// A path inside the panic-safety + lock-discipline serving tier.
+const SERVE: &str = "crates/serve/src/fixture.rs";
+
+/// Distinct rule names found in `src` when analyzed as `path`.
+fn rules(path: &str, src: &str) -> Vec<&'static str> {
+    let mut r: Vec<&'static str> =
+        analyze(path, src).into_iter().map(|f| f.rule).collect();
+    r.sort_unstable();
+    r.dedup();
+    r
+}
+
+#[test]
+fn nondet_time_fixture_pair() {
+    let bad = include_str!("fixtures/nondet_time_bad.rs");
+    let good = include_str!("fixtures/nondet_time_good.rs");
+    assert_eq!(rules(KERNEL, bad), ["nondet-time"]);
+    assert_eq!(rules(KERNEL, good), [] as [&str; 0]);
+    // Out of scope: the serving tier may read clocks freely.
+    assert_eq!(rules(SERVE, bad), [] as [&str; 0]);
+}
+
+#[test]
+fn nondet_hash_iter_fixture_pair() {
+    let bad = include_str!("fixtures/nondet_hash_iter_bad.rs");
+    let good = include_str!("fixtures/nondet_hash_iter_good.rs");
+    assert_eq!(rules(KERNEL, bad), ["nondet-hash-iter"]);
+    assert_eq!(rules(KERNEL, good), [] as [&str; 0]);
+}
+
+#[test]
+fn stray_spawn_scoping() {
+    // The same source is a violation in a kernel crate and fine in
+    // the crates that own threading.
+    let src = include_str!("fixtures/stray_spawn.rs");
+    assert_eq!(rules(KERNEL, src), ["stray-spawn"]);
+    assert_eq!(rules("crates/par/src/fixture.rs", src), [] as [&str; 0]);
+    assert_eq!(rules(SERVE, src), [] as [&str; 0]);
+}
+
+#[test]
+fn panic_path_fixture_pair() {
+    let bad = include_str!("fixtures/panic_path_bad.rs");
+    let good = include_str!("fixtures/panic_path_good.rs");
+    let found = analyze(SERVE, bad);
+    assert_eq!(found.len(), 2, "one finding per panic site: {found:?}");
+    assert!(found.iter().all(|f| f.rule == "panic-path"));
+    assert_eq!(rules(SERVE, good), [] as [&str; 0]);
+    // Out of scope: kernels signal logic errors however they like.
+    assert_eq!(rules(KERNEL, bad), [] as [&str; 0]);
+}
+
+#[test]
+fn unsafe_comment_fixture_pair() {
+    let bad = include_str!("fixtures/unsafe_comment_bad.rs");
+    let good = include_str!("fixtures/unsafe_comment_good.rs");
+    // Workspace-wide rule: any src path is in scope.
+    assert_eq!(rules(KERNEL, bad), ["unsafe-comment"]);
+    assert_eq!(rules(SERVE, bad), ["unsafe-comment"]);
+    assert_eq!(rules(KERNEL, good), [] as [&str; 0]);
+}
+
+#[test]
+fn lock_across_io_fixture_pair() {
+    let bad = include_str!("fixtures/lock_across_io_bad.rs");
+    let good = include_str!("fixtures/lock_across_io_good.rs");
+    assert_eq!(rules(SERVE, bad), ["lock-across-io"]);
+    assert_eq!(rules(SERVE, good), [] as [&str; 0]);
+}
+
+#[test]
+fn findings_carry_file_and_line() {
+    let bad = include_str!("fixtures/nondet_time_bad.rs");
+    let f = &analyze(KERNEL, bad)[0];
+    assert_eq!(f.file, KERNEL);
+    assert_eq!(f.line, 5, "Instant::now() sits on line 5 of the fixture");
+    let rendered = f.to_string();
+    assert!(rendered.contains("crates/neural/src/fixture.rs:5"), "{rendered}");
+    assert!(rendered.contains("[nondet-time]"), "{rendered}");
+}
+
+#[test]
+fn suppression_comment_silences_one_site() {
+    let bad = include_str!("fixtures/nondet_time_bad.rs");
+    let suppressed =
+        bad.replace("let t = Instant::now();", "let t = Instant::now(); // nd-lint: allow(nondet-time)");
+    assert_eq!(rules(KERNEL, &suppressed), [] as [&str; 0]);
+    // The wrong rule name suppresses nothing.
+    let mismatched =
+        bad.replace("let t = Instant::now();", "let t = Instant::now(); // nd-lint: allow(panic-path)");
+    assert_eq!(rules(KERNEL, &mismatched), ["nondet-time"]);
+}
+
+#[test]
+fn baseline_covers_fixture_finding() {
+    let bad = include_str!("fixtures/nondet_time_bad.rs");
+    let finding = &analyze(KERNEL, bad)[0];
+    let by_line = Baseline::parse("nondet-time crates/neural/src/fixture.rs:5\n");
+    assert!(by_line.covers(finding));
+    let whole_file = Baseline::parse("nondet-time crates/neural/src/fixture.rs\n");
+    assert!(whole_file.covers(finding));
+    let other = Baseline::parse("nondet-time crates/neural/src/other.rs\n");
+    assert!(!other.covers(finding));
+}

@@ -1,0 +1,10 @@
+// Fixture: a mutex guard stays live across a blocking socket write,
+// so one slow peer stalls every other request behind the lock.
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Mutex, PoisonError};
+
+pub fn report(counter: &Mutex<u64>, stream: &mut TcpStream) -> std::io::Result<()> {
+    let guard = counter.lock().unwrap_or_else(PoisonError::into_inner);
+    stream.write_all(format!("{}", *guard).as_bytes())
+}

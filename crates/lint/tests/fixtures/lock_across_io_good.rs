@@ -1,0 +1,12 @@
+// Fixture: copy the value out, drop the guard, then do the I/O.
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Mutex, PoisonError};
+
+pub fn report(counter: &Mutex<u64>, stream: &mut TcpStream) -> std::io::Result<()> {
+    let value = {
+        let guard = counter.lock().unwrap_or_else(PoisonError::into_inner);
+        *guard
+    };
+    stream.write_all(format!("{value}").as_bytes())
+}

@@ -1,0 +1,11 @@
+// Fixture: iterating a HashMap feeds arbitrary order into a numeric
+// accumulation (non-associative under reordering for f64).
+use std::collections::HashMap;
+
+pub fn weighted_sum(weights: &HashMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, w) in weights.iter() {
+        total += w;
+    }
+    total
+}

@@ -1,0 +1,10 @@
+// Fixture: BTreeMap iterates in key order; the sum is reproducible.
+use std::collections::BTreeMap;
+
+pub fn weighted_sum(weights: &BTreeMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, w) in weights.iter() {
+        total += w;
+    }
+    total
+}

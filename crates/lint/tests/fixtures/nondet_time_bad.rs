@@ -1,0 +1,7 @@
+// Fixture: wall-clock reads inside a kernel crate.
+use std::time::Instant;
+
+pub fn decayed_weight(base: f64) -> f64 {
+    let t = Instant::now();
+    base * t.elapsed().as_secs_f64()
+}

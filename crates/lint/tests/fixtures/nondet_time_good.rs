@@ -1,0 +1,4 @@
+// Fixture: time enters as data, so the kernel stays deterministic.
+pub fn decayed_weight(base: f64, elapsed_secs: f64) -> f64 {
+    base * elapsed_secs
+}

@@ -1,0 +1,9 @@
+// Fixture: panics reachable from the request path.
+pub fn first_score(scores: &[f64]) -> f64 {
+    let head = scores.first().unwrap();
+    *head
+}
+
+pub fn parse_port(raw: &str) -> u16 {
+    raw.parse().expect("port must be numeric")
+}

@@ -1,0 +1,8 @@
+// Fixture: the same logic with failures carried as values.
+pub fn first_score(scores: &[f64]) -> Option<f64> {
+    scores.first().copied()
+}
+
+pub fn parse_port(raw: &str) -> Result<u16, std::num::ParseIntError> {
+    raw.parse()
+}

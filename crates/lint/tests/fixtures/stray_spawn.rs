@@ -1,0 +1,6 @@
+// Fixture: raw thread spawn. A violation inside a kernel crate (all
+// parallelism must route through nd-par's deterministic primitives);
+// fine inside crates/par or crates/serve, which own threading.
+pub fn sum_in_background(xs: Vec<f64>) -> std::thread::JoinHandle<f64> {
+    std::thread::spawn(move || xs.iter().sum())
+}

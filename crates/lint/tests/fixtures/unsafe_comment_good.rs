@@ -1,0 +1,6 @@
+// Fixture: the SAFETY comment states why the dereference is sound.
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: callers pass pointers derived from a live &[u8]; the
+    // pointee outlives this call.
+    unsafe { *p }
+}

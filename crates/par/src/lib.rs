@@ -23,6 +23,8 @@
 //! ([`std::thread::scope`]) — no pool, no global state, and borrowed
 //! data flows into workers without `'static` bounds.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Work below this many "element-ops" runs serially even when more

@@ -16,10 +16,11 @@
 
 use crate::metrics::Metrics;
 use crate::registry::ModelHandle;
+use crate::ServeError;
 use nd_linalg::Mat;
 use std::collections::VecDeque;
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -86,8 +87,9 @@ struct Inner {
 }
 
 impl Batcher {
-    /// Starts the worker pool.
-    pub fn start(config: BatchConfig, metrics: Arc<Metrics>) -> Batcher {
+    /// Starts the worker pool. Fails only when the OS refuses to
+    /// spawn threads.
+    pub fn start(config: BatchConfig, metrics: Arc<Metrics>) -> Result<Batcher, ServeError> {
         let inner = Arc::new(Inner {
             state: Mutex::new(State { queue: VecDeque::new(), queued_rows: 0, open: true }),
             cond: Condvar::new(),
@@ -100,10 +102,10 @@ impl Batcher {
                 std::thread::Builder::new()
                     .name(format!("nd-serve-batch-{i}"))
                     .spawn(move || worker_loop(&inner))
-                    .expect("spawn batch worker")
+                    .map_err(ServeError::Io)
             })
-            .collect();
-        Batcher { inner, workers: Mutex::new(workers) }
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Batcher { inner, workers: Mutex::new(workers) })
     }
 
     /// Queues `rows` for prediction on `handle`'s model version. The
@@ -114,7 +116,11 @@ impl Batcher {
         handle: Arc<ModelHandle>,
         rows: Vec<Vec<f64>>,
     ) -> Result<Receiver<Vec<Vec<f64>>>, SubmitError> {
-        let mut state = self.inner.state.lock().unwrap();
+        // Poison recovery everywhere a lock is taken: a panicking
+        // worker must degrade one response, not wedge the service
+        // behind a poisoned mutex. The queue state stays consistent
+        // because every mutation below is a single non-panicking step.
+        let mut state = self.inner.state.lock().unwrap_or_else(PoisonError::into_inner);
         if !state.open {
             return Err(SubmitError::ShuttingDown);
         }
@@ -132,7 +138,7 @@ impl Batcher {
 
     /// Rows currently waiting (for the `/metrics` gauge).
     pub fn queue_depth(&self) -> usize {
-        self.inner.state.lock().unwrap().queued_rows
+        self.inner.state.lock().unwrap_or_else(PoisonError::into_inner).queued_rows
     }
 
     /// Closes admission, runs every queued job to completion, and
@@ -140,11 +146,19 @@ impl Batcher {
     /// Idempotent: later calls are no-ops.
     pub fn drain(&self) {
         {
-            let mut state = self.inner.state.lock().unwrap();
+            let mut state = self.inner.state.lock().unwrap_or_else(PoisonError::into_inner);
             state.open = false;
         }
         self.inner.cond.notify_all();
-        for worker in self.workers.lock().unwrap().drain(..) {
+        // Take the handles under the lock, join outside it: joining
+        // while holding `workers` would block any concurrent drain()
+        // caller for the full flush instead of letting it observe the
+        // already-emptied list and return.
+        let workers: Vec<JoinHandle<()>> = {
+            let mut guard = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.drain(..).collect()
+        };
+        for worker in workers {
             let _ = worker.join();
         }
     }
@@ -153,10 +167,10 @@ impl Batcher {
 fn worker_loop(inner: &Inner) {
     loop {
         let batch = {
-            let mut state = inner.state.lock().unwrap();
+            let mut state = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
             // Sleep until there is work or we are told to finish.
             while state.queue.is_empty() && state.open {
-                state = inner.cond.wait(state).unwrap();
+                state = inner.cond.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
             if state.queue.is_empty() {
                 return; // drained and closed
@@ -169,8 +183,10 @@ fn worker_loop(inner: &Inner) {
                 if now >= deadline {
                     break;
                 }
-                let (next, timeout) =
-                    inner.cond.wait_timeout(state, deadline - now).unwrap();
+                let (next, timeout) = inner
+                    .cond
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
                 state = next;
                 if timeout.timed_out() || state.queue.is_empty() {
                     break;
@@ -198,7 +214,7 @@ fn take_batch(state: &mut State, max_batch: usize) -> Vec<Job> {
         if !same_model || (!batch.is_empty() && rows + front.rows.len() > max_batch) {
             break;
         }
-        let job = state.queue.pop_front().unwrap();
+        let Some(job) = state.queue.pop_front() else { break };
         rows += job.rows.len();
         state.queued_rows -= job.rows.len();
         batch.push(job);
@@ -207,15 +223,18 @@ fn take_batch(state: &mut State, max_batch: usize) -> Vec<Job> {
 }
 
 fn run_batch(inner: &Inner, batch: Vec<Job>) {
-    let handle = Arc::clone(&batch[0].handle);
+    let Some(first) = batch.first() else { return };
+    let handle = Arc::clone(&first.handle);
     let all_rows: Vec<Vec<f64>> =
         batch.iter().flat_map(|job| job.rows.iter().cloned()).collect();
     let n_rows = all_rows.len();
     inner.metrics.batches.inc();
     inner.metrics.batch_rows.observe(n_rows as u64);
-    // Row widths were validated at admission, so from_rows cannot see
-    // ragged input.
-    let input = Mat::from_rows(&all_rows).expect("validated batch rows");
+    // Row widths were validated at admission; if ragged input slips
+    // through anyway, dropping the senders here turns into RecvError
+    // at each caller, which the server maps to a 500 — one bad batch
+    // must not take the worker thread down with it.
+    let Ok(input) = Mat::from_rows(&all_rows) else { return };
     let output = handle.network.predict_batch(&input);
     let mut cursor = 0;
     for job in batch {
@@ -255,7 +274,8 @@ mod tests {
         let batcher = Batcher::start(
             BatchConfig { max_batch: 8, ..BatchConfig::default() },
             Arc::new(Metrics::default()),
-        );
+        )
+        .unwrap();
         let rxs: Vec<_> = (0..10)
             .map(|i| batcher.submit(Arc::clone(&h), vec![row(i)]).unwrap())
             .collect();
@@ -273,15 +293,18 @@ mod tests {
     fn coalesces_under_concurrency() {
         let h = handle(1);
         let metrics = Arc::new(Metrics::default());
-        let batcher = Arc::new(Batcher::start(
-            BatchConfig {
-                max_batch: 64,
-                max_wait: Duration::from_millis(20),
-                workers: 1,
-                ..BatchConfig::default()
-            },
-            Arc::clone(&metrics),
-        ));
+        let batcher = Arc::new(
+            Batcher::start(
+                BatchConfig {
+                    max_batch: 64,
+                    max_wait: Duration::from_millis(20),
+                    workers: 1,
+                    ..BatchConfig::default()
+                },
+                Arc::clone(&metrics),
+            )
+            .unwrap(),
+        );
         let threads: Vec<_> = (0..16)
             .map(|i| {
                 let batcher = Arc::clone(&batcher);
@@ -311,7 +334,8 @@ mod tests {
                 ..BatchConfig::default()
             },
             Arc::new(Metrics::default()),
-        );
+        )
+        .unwrap();
         // One slow batch occupies the worker inside its wait window
         // while we fill the queue behind it.
         let first = batcher.submit(Arc::clone(&h), vec![row(0), row(1)]).unwrap();
@@ -337,7 +361,8 @@ mod tests {
         let batcher = Batcher::start(
             BatchConfig { max_wait: Duration::from_millis(20), workers: 1, ..Default::default() },
             Arc::new(Metrics::default()),
-        );
+        )
+        .unwrap();
         let rxs: Vec<_> = (0..6)
             .map(|i| {
                 let h = if i % 2 == 0 { &a } else { &b };
@@ -358,7 +383,8 @@ mod tests {
         let batcher = Batcher::start(
             BatchConfig { max_wait: Duration::from_millis(50), ..Default::default() },
             Arc::new(Metrics::default()),
-        );
+        )
+        .unwrap();
         let rxs: Vec<_> = (0..5)
             .map(|i| batcher.submit(Arc::clone(&h), vec![row(i)]).unwrap())
             .collect();
@@ -372,7 +398,8 @@ mod tests {
     #[test]
     fn submit_after_drain_refused() {
         let h = handle(1);
-        let batcher = Batcher::start(BatchConfig::default(), Arc::new(Metrics::default()));
+        let batcher =
+            Batcher::start(BatchConfig::default(), Arc::new(Metrics::default())).unwrap();
         batcher.drain();
         assert_eq!(
             batcher.submit(h, vec![row(0)]).unwrap_err(),

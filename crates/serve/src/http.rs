@@ -327,6 +327,16 @@ mod tests {
             String::from_utf8(raw).unwrap()
         });
         let (mut stream, _) = listener.accept().unwrap();
+        // Drain the request before responding: closing a socket with
+        // unread bytes in its receive buffer sends RST, not FIN, and
+        // the client's read_to_end then races a ConnectionReset.
+        let mut seen = Vec::new();
+        let mut buf = [0u8; 64];
+        while !seen.ends_with(b"\r\n\r\n") {
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "client closed before finishing the request");
+            seen.extend_from_slice(&buf[..n]);
+        }
         write_response(
             &mut stream,
             503,

@@ -21,7 +21,7 @@ use nd_neural::Network;
 use nd_store::Database;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// How to (re)build a served model's architecture; checkpoint
 /// parameters are loaded on top.
@@ -122,13 +122,16 @@ impl Registry {
 
     /// The live handle for `name`.
     pub fn get(&self, name: &str) -> Option<Arc<ModelHandle>> {
-        self.models.read().unwrap().get(name).cloned()
+        // Poison recovery on every lock: the table only ever holds
+        // complete `Arc<ModelHandle>` entries (the single mutation is
+        // one `insert`), so a panic elsewhere cannot leave it torn.
+        self.models.read().unwrap_or_else(PoisonError::into_inner).get(name).cloned()
     }
 
     /// The only model, when exactly one is served (lets single-model
     /// deployments omit the `model` request field).
     pub fn single(&self) -> Option<Arc<ModelHandle>> {
-        let models = self.models.read().unwrap();
+        let models = self.models.read().unwrap_or_else(PoisonError::into_inner);
         if models.len() == 1 {
             models.values().next().cloned()
         } else {
@@ -138,7 +141,7 @@ impl Registry {
 
     /// All live handles, name-ordered.
     pub fn list(&self) -> Vec<Arc<ModelHandle>> {
-        self.models.read().unwrap().values().cloned().collect()
+        self.models.read().unwrap_or_else(PoisonError::into_inner).values().cloned().collect()
     }
 
     /// Re-opens the store and hot-swaps every model whose newest
@@ -166,7 +169,10 @@ impl Registry {
                 n_params: network.n_params(),
                 network,
             });
-            self.models.write().unwrap().insert(name.clone(), handle);
+            self.models
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(name.clone(), handle);
             let pruned = prune_checkpoints(&mut db, name, self.keep_checkpoints)?;
             events.push(SwapEvent { name: name.clone(), from: serving, to: version, pruned });
         }

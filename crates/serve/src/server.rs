@@ -21,7 +21,7 @@ use serde_json::{json, Value};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -96,7 +96,7 @@ impl Server {
         let metrics = Arc::new(Metrics::default());
         let shared = Arc::new(Shared {
             registry,
-            batcher: Batcher::start(config.batch.clone(), Arc::clone(&metrics)),
+            batcher: Batcher::start(config.batch.clone(), Arc::clone(&metrics))?,
             cache: Mutex::new(LruCache::new(config.cache_rows)),
             metrics,
             shutdown: AtomicBool::new(false),
@@ -308,7 +308,9 @@ fn handle_request(
             (200, Vec::new(), json!({"status": "ok", "models": shared.registry.list().len()}))
         }
         Endpoint::Reload => handle_reload(shared),
-        Endpoint::Metrics => unreachable!("handled above"),
+        // Already answered above; if routing ever regresses, a wrong
+        // 500 beats a panic that kills the connection thread.
+        Endpoint::Metrics => (500, Vec::new(), json!({"error": "metrics routed past its handler"})),
         Endpoint::Other => {
             let known = matches!(path, "/predict" | "/models" | "/healthz" | "/metrics" | "/admin/reload");
             if known {
@@ -335,7 +337,7 @@ fn render_metrics(shared: &Arc<Shared>) -> String {
         ),
         (
             "nd_serve_cache_entries".to_string(),
-            shared.cache.lock().unwrap().len() as u64,
+            shared.cache.lock().unwrap_or_else(PoisonError::into_inner).len() as u64,
         ),
     ];
     for handle in shared.registry.list() {
@@ -380,6 +382,70 @@ fn handle_reload(shared: &Arc<Shared>) -> (u16, Vec<(&'static str, String)>, Val
     }
 }
 
+/// A ready-to-serialize response: status, extra headers, JSON body.
+type Response = (u16, Vec<(&'static str, String)>, Value);
+
+/// A typed `/predict` failure. Each variant maps to exactly one HTTP
+/// status, so the request path never panics and never invents ad-hoc
+/// codes — the `?` operator carries failures here and
+/// [`RequestError::response`] is the single place they become wire
+/// bytes.
+#[derive(Debug)]
+enum RequestError {
+    /// Malformed body, wrong feature width, missing fields → 400.
+    BadRequest(String),
+    /// Named model is not in the registry → 404.
+    UnknownModel(String),
+    /// Multiple models served but no `model` field → 400.
+    ModelRequired,
+    /// Admission queue is full → 503 + Retry-After.
+    Overloaded {
+        /// Rows queued at rejection time (returned to the client).
+        queued_rows: usize,
+    },
+    /// Batcher is draining for shutdown → 503 + Retry-After.
+    ShuttingDown,
+    /// A batch worker dropped the reply channel → 500.
+    WorkerFailed,
+    /// A server-side invariant broke; the message is static so no
+    /// internal state leaks to the client → 500.
+    Internal(&'static str),
+}
+
+impl From<SubmitError> for RequestError {
+    fn from(e: SubmitError) -> Self {
+        match e {
+            SubmitError::Overloaded { queued_rows } => RequestError::Overloaded { queued_rows },
+            SubmitError::ShuttingDown => RequestError::ShuttingDown,
+        }
+    }
+}
+
+impl RequestError {
+    fn response(self) -> Response {
+        let retry = || vec![("Retry-After", "1".to_string())];
+        match self {
+            RequestError::BadRequest(msg) => (400, Vec::new(), json!({"error": msg})),
+            RequestError::UnknownModel(name) => {
+                (404, Vec::new(), json!({"error": format!("unknown model: {name}")}))
+            }
+            RequestError::ModelRequired => (
+                400,
+                Vec::new(),
+                json!({"error": "model field is required when serving multiple models"}),
+            ),
+            RequestError::Overloaded { queued_rows } => {
+                (503, retry(), json!({"error": "overloaded", "queued_rows": queued_rows}))
+            }
+            RequestError::ShuttingDown => (503, retry(), json!({"error": "shutting down"})),
+            RequestError::WorkerFailed => {
+                (500, Vec::new(), json!({"error": "prediction worker failed"}))
+            }
+            RequestError::Internal(what) => (500, Vec::new(), json!({"error": what})),
+        }
+    }
+}
+
 fn parse_row(value: &Value) -> Option<Vec<f64>> {
     let items = value.as_array()?;
     let row: Vec<f64> = items.iter().filter_map(Value::as_f64).collect();
@@ -407,37 +473,35 @@ fn parse_rows(body: &Value) -> Result<(Vec<Vec<f64>>, bool), &'static str> {
     }
 }
 
-fn handle_predict(
+fn handle_predict(shared: &Arc<Shared>, request: &Request) -> Response {
+    predict_inner(shared, request).unwrap_or_else(RequestError::response)
+}
+
+fn predict_inner(
     shared: &Arc<Shared>,
     request: &Request,
-) -> (u16, Vec<(&'static str, String)>, Value) {
+) -> Result<Response, RequestError> {
     let started = Instant::now();
-    let err = |status: u16, msg: String| (status, Vec::new(), json!({"error": msg}));
 
-    let body = match request.json() {
-        Ok(v) => v,
-        Err(e) => return err(400, format!("invalid JSON: {e}")),
-    };
+    let body = request
+        .json()
+        .map_err(|e| RequestError::BadRequest(format!("invalid JSON: {e}")))?;
     let handle: Arc<ModelHandle> = match body["model"].as_str() {
-        Some(name) => match shared.registry.get(name) {
-            Some(h) => h,
-            None => return err(404, format!("unknown model: {name}")),
-        },
-        None => match shared.registry.single() {
-            Some(h) => h,
-            None => return err(400, "model field is required when serving multiple models".into()),
-        },
+        Some(name) => shared
+            .registry
+            .get(name)
+            .ok_or_else(|| RequestError::UnknownModel(name.to_string()))?,
+        None => shared.registry.single().ok_or(RequestError::ModelRequired)?,
     };
-    let (rows, is_batch) = match parse_rows(&body) {
-        Ok(parsed) => parsed,
-        Err(msg) => return err(400, msg.into()),
-    };
+    let (rows, is_batch) =
+        parse_rows(&body).map_err(|msg| RequestError::BadRequest(msg.into()))?;
     if let Some(bad) = rows.iter().find(|r| r.len() != handle.input_dim) {
-        return err(
-            400,
-            format!("feature vector has {} values, model {} expects {}",
-                bad.len(), handle.name, handle.input_dim),
-        );
+        return Err(RequestError::BadRequest(format!(
+            "feature vector has {} values, model {} expects {}",
+            bad.len(),
+            handle.name,
+            handle.input_dim
+        )));
     }
 
     // Cache pass. The admitted handle pins the version: a hot swap
@@ -446,7 +510,7 @@ fn handle_predict(
     let mut scores: Vec<Option<Vec<f64>>> = Vec::with_capacity(rows.len());
     let mut miss_indices = Vec::new();
     {
-        let mut cache = shared.cache.lock().unwrap();
+        let mut cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
         for (i, row) in rows.iter().enumerate() {
             match cache.get(&handle.name, handle.version, row) {
                 Some(hit) => scores.push(Some(hit)),
@@ -464,28 +528,9 @@ fn handle_predict(
     if !miss_indices.is_empty() {
         let miss_rows: Vec<Vec<f64>> =
             miss_indices.iter().map(|&i| rows[i].clone()).collect();
-        let receiver = match shared.batcher.submit(Arc::clone(&handle), miss_rows) {
-            Ok(rx) => rx,
-            Err(SubmitError::Overloaded { queued_rows }) => {
-                return (
-                    503,
-                    vec![("Retry-After", "1".to_string())],
-                    json!({"error": "overloaded", "queued_rows": queued_rows}),
-                );
-            }
-            Err(SubmitError::ShuttingDown) => {
-                return (
-                    503,
-                    vec![("Retry-After", "1".to_string())],
-                    json!({"error": "shutting down"}),
-                );
-            }
-        };
-        let outputs = match receiver.recv() {
-            Ok(outputs) => outputs,
-            Err(_) => return err(500, "prediction worker failed".into()),
-        };
-        let mut cache = shared.cache.lock().unwrap();
+        let receiver = shared.batcher.submit(Arc::clone(&handle), miss_rows)?;
+        let outputs = receiver.recv().map_err(|_| RequestError::WorkerFailed)?;
+        let mut cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
         for (&i, output) in miss_indices.iter().zip(outputs) {
             cache.insert(&handle.name, handle.version, &rows[i], output.clone());
             scores[i] = Some(output);
@@ -498,14 +543,12 @@ fn handle_predict(
         .predict_latency_us
         .observe(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
 
-    let results: Vec<(Vec<f64>, usize)> = scores
-        .into_iter()
-        .map(|s| {
-            let s = s.expect("every row resolved via cache or batcher");
-            let class = argmax(&s).unwrap_or(0);
-            (s, class)
-        })
-        .collect();
+    let mut results: Vec<(Vec<f64>, usize)> = Vec::with_capacity(scores.len());
+    for s in scores {
+        let s = s.ok_or(RequestError::Internal("row resolved by neither cache nor batcher"))?;
+        let class = argmax(&s).unwrap_or(0);
+        results.push((s, class));
+    }
     let body = if is_batch {
         let predictions: Vec<Value> = results
             .iter()
@@ -517,7 +560,8 @@ fn handle_predict(
             "predictions": predictions,
         })
     } else {
-        let (s, class) = &results[0];
+        let (s, class) =
+            results.first().ok_or(RequestError::Internal("empty result set"))?;
         json!({
             "model": handle.name,
             "version": handle.version,
@@ -525,7 +569,7 @@ fn handle_predict(
             "class": class,
         })
     };
-    (200, Vec::new(), body)
+    Ok((200, Vec::new(), body))
 }
 
 #[cfg(test)]

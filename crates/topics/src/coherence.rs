@@ -30,11 +30,13 @@ impl CoherenceStats {
         let mut doc_freq: HashMap<String, usize> = HashMap::new();
         let mut pair_freq: HashMap<(String, String), usize> = HashMap::new();
         for doc in docs {
+            // sort+dedup instead of a HashSet round-trip: same unique
+            // set, no arbitrary-order intermediate.
             let present: Vec<&String> = {
-                let set: HashSet<&String> =
+                let mut v: Vec<&String> =
                     doc.iter().filter(|t| keywords.contains(*t)).collect();
-                let mut v: Vec<&String> = set.into_iter().collect();
                 v.sort();
+                v.dedup();
                 v
             };
             for w in &present {

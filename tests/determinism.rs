@@ -12,6 +12,7 @@
 //! values could not change — only the parallelism would.
 
 use nd_embed::{Word2Vec, Word2VecConfig, Word2VecMode};
+use nd_events::{AnomalySource, Mabed, MabedConfig, SlicedCorpus, TimestampedDoc};
 use nd_linalg::rng::SplitMix64;
 use nd_linalg::Mat;
 use nd_neural::layer::{Conv1d, Dense, Layer};
@@ -144,6 +145,91 @@ fn word2vec_training_is_thread_count_invariant() {
         words.sort_unstable();
         words.into_iter().flat_map(|w| wv.get(w).unwrap().to_vec()).collect()
     });
+}
+
+/// The sliced corpus backing the event-detection iteration tests:
+/// three topical pools bursting in different slices.
+fn timestamped_corpus() -> Vec<TimestampedDoc> {
+    corpus()
+        .into_iter()
+        .enumerate()
+        .map(|(i, tokens)| TimestampedDoc::new(1_000 + 60 * i as u64, tokens, i % 3))
+        .collect()
+}
+
+/// `nd-lint`'s `nondet-hash-iter` rule exists because word iteration
+/// order used to come from a `HashMap` and could differ between runs
+/// (and between std versions). The corpus now stores words in a
+/// `BTreeMap`; this pins the observable contract so a regression back
+/// to hash order fails loudly rather than as a flaky eval.
+#[test]
+fn corpus_word_iteration_is_lexicographic() {
+    let sliced = SlicedCorpus::build(&timestamped_corpus(), 600);
+    let words: Vec<&str> = sliced.iter_words().map(|(w, _)| w).collect();
+    assert!(!words.is_empty());
+    let mut sorted = words.clone();
+    sorted.sort_unstable();
+    assert_eq!(words, sorted, "iter_words must yield lexicographic order");
+}
+
+/// Two detector runs over the same corpus in one process must emit
+/// identical events — main words, related-word order, and weights to
+/// the bit. Before the BTreeMap conversion the related-word candidate
+/// loop iterated a `HashMap`, so equal-weight words could swap places
+/// at the `max_related` cut between runs.
+#[test]
+fn mabed_events_are_identical_across_runs() {
+    let sliced = SlicedCorpus::build(&timestamped_corpus(), 600);
+    let detect = || {
+        Mabed::new(MabedConfig {
+            n_events: 5,
+            min_word_docs: 2,
+            source: AnomalySource::Presence,
+            ..Default::default()
+        })
+        .detect(&sliced)
+    };
+    let (a, b) = (detect(), detect());
+    assert!(!a.is_empty(), "corpus must produce at least one event");
+    assert_eq!(a.len(), b.len());
+    for (ea, eb) in a.iter().zip(&b) {
+        assert_eq!(ea.main_word, eb.main_word);
+        assert_eq!(ea.magnitude.to_bits(), eb.magnitude.to_bits());
+        assert_eq!(ea.related.len(), eb.related.len());
+        for ((wa, sa), (wb, sb)) in ea.related.iter().zip(&eb.related) {
+            assert_eq!(wa, wb, "related-word order must be stable");
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+    }
+}
+
+/// `WordVectors::iter` now walks the insertion-order word list, and
+/// trainers insert in sorted-vocabulary order — so iteration must
+/// reproduce exactly, including vector bytes, across independent
+/// trainings in one process.
+#[test]
+fn word_vector_iteration_is_stable_across_trainings() {
+    let docs = corpus();
+    let train = || {
+        Word2Vec::new(Word2VecConfig {
+            dim: 8,
+            window: 2,
+            negative: 3,
+            epochs: 1,
+            min_count: 1,
+            seed: 31,
+            ..Default::default()
+        })
+        .train(&docs)
+    };
+    let (wv_a, wv_b) = (train(), train());
+    let flat = |wv: &nd_embed::WordVectors| -> Vec<(String, Vec<u64>)> {
+        wv.iter()
+            .map(|(w, v)| (w.to_string(), v.iter().map(|x| x.to_bits()).collect()))
+            .collect()
+    };
+    assert!(!wv_a.is_empty());
+    assert_eq!(flat(&wv_a), flat(&wv_b), "iteration order and vectors must be identical");
 }
 
 #[test]
