@@ -23,6 +23,10 @@ use std::hint::black_box;
 /// Thread counts exercised by the scaling groups.
 const THREAD_STEPS: [&str; 3] = ["1", "2", "4"];
 
+/// Sample count for sub-10ms kernels: cheap iterations are noisy, so
+/// they get more samples to stabilize the reported median and min.
+const FAST_KERNEL_SAMPLES: usize = 40;
+
 fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
     let mut rng = SplitMix64::new(seed);
     Mat::from_fn(rows, cols, |_, _| rng.next_range(-1.0, 1.0))
@@ -120,6 +124,7 @@ fn bench_matmul_scaling(c: &mut Criterion) {
     let a = random_mat(256, 256, 11);
     let b = random_mat(256, 256, 12);
     let mut g = c.benchmark_group("matmul_256x256");
+    g.sample_size(FAST_KERNEL_SAMPLES);
     for t in THREAD_STEPS {
         g.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
             std::env::set_var("NEWSDIFF_THREADS", t);
@@ -135,7 +140,7 @@ fn bench_matmul_1024_scaling(c: &mut Criterion) {
     let b = random_mat(1024, 1024, 23);
     let mut g = c.benchmark_group("matmul_1024x1024");
     // ~1 GFLOP per product: keep the sample count low.
-    g.sample_size(3);
+    g.sample_size(5);
     for t in THREAD_STEPS {
         g.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
             std::env::set_var("NEWSDIFF_THREADS", t);
@@ -187,6 +192,7 @@ fn bench_csr_scaling(c: &mut Criterion) {
     let rhs = random_mat(a.cols(), 32, 14);
     let rhs_t = random_mat(a.rows(), 32, 15);
     let mut g = c.benchmark_group("csr_products_2000x3000_k32");
+    g.sample_size(FAST_KERNEL_SAMPLES);
     for t in THREAD_STEPS {
         g.bench_with_input(BenchmarkId::new("ax_threads", t), &t, |bch, &t| {
             std::env::set_var("NEWSDIFF_THREADS", t);
@@ -206,6 +212,7 @@ fn bench_nmf_scaling(c: &mut Criterion) {
     let dtm = DtmBuilder::new().build(&docs);
     let a = dtm.weighted(Weighting::TfIdfNormalized);
     let mut g = c.benchmark_group("nmf_iteration_500x800_k10");
+    g.sample_size(FAST_KERNEL_SAMPLES);
     for t in THREAD_STEPS {
         g.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
             std::env::set_var("NEWSDIFF_THREADS", t);
@@ -222,6 +229,7 @@ fn bench_nmf_scaling(c: &mut Criterion) {
 fn bench_word2vec_scaling(c: &mut Criterion) {
     let corpus = synth_docs(300, 500, 15, 17);
     let mut g = c.benchmark_group("word2vec_epoch_dim32");
+    g.sample_size(FAST_KERNEL_SAMPLES);
     for t in THREAD_STEPS {
         g.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
             std::env::set_var("NEWSDIFF_THREADS", t);
@@ -245,6 +253,7 @@ fn bench_layers_scaling(c: &mut Criterion) {
     let dense_in = random_mat(64, 256, 18);
     let conv_in = random_mat(64, 300, 19);
     let mut g = c.benchmark_group("layers_fwd_bwd_batch64");
+    g.sample_size(FAST_KERNEL_SAMPLES);
     for t in THREAD_STEPS {
         g.bench_with_input(BenchmarkId::new("dense_256x128_threads", t), &t, |bch, &t| {
             std::env::set_var("NEWSDIFF_THREADS", t);
@@ -269,7 +278,7 @@ fn bench_layers_scaling(c: &mut Criterion) {
 
 criterion_group!(
     name = kernels;
-    config = Criterion::default().sample_size(10);
+    config = Criterion::default().sample_size(20);
     targets = bench_tfidf, bench_nmf, bench_mabed, bench_word2vec, bench_cosine,
         bench_matmul_scaling, bench_matmul_1024_scaling, bench_csr_scaling,
         bench_nmf_scaling, bench_word2vec_scaling, bench_layers_scaling,

@@ -1,0 +1,209 @@
+//! Compares kernel benchmark runs and gates on parallel regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-compare CURRENT.json            # scaling gate on one run
+//! bench-compare BASELINE.json CURRENT.json  # + speedup vs baseline
+//! ```
+//!
+//! Input files are `ND_BENCH_JSON` dumps from the vendored criterion
+//! stand-in: one or more concatenated JSON arrays of
+//! `{"name", "mean_ns", "median_ns", "min_ns", "samples"}` records
+//! (the stub *appends* on every bench run, so re-runs accumulate; the
+//! last record per name wins here).
+//!
+//! The gate: for every scaling group (bench names of the form
+//! `<kernel>/<...>threads/<t>`), no parallel configuration may run
+//! more than `REGRESSION_TOLERANCE` above the same kernel's serial
+//! (`/1`) configuration — on **both** the median and the min. A noisy
+//! neighbor inflates the median of whichever config it landed on, but
+//! not its min; a structural regression (real extra work per
+//! dispatch) inflates both. Requiring both keeps the gate meaningful
+//! on shared single-core machines. Any violation prints a
+//! `REGRESSION` line and the process exits nonzero, so CI can surface
+//! it.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// A parallel config's median may exceed serial by at most this factor.
+const REGRESSION_TOLERANCE: f64 = 1.10;
+
+/// One benchmark record (last-wins deduplicated by name).
+#[derive(Debug, Clone)]
+struct Rec {
+    median_ns: f64,
+    min_ns: f64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline, current) = match args.as_slice() {
+        [cur] => (None, cur.clone()),
+        [base, cur] => (Some(base.clone()), cur.clone()),
+        _ => {
+            eprintln!("usage: bench-compare [BASELINE.json] CURRENT.json");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cur = match load_records(&current) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-compare: {current}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base = match baseline {
+        None => None,
+        Some(p) => match load_records(&p) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("bench-compare: {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    println!(
+        "{:<52} {:>12} {:>12} {:>10} {:>10}",
+        "benchmark", "median", "min", "vs serial", "vs base"
+    );
+    for (name, rec) in &cur {
+        let vs_serial = serial_sibling(name, &cur)
+            .map(|s| format!("{:.2}x", s.median_ns / rec.median_ns))
+            .unwrap_or_else(|| "-".into());
+        let vs_base = base
+            .as_ref()
+            .and_then(|b| b.get(name))
+            .map(|b| format!("{:.2}x", b.median_ns / rec.median_ns))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<52} {:>12} {:>12} {:>10} {:>10}",
+            name,
+            fmt_ns(rec.median_ns),
+            fmt_ns(rec.min_ns),
+            vs_serial,
+            vs_base
+        );
+    }
+
+    let mut regressions = 0usize;
+    for (name, rec) in &cur {
+        let Some(serial) = serial_sibling(name, &cur) else { continue };
+        if rec.median_ns > REGRESSION_TOLERANCE * serial.median_ns
+            && rec.min_ns > REGRESSION_TOLERANCE * serial.min_ns
+        {
+            regressions += 1;
+            eprintln!(
+                "REGRESSION: {name} median {} ({:.2}x serial) and min {} ({:.2}x serial) \
+                 both exceed {REGRESSION_TOLERANCE}x",
+                fmt_ns(rec.median_ns),
+                rec.median_ns / serial.median_ns,
+                fmt_ns(rec.min_ns),
+                rec.min_ns / serial.min_ns,
+            );
+        }
+    }
+    if regressions > 0 {
+        eprintln!("bench-compare: {regressions} parallel configuration(s) slower than serial");
+        return ExitCode::from(1);
+    }
+    println!("bench-compare: no parallel configuration regresses past {REGRESSION_TOLERANCE}x serial");
+    ExitCode::SUCCESS
+}
+
+/// For `<kernel>/<...>threads/<t>` with `t != "1"`, returns the
+/// group's serial record (`.../1`), when present.
+fn serial_sibling<'a>(name: &str, recs: &'a BTreeMap<String, Rec>) -> Option<&'a Rec> {
+    let (prefix, t) = name.rsplit_once('/')?;
+    if !prefix.ends_with("threads") || t == "1" || t.parse::<u32>().is_err() {
+        return None;
+    }
+    recs.get(&format!("{prefix}/1"))
+}
+
+/// Reads an `ND_BENCH_JSON` dump: concatenated arrays of flat objects.
+/// Later records with a repeated name replace earlier ones.
+fn load_records(path: &str) -> Result<BTreeMap<String, Rec>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut out = BTreeMap::new();
+    for obj in split_objects(&text)? {
+        let name = string_field(obj, "name")
+            .ok_or_else(|| format!("record missing \"name\": {obj}"))?;
+        let median_ns = number_field(obj, "median_ns")
+            .ok_or_else(|| format!("record missing \"median_ns\": {obj}"))?;
+        let min_ns = number_field(obj, "min_ns").unwrap_or(median_ns);
+        out.insert(name, Rec { median_ns, min_ns });
+    }
+    if out.is_empty() {
+        return Err("no benchmark records found".into());
+    }
+    Ok(out)
+}
+
+/// Splits the top-level text into `{...}` object slices. The dump
+/// format is flat (no nested objects; the only escaping is `"`→`'` at
+/// write time), so brace matching outside string literals suffices.
+fn split_objects(text: &str) -> Result<Vec<&str>, String> {
+    let mut objects = Vec::new();
+    let mut start = None;
+    let mut in_string = false;
+    for (i, b) in text.bytes().enumerate() {
+        match b {
+            b'"' => in_string = !in_string,
+            b'{' if !in_string => {
+                if start.is_some() {
+                    return Err(format!("nested object at byte {i}"));
+                }
+                start = Some(i);
+            }
+            b'}' if !in_string => {
+                let s = start.take().ok_or_else(|| format!("stray '}}' at byte {i}"))?;
+                objects.push(&text[s..=i]);
+            }
+            _ => {}
+        }
+    }
+    if start.is_some() || in_string {
+        return Err("unterminated object or string".into());
+    }
+    Ok(objects)
+}
+
+/// Extracts `"key":"value"` from a flat object slice.
+fn string_field(obj: &str, key: &str) -> Option<String> {
+    let rest = field_value(obj, key)?;
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts `"key":<number>` from a flat object slice.
+fn number_field(obj: &str, key: &str) -> Option<f64> {
+    let rest = field_value(obj, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Returns the text following `"key":`, whitespace-tolerant.
+fn field_value<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\"");
+    let at = obj.find(&tag)?;
+    let rest = obj[at + tag.len()..].trim_start();
+    rest.strip_prefix(':').map(str::trim_start)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}

@@ -127,6 +127,46 @@ fn apply_deltas(params: &mut [f64], dim: usize, rows: &[u32], deltas: &[f64]) {
     }
 }
 
+/// Reusable per-sentence workspace. One slot exists per batch lane
+/// (`BATCH_SENTENCES` of them), allocated once per training run; every
+/// temporary the gradient pass needs lives here, so the epoch loop
+/// performs no per-sentence heap allocation once the slots have grown
+/// to the corpus's working set.
+struct SentScratch {
+    /// The sentence's recorded gradient contributions.
+    grad: SentGrad,
+    /// Post-subsampling token ids.
+    kept: Vec<u32>,
+    /// Current context-window token ids.
+    context: Vec<u32>,
+    /// Hidden/predictor vector (`dim` wide).
+    neu1: Vec<f64>,
+    /// Gradient accumulator for the predictor (`dim` wide).
+    gvec: Vec<f64>,
+}
+
+impl SentScratch {
+    fn new(dim: usize) -> Self {
+        SentScratch {
+            grad: SentGrad::default(),
+            kept: Vec::new(),
+            context: Vec::new(),
+            neu1: vec![0.0; dim],
+            gvec: vec![0.0; dim],
+        }
+    }
+
+    /// Clears the per-sentence state while keeping every allocation.
+    fn clear(&mut self) {
+        self.grad.rows0.clear();
+        self.grad.delta0.clear();
+        self.grad.rows1.clear();
+        self.grad.delta1.clear();
+        self.kept.clear();
+        self.context.clear();
+    }
+}
+
 impl Word2Vec {
     /// Creates a trainer with the given configuration.
     pub fn new(config: Word2VecConfig) -> Self {
@@ -221,6 +261,13 @@ impl Word2Vec {
         let work_hint =
             avg_len.saturating_mul(cfg.dim).saturating_mul(cfg.negative + 2).max(1);
 
+        // One scratch slot per batch lane, allocated once for the whole
+        // run; every batch reuses them, so the epoch loop is free of
+        // per-sentence heap traffic once the buffers have grown.
+        let mut slots: Vec<SentScratch> = (0..BATCH_SENTENCES.min(encoded.len()))
+            .map(|_| SentScratch::new(cfg.dim))
+            .collect();
+
         for epoch in 0..cfg.epochs {
             let epoch_base = epoch * total_tokens;
             let mut batch_start = 0;
@@ -228,40 +275,38 @@ impl Word2Vec {
                 let batch_len = BATCH_SENTENCES.min(encoded.len() - batch_start);
                 let syn0_ref = &syn0;
                 let syn1_ref = &syn1;
-                // One chunk per sentence: chunk boundaries are fixed
-                // and results come back in sentence order, whatever
-                // the thread count.
-                let grads: Vec<SentGrad> = nd_par::run_chunks(batch_len, 1, work_hint, |range| {
-                    let mut out = Vec::with_capacity(range.len());
-                    for bi in range {
-                        let si = batch_start + bi;
-                        let tokens_before = epoch_base + sent_offsets[si];
-                        let lr = (cfg.learning_rate
-                            * (1.0 - tokens_before as f64 / (total_steps + 1.0)))
-                            .max(cfg.learning_rate * 1e-4);
-                        let mut srng = sentence_rng(cfg.seed, epoch, si);
-                        out.push(sentence_gradients(
-                            cfg,
-                            &encoded[si],
-                            &keep_prob,
-                            &table,
-                            syn0_ref,
-                            syn1_ref,
-                            lr,
-                            v,
-                            &mut srng,
-                        ));
-                    }
-                    out
-                })
-                .into_iter()
-                .flatten()
-                .collect();
+                let encoded_ref = &encoded;
+                let keep_prob_ref = &keep_prob;
+                let table_ref = &table;
+                // One row (= one scratch slot) per sentence: chunk
+                // boundaries are fixed and each slot is written by
+                // exactly one worker, whatever the thread count.
+                nd_par::par_for_rows(&mut slots[..batch_len], 1, 1, work_hint, |bi, slot| {
+                    let ws = &mut slot[0];
+                    let si = batch_start + bi;
+                    let tokens_before = epoch_base + sent_offsets[si];
+                    let lr = (cfg.learning_rate
+                        * (1.0 - tokens_before as f64 / (total_steps + 1.0)))
+                        .max(cfg.learning_rate * 1e-4);
+                    let mut srng = sentence_rng(cfg.seed, epoch, si);
+                    sentence_gradients(
+                        cfg,
+                        &encoded_ref[si],
+                        keep_prob_ref,
+                        table_ref,
+                        syn0_ref,
+                        syn1_ref,
+                        lr,
+                        v,
+                        &mut srng,
+                        ws,
+                    );
+                });
                 // Apply in ascending sentence order — the merge order
                 // is part of the determinism contract.
-                for sg in &grads {
-                    apply_deltas(&mut syn0, cfg.dim, &sg.rows0, &sg.delta0);
-                    apply_deltas(&mut syn1, cfg.dim, &sg.rows1, &sg.delta1);
+                for ws in &slots[..batch_len] {
+                    apply_deltas(&mut syn0, cfg.dim, &ws.grad.rows0, &ws.grad.delta0);
+                    apply_deltas(&mut syn1, cfg.dim, &ws.grad.rows1, &ws.grad.delta1);
                 }
                 batch_start += batch_len;
             }
@@ -277,8 +322,10 @@ impl Word2Vec {
 }
 
 /// Computes one sentence's gradient contributions against a frozen
-/// parameter snapshot. Consumes the sentence's private RNG stream for
-/// subsampling, window jitter, and negative draws.
+/// parameter snapshot, writing them into `ws.grad`. Consumes the
+/// sentence's private RNG stream for subsampling, window jitter, and
+/// negative draws. All temporaries live in `ws`, so a warm slot does
+/// no heap allocation.
 #[allow(clippy::too_many_arguments)]
 fn sentence_gradients(
     cfg: &Word2VecConfig,
@@ -290,65 +337,88 @@ fn sentence_gradients(
     lr: f64,
     vocab_size: usize,
     rng: &mut SplitMix64,
-) -> SentGrad {
+    ws: &mut SentScratch,
+) {
     let dim = cfg.dim;
-    let mut sg = SentGrad::default();
-    let kept: Vec<u32> = sent
-        .iter()
-        .copied()
-        .filter(|&id| keep_prob[id as usize] >= 1.0 || rng.next_f64() < keep_prob[id as usize])
-        .collect();
-    let mut neu1 = vec![0.0; dim];
-    let mut grad = vec![0.0; dim];
-    for (pos, &center) in kept.iter().enumerate() {
+    ws.clear();
+    ws.kept.extend(
+        sent.iter()
+            .copied()
+            .filter(|&id| keep_prob[id as usize] >= 1.0 || rng.next_f64() < keep_prob[id as usize]),
+    );
+    for pos in 0..ws.kept.len() {
+        let center = ws.kept[pos];
         // Randomized effective window as in the reference
         // implementation.
         let b = rng.next_usize(cfg.window.max(1));
         let win = cfg.window - b;
         let lo = pos.saturating_sub(win);
-        let hi = (pos + win).min(kept.len().saturating_sub(1));
-        let context: Vec<u32> = (lo..=hi).filter(|&p| p != pos).map(|p| kept[p]).collect();
-        if context.is_empty() {
+        let hi = (pos + win).min(ws.kept.len().saturating_sub(1));
+        ws.context.clear();
+        for p in lo..=hi {
+            if p != pos {
+                ws.context.push(ws.kept[p]);
+            }
+        }
+        if ws.context.is_empty() {
             continue;
         }
         match cfg.mode {
             Word2VecMode::Cbow => {
                 // Average context -> predict center.
-                neu1.iter_mut().for_each(|x| *x = 0.0);
-                for &c in &context {
+                ws.neu1.iter_mut().for_each(|x| *x = 0.0);
+                for &c in &ws.context {
                     let row = &syn0[c as usize * dim..(c as usize + 1) * dim];
-                    for (a, &b) in neu1.iter_mut().zip(row) {
+                    for (a, &b) in ws.neu1.iter_mut().zip(row) {
                         *a += b;
                     }
                 }
-                let inv = 1.0 / context.len() as f64;
-                neu1.iter_mut().for_each(|x| *x *= inv);
-                grad.iter_mut().for_each(|x| *x = 0.0);
+                let inv = 1.0 / ws.context.len() as f64;
+                ws.neu1.iter_mut().for_each(|x| *x *= inv);
+                ws.gvec.iter_mut().for_each(|x| *x = 0.0);
                 negative_grads(
-                    &neu1, &mut grad, syn1, center, table, rng, lr, dim, cfg.negative,
-                    vocab_size, &mut sg,
+                    &ws.neu1,
+                    &mut ws.gvec,
+                    syn1,
+                    center,
+                    table,
+                    rng,
+                    lr,
+                    dim,
+                    cfg.negative,
+                    vocab_size,
+                    &mut ws.grad,
                 );
-                for &c in &context {
-                    sg.rows0.push(c);
-                    sg.delta0.extend_from_slice(&grad);
+                for &c in &ws.context {
+                    ws.grad.rows0.push(c);
+                    ws.grad.delta0.extend_from_slice(&ws.gvec);
                 }
             }
             Word2VecMode::SkipGram => {
-                for &ctx in &context {
+                for ci in 0..ws.context.len() {
+                    let ctx = ws.context[ci];
                     let row_start = ctx as usize * dim;
-                    neu1.copy_from_slice(&syn0[row_start..row_start + dim]);
-                    grad.iter_mut().for_each(|x| *x = 0.0);
+                    ws.neu1.copy_from_slice(&syn0[row_start..row_start + dim]);
+                    ws.gvec.iter_mut().for_each(|x| *x = 0.0);
                     negative_grads(
-                        &neu1, &mut grad, syn1, center, table, rng, lr, dim, cfg.negative,
-                        vocab_size, &mut sg,
+                        &ws.neu1,
+                        &mut ws.gvec,
+                        syn1,
+                        center,
+                        table,
+                        rng,
+                        lr,
+                        dim,
+                        cfg.negative,
+                        vocab_size,
+                        &mut ws.grad,
                     );
-                    sg.rows0.push(ctx);
-                    sg.delta0.extend_from_slice(&grad);
+                    ws.grad.rows0.push(ctx);
+                    ws.grad.delta0.extend_from_slice(&ws.gvec);
                 }
             }
         }
     }
-    sg
 }
 
 /// One negative-sampling step against the snapshot: `hidden` is the

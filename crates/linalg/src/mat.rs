@@ -152,6 +152,20 @@ impl Mat {
         self.data
     }
 
+    /// Reshapes to `rows x cols` in place and zero-fills, reusing the
+    /// existing allocation whenever capacity allows.
+    ///
+    /// This is the backbone of the `*_into` scratch-reuse API: a
+    /// workspace `Mat` starts as `Mat::zeros(0, 0)` and is re-shaped
+    /// by every call that writes into it, so iteration loops allocate
+    /// once on the first pass and never again.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Entry at `(i, j)`.
     ///
     /// # Panics
@@ -216,11 +230,20 @@ impl Mat {
     /// and destination rows stay cache-resident, and splits the
     /// destination rows across threads for large matrices.
     pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(0, 0);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// [`Mat::transpose`] into a caller-provided scratch matrix
+    /// (reshaped and overwritten). Iteration-hot call sites reuse
+    /// `out` across calls so the transpose allocates only once.
+    pub fn transpose_into(&self, out: &mut Mat) {
         const BLOCK: usize = 32;
         let (r, c) = (self.rows, self.cols);
-        let mut out = Mat::zeros(c, r);
+        out.reset_zeroed(c, r);
         if r == 0 || c == 0 {
-            return out;
+            return;
         }
         let src = &self.data;
         nd_par::par_for_rows(&mut out.data, r, BLOCK, r, |j0, block| {
@@ -234,7 +257,6 @@ impl Mat {
                 }
             }
         });
-        out
     }
 
     /// Matrix product `self * rhs`.
@@ -265,15 +287,31 @@ impl Mat {
     /// # Panics
     /// Debug-asserts `self.cols == rhs.rows`.
     pub fn matmul_unchecked(&self, rhs: &Mat) -> Mat {
-        debug_assert_eq!(self.cols, rhs.rows, "matmul_unchecked shape mismatch");
+        let mut bt = Mat::zeros(0, 0);
+        let mut out = Mat::zeros(0, 0);
+        self.matmul_unchecked_into(rhs, &mut bt, &mut out);
+        out
+    }
+
+    /// [`Mat::matmul_unchecked`] into caller-provided scratch: `bt`
+    /// receives the transpose-packed right-hand side and `out` the
+    /// product (both reshaped and overwritten). Iteration loops reuse
+    /// the two buffers across calls, eliminating the per-call packing
+    /// allocation. Bit-identical to the allocating version.
+    ///
+    /// # Panics
+    /// Debug-asserts `self.cols == rhs.rows`.
+    pub fn matmul_unchecked_into(&self, rhs: &Mat, bt: &mut Mat, out: &mut Mat) {
+        debug_assert_eq!(self.cols, rhs.rows, "matmul_unchecked_into shape mismatch");
         let (m, n) = (self.rows, rhs.cols);
-        let mut out = Mat::zeros(m, n);
+        out.reset_zeroed(m, n);
         if m == 0 || n == 0 || self.cols == 0 {
-            return out;
+            return;
         }
         // Pack B as row-major Bᵀ: column j of B becomes contiguous
         // row j, turning the inner loop into a streaming dot.
-        let bt = rhs.transpose();
+        rhs.transpose_into(bt);
+        let bt = &*bt;
         // A j-tile of Bᵀ (64 rows × k) is reused across every row of
         // an output block before moving on, keeping it in L1/L2.
         const J_TILE: usize = 64;
@@ -290,7 +328,6 @@ impl Mat {
                 }
             }
         });
-        out
     }
 
     /// Matrix–vector product `self * v`.
@@ -298,6 +335,19 @@ impl Mat {
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] when `v.len() != self.cols`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Mat::matvec`] into a caller-provided scratch vector (resized
+    /// and overwritten). Scan loops that apply the same matrix to many
+    /// vectors — SVD power iteration, cosine scans — reuse `out`
+    /// across calls instead of allocating a fresh result per query.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when `v.len() != self.cols`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if v.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "matvec",
@@ -305,14 +355,15 @@ impl Mat {
                 rhs: (v.len(), 1),
             });
         }
-        let mut out = vec![0.0; self.rows];
+        out.clear();
+        out.resize(self.rows, 0.0);
         let rows_per_chunk = nd_par::auto_chunk_len(self.rows, 64);
-        nd_par::par_for_rows(&mut out, 1, rows_per_chunk, self.cols, |i0, block| {
+        nd_par::par_for_rows(&mut out[..], 1, rows_per_chunk, self.cols, |i0, block| {
             for (k, o) in block.iter_mut().enumerate() {
                 *o = crate::vecops::dot(self.row(i0 + k), v);
             }
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Element-wise sum `self + rhs`.
@@ -573,10 +624,19 @@ impl Mat {
     /// its own shard, so per-entry summation order (and therefore the
     /// result, bit-for-bit) is independent of the thread count.
     pub fn gram(&self) -> Mat {
+        let mut out = Mat::zeros(0, 0);
+        self.gram_into(&mut out);
+        out
+    }
+
+    /// [`Mat::gram`] into a caller-provided scratch matrix (reshaped
+    /// and overwritten). Iteration-hot call sites reuse `out` across
+    /// calls; bit-identical to the allocating version.
+    pub fn gram_into(&self, out: &mut Mat) {
         let (r, c) = (self.rows, self.cols);
-        let mut out = Mat::zeros(c, c);
+        out.reset_zeroed(c, c);
         if r == 0 || c == 0 {
-            return out;
+            return;
         }
         let src = &self.data;
         let rows_per_chunk = nd_par::auto_chunk_len(c, 4);
@@ -594,7 +654,6 @@ impl Mat {
                 }
             }
         });
-        out
     }
 }
 
@@ -897,6 +956,46 @@ mod tests {
                 assert_eq!(m.get(i, j), t.get(j, i));
             }
         }
+    }
+
+    #[test]
+    fn into_variants_reuse_dirty_scratch_bitwise() {
+        let a = Mat::random_uniform(33, 21, -1.0, 1.0, 9);
+        let b = Mat::random_uniform(21, 17, -1.0, 1.0, 10);
+        // Dirty, wrongly-shaped scratch must not leak into results.
+        let mut bt = Mat::filled(3, 5, 7.0);
+        let mut out = Mat::filled(2, 2, -3.0);
+        a.matmul_unchecked_into(&b, &mut bt, &mut out);
+        assert_eq!(out, a.matmul_unchecked(&b));
+
+        let mut t = Mat::filled(1, 9, 4.0);
+        a.transpose_into(&mut t);
+        assert_eq!(t, a.transpose());
+
+        let mut g = Mat::filled(40, 2, 1.0);
+        a.gram_into(&mut g);
+        assert_eq!(g, a.gram());
+
+        let v: Vec<f64> = (0..21).map(|i| (i as f64).cos()).collect();
+        let mut mv = vec![9.0; 3];
+        a.matvec_into(&v, &mut mv).unwrap();
+        assert_eq!(mv, a.matvec(&v).unwrap());
+        // A second call must reuse the allocation, not grow it.
+        let cap = mv.capacity();
+        a.matvec_into(&v, &mut mv).unwrap();
+        assert_eq!(cap, mv.capacity());
+        // Shape errors still surface through the _into path.
+        assert!(a.matvec_into(&[1.0], &mut mv).is_err());
+    }
+
+    #[test]
+    fn reset_zeroed_reuses_capacity() {
+        let mut m = Mat::filled(8, 8, 5.0);
+        let ptr = m.as_slice().as_ptr();
+        m.reset_zeroed(4, 6);
+        assert_eq!(m.shape(), (4, 6));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(ptr, m.as_slice().as_ptr(), "smaller reshape must not reallocate");
     }
 
     #[test]

@@ -65,21 +65,24 @@ pub fn truncated_svd(a: &Mat, k: usize, n_iter: usize, seed: u64) -> Result<Svd>
     let mut s = Vec::with_capacity(k);
     let mut u = Mat::zeros(a.rows(), k);
     let mut v = Mat::zeros(a.cols(), k);
-    // Reused across the assembly loop; `Mat::col` would allocate a
-    // fresh vector per singular triplet.
+    // All three buffers are reused across the assembly loop:
+    // `Mat::col` / `Mat::matvec` would allocate fresh vectors per
+    // singular triplet.
     let mut w = vec![0.0; eigvecs.rows()];
+    let mut qu = Vec::new();
+    let mut av = Vec::new();
     for (out_col, &ei) in order.iter().enumerate() {
         let sigma = eigvals[ei].max(0.0).sqrt();
         s.push(sigma);
         // Left singular vector of A: Q * w where w is the eigenvector.
         eigvecs.copy_col_into(ei, &mut w);
-        let qu = y.matvec_cols(&w);
+        y.matvec_cols_into(&w, &mut qu);
         for (i, &val) in qu.iter().enumerate() {
             u.set(i, out_col, val);
         }
         // Right singular vector: v = A^T u / sigma.
         if sigma > 1e-12 {
-            let av = at.matvec(&qu)?;
+            at.matvec_into(&qu, &mut av)?;
             for (i, &val) in av.iter().enumerate() {
                 v.set(i, out_col, val / sigma);
             }
@@ -90,14 +93,15 @@ pub fn truncated_svd(a: &Mat, k: usize, n_iter: usize, seed: u64) -> Result<Svd>
 
 impl Mat {
     /// `self * w` where `w` indexes columns of `self` — i.e. a linear
-    /// combination of this matrix's columns. Helper for SVD assembly.
-    fn matvec_cols(&self, w: &[f64]) -> Vec<f64> {
+    /// combination of this matrix's columns, written into the reusable
+    /// `out` buffer. Helper for SVD assembly.
+    fn matvec_cols_into(&self, w: &[f64], out: &mut Vec<f64>) {
         debug_assert_eq!(w.len(), self.cols());
-        let mut out = vec![0.0; self.rows()];
-        for (i, row) in self.row_iter().enumerate() {
-            out[i] = row.iter().zip(w).map(|(a, b)| a * b).sum();
+        out.clear();
+        out.resize(self.rows(), 0.0);
+        for (o, row) in out.iter_mut().zip(self.row_iter()) {
+            *o = row.iter().zip(w).map(|(a, b)| a * b).sum();
         }
-        out
     }
 }
 

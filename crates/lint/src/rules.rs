@@ -16,6 +16,7 @@
 //! | `panic-path`      | nd-serve, nd-core checkpoints | `unwrap`/`expect`/`panic!`/`x[0]` |
 //! | `unsafe-comment`  | whole workspace               | `unsafe` without `// SAFETY:` |
 //! | `lock-across-io`  | nd-serve                      | guard live across blocking I/O |
+//! | `hot-loop-alloc`  | NMF / Word2Vec / layer files  | `Vec::new` / `vec![` / `with_capacity` outside `*Scratch` impls |
 //!
 //! Code under `#[cfg(test)]` / `#[test]` is skipped: tests are allowed
 //! to unwrap, spawn, and time things.
@@ -30,6 +31,16 @@ const KERNEL_CRATES: &[&str] = &["linalg", "topics", "events", "embed", "neural"
 /// deterministic fan-out, nd-serve owns the server's thread pool.
 const SPAWN_CRATES: &[&str] = &["par", "serve"];
 
+/// Files whose inner loops are the training hot path (DESIGN.md §8):
+/// per-iteration temporaries must live in a reused `*Scratch`
+/// workspace, so heap allocation is denied file-wide except inside
+/// `impl` blocks of types whose name contains `Scratch`.
+const HOT_LOOP_FILES: &[&str] = &[
+    "crates/topics/src/nmf.rs",
+    "crates/embed/src/word2vec.rs",
+    "crates/neural/src/layer.rs",
+];
+
 /// Every rule name, for `--help` and baseline validation.
 pub const RULE_NAMES: &[&str] = &[
     "nondet-time",
@@ -38,6 +49,7 @@ pub const RULE_NAMES: &[&str] = &[
     "panic-path",
     "unsafe-comment",
     "lock-across-io",
+    "hot-loop-alloc",
 ];
 
 /// One rule violation.
@@ -71,6 +83,8 @@ pub struct FileScope {
     pub panic_path: bool,
     /// `lock-across-io` applies.
     pub lock_check: bool,
+    /// `hot-loop-alloc` applies (training hot-path files).
+    pub hot_loop: bool,
 }
 
 /// Scope for a workspace-relative path like `crates/serve/src/server.rs`.
@@ -87,6 +101,7 @@ pub fn scope_for(rel: &str) -> FileScope {
         panic_path: in_src
             && (crate_name == "serve" || rel == "crates/core/src/checkpoint.rs"),
         lock_check: in_src && crate_name == "serve",
+        hot_loop: HOT_LOOP_FILES.contains(&rel.as_str()),
     }
 }
 
@@ -127,6 +142,9 @@ pub fn analyze(rel: &str, src: &str) -> Vec<Finding> {
     rule_unsafe_comment(rel, &sig, &comments, &mut findings);
     if scope.lock_check {
         rule_lock_across_io(rel, &sig, &mut findings);
+    }
+    if scope.hot_loop {
+        rule_hot_loop_alloc(rel, &sig, &mut findings);
     }
 
     findings.retain(|f| !suppressed(&comments, f));
@@ -660,6 +678,82 @@ fn scan_guard_scope(
     }
 }
 
+// ---------------------------------------------------------------- H —
+
+/// Flags heap allocations (`Vec::new()`, `vec![…]`, `*::with_capacity(…)`)
+/// in the training hot-path files. Scratch workspaces are the escape
+/// valve: anything inside an `impl` block whose header names a type
+/// containing `Scratch` is exempt — that is where buffers are *meant*
+/// to be created. `resize_with(n, Vec::new)` (no call parens) and
+/// `.collect()` are not flagged.
+fn rule_hot_loop_alloc(rel: &str, sig: &[STok], out: &mut Vec<Finding>) {
+    // Exempt ranges: bodies of `impl …Scratch… { … }`.
+    let mut exempt: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < sig.len() {
+        if sig[i].text == "impl" {
+            let Some(open) = (i + 1..sig.len()).find(|&k| sig[k].text == "{") else { break };
+            let for_scratch = sig[i + 1..open]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text.contains("Scratch"));
+            if for_scratch {
+                exempt.push((open, match_delim_stok(sig, open, "{", "}")));
+            }
+            i = open + 1;
+            continue;
+        }
+        i += 1;
+    }
+    let exempted = |idx: usize| exempt.iter().any(|&(a, b)| idx > a && idx < b);
+    let mut flag = |line: u32, what: &str| {
+        out.push(Finding {
+            rule: "hot-loop-alloc",
+            file: rel.to_string(),
+            line,
+            message: format!(
+                "{what} in a training hot-path file: per-iteration temporaries \
+                 must live in a reused `*Scratch` workspace (or move the \
+                 allocation into the scratch type's impl)"
+            ),
+        });
+    };
+    for i in 0..sig.len() {
+        if exempted(i) {
+            continue;
+        }
+        if sig[i].text == "Vec"
+            && is(sig, i + 1, ":")
+            && is(sig, i + 2, ":")
+            && is(sig, i + 3, "new")
+            && is(sig, i + 4, "(")
+        {
+            flag(sig[i].line, "`Vec::new()`");
+        }
+        if sig[i].kind == TokKind::Ident && sig[i].text == "vec" && is(sig, i + 1, "!") {
+            flag(sig[i].line, "`vec![…]`");
+        }
+        if sig[i].kind == TokKind::Ident && sig[i].text == "with_capacity" && is(sig, i + 1, "(") {
+            flag(sig[i].line, "`with_capacity(…)`");
+        }
+    }
+}
+
+/// [`match_delim`] over already-filtered significant tokens.
+fn match_delim_stok(sig: &[STok], open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in sig.iter().enumerate().skip(open_idx) {
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    sig.len().saturating_sub(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -854,6 +948,63 @@ mod tests {
             }
         "#;
         assert_eq!(rules_of(&analyze(SERVE, src)), ["lock-across-io"]);
+    }
+
+    const HOT: &str = "crates/topics/src/nmf.rs";
+
+    #[test]
+    fn hot_loop_alloc_scope_is_exact_files() {
+        assert!(scope_for("crates/topics/src/nmf.rs").hot_loop);
+        assert!(scope_for("crates/embed/src/word2vec.rs").hot_loop);
+        assert!(scope_for("crates/neural/src/layer.rs").hot_loop);
+        assert!(!scope_for("crates/topics/src/plsi.rs").hot_loop);
+        assert!(!scope_for(KERNEL).hot_loop);
+    }
+
+    #[test]
+    fn hot_loop_alloc_flags_allocations() {
+        let src = r#"
+            fn step() {
+                let a = Vec::new();
+                let b = vec![0.0; 8];
+                let c = Vec::with_capacity(8);
+            }
+        "#;
+        assert_eq!(rules_of(&analyze(HOT, src)), ["hot-loop-alloc"; 3].to_vec());
+        // Out of scope: same code elsewhere is clean.
+        assert!(analyze(KERNEL, src).is_empty());
+    }
+
+    #[test]
+    fn hot_loop_alloc_exempts_scratch_impls() {
+        let src = r#"
+            struct FitScratch { buf: Vec<f64> }
+            impl FitScratch {
+                fn new(n: usize) -> Self {
+                    FitScratch { buf: vec![0.0; n] }
+                }
+                fn grow(&mut self) { self.buf = Vec::with_capacity(9); }
+            }
+            fn step(s: &mut FitScratch) { s.buf.clear(); }
+        "#;
+        assert!(analyze(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn hot_loop_alloc_ignores_fn_pointers_and_collect() {
+        let src = r#"
+            fn step(parts: &mut Vec<Vec<f64>>, n: usize) -> Vec<f64> {
+                parts.resize_with(n, Vec::new);
+                (0..n).map(|i| i as f64).collect()
+            }
+        "#;
+        assert!(analyze(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn hot_loop_alloc_suppressible() {
+        let src = "fn f() { let a = Vec::new(); // nd-lint: allow(hot-loop-alloc)\n}";
+        assert!(analyze(HOT, src).is_empty());
     }
 
     #[test]

@@ -79,6 +79,19 @@ fn lock_across_io_fixture_pair() {
 }
 
 #[test]
+fn hot_loop_alloc_fixture_pair() {
+    let bad = include_str!("fixtures/hot_loop_alloc_bad.rs");
+    let good = include_str!("fixtures/hot_loop_alloc_good.rs");
+    // In scope only under the exact hot-path file paths.
+    const HOT: &str = "crates/embed/src/word2vec.rs";
+    assert_eq!(rules(HOT, bad), ["hot-loop-alloc"]);
+    assert_eq!(rules(HOT, good), [] as [&str; 0]);
+    // Out of scope: the same allocations are fine anywhere else.
+    assert_eq!(rules(KERNEL, bad), [] as [&str; 0]);
+    assert_eq!(rules(SERVE, bad), [] as [&str; 0]);
+}
+
+#[test]
 fn findings_carry_file_and_line() {
     let bad = include_str!("fixtures/nondet_time_bad.rs");
     let f = &analyze(KERNEL, bad)[0];

@@ -1,0 +1,14 @@
+//! Violation fixture: heap allocation in a training hot-path file,
+//! outside any `*Scratch` impl.
+
+pub fn multiplicative_update(h: &mut [f64], numer: &[f64], denom: &[f64]) -> Vec<f64> {
+    let mut ratio = Vec::with_capacity(h.len());
+    for (n, d) in numer.iter().zip(denom) {
+        ratio.push(n / d.max(1e-10));
+    }
+    let scaled = vec![0.0; h.len()];
+    for (hi, r) in h.iter_mut().zip(&ratio) {
+        *hi *= r;
+    }
+    scaled
+}

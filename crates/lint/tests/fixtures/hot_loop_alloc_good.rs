@@ -1,0 +1,20 @@
+//! Clean fixture: per-iteration temporaries live in a reused scratch
+//! workspace; the only allocations sit inside the `*Scratch` impl.
+
+pub struct UpdateScratch {
+    ratio: Vec<f64>,
+}
+
+impl UpdateScratch {
+    pub fn new(n: usize) -> Self {
+        UpdateScratch { ratio: Vec::with_capacity(n) }
+    }
+}
+
+pub fn multiplicative_update(h: &mut [f64], numer: &[f64], denom: &[f64], s: &mut UpdateScratch) {
+    s.ratio.clear();
+    s.ratio.extend(numer.iter().zip(denom).map(|(n, d)| n / d.max(1e-10)));
+    for (hi, r) in h.iter_mut().zip(&s.ratio) {
+        *hi *= r;
+    }
+}

@@ -140,6 +140,9 @@ pub struct Dense {
     params: Vec<f64>,
     grads: Vec<f64>,
     cached_input: Mat,
+    /// Per-chunk partial-gradient buffers, reused across backward
+    /// passes so the training loop allocates nothing per step.
+    grad_partials: Vec<Vec<f64>>,
 }
 
 impl Dense {
@@ -148,15 +151,23 @@ impl Dense {
     pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
         let mut rng = SplitMix64::new(seed);
         let bound = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        // nd-lint: allow(hot-loop-alloc) — constructor, runs once.
         let mut params = Vec::with_capacity(in_dim * out_dim + out_dim);
         for _ in 0..in_dim * out_dim {
             params.push(rng.next_range(-bound, bound));
         }
         params.extend(std::iter::repeat_n(0.0, out_dim));
+        // nd-lint: allow(hot-loop-alloc) — constructor, runs once.
         let grads = vec![0.0; params.len()];
-        Dense { in_dim, out_dim, params, grads, cached_input: Mat::zeros(0, 0) }
+        Dense {
+            in_dim,
+            out_dim,
+            params,
+            grads,
+            cached_input: Mat::zeros(0, 0),
+            grad_partials: Vec::new(), // nd-lint: allow(hot-loop-alloc)
+        }
     }
-
 }
 
 /// Fixed batch chunk for parameter-gradient reductions: the partial
@@ -212,16 +223,27 @@ impl Layer for Dense {
         let (in_dim, out_dim) = (self.in_dim, self.out_dim);
 
         // Parameter gradients (averaged over the batch by the loss, so
-        // plain accumulation here): per-chunk partials combine in
-        // ascending chunk order, then fold into the running grads.
+        // plain accumulation here): each fixed-size chunk fills its own
+        // persistent partial buffer, then the partials fold into the
+        // running grads in ascending chunk order — thread-count
+        // invariant and allocation-free once the buffers are warm.
+        let plen = in_dim * out_dim + out_dim;
+        let nchunks = batch.div_ceil(GRAD_CHUNK);
         let input = &self.cached_input;
-        let partial = nd_par::par_map_reduce(
-            batch,
-            GRAD_CHUNK,
-            in_dim * out_dim,
-            |range| {
-                let mut part = vec![0.0; in_dim * out_dim + out_dim];
-                for r in range {
+        let partials = &mut self.grad_partials;
+        partials.resize_with(nchunks, Vec::new);
+        nd_par::par_for_rows(
+            &mut partials[..nchunks],
+            1,
+            1,
+            GRAD_CHUNK * in_dim * out_dim,
+            |ci, slot| {
+                let part = &mut slot[0];
+                part.clear();
+                part.resize(plen, 0.0);
+                let lo = ci * GRAD_CHUNK;
+                let hi = (lo + GRAD_CHUNK).min(batch);
+                for r in lo..hi {
                     let x = input.row(r);
                     let g = grad_output.row(r);
                     for (i, &xi) in x.iter().enumerate() {
@@ -238,17 +260,10 @@ impl Layer for Dense {
                         *gbj += gj;
                     }
                 }
-                part
-            },
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x += y;
-                }
-                a
             },
         );
-        if let Some(part) = partial {
-            for (gsum, &p) in self.grads.iter_mut().zip(&part) {
+        for part in partials.iter() {
+            for (gsum, &p) in self.grads.iter_mut().zip(part.iter()) {
                 *gsum += p;
             }
         }
@@ -313,6 +328,9 @@ pub struct Conv1d {
     params: Vec<f64>,
     grads: Vec<f64>,
     cached_input: Mat,
+    /// Per-chunk partial-gradient buffers, reused across backward
+    /// passes so the training loop allocates nothing per step.
+    grad_partials: Vec<Vec<f64>>,
 }
 
 impl Conv1d {
@@ -325,13 +343,23 @@ impl Conv1d {
         assert!(kernel > 0 && kernel <= length, "kernel must fit the input");
         let mut rng = SplitMix64::new(seed);
         let bound = (6.0 / (kernel + n_filters) as f64).sqrt();
+        // nd-lint: allow(hot-loop-alloc) — constructor, runs once.
         let mut params = Vec::with_capacity(n_filters * kernel + n_filters);
         for _ in 0..n_filters * kernel {
             params.push(rng.next_range(-bound, bound));
         }
         params.extend(std::iter::repeat_n(0.0, n_filters));
+        // nd-lint: allow(hot-loop-alloc) — constructor, runs once.
         let grads = vec![0.0; params.len()];
-        Conv1d { length, kernel, n_filters, params, grads, cached_input: Mat::zeros(0, 0) }
+        Conv1d {
+            length,
+            kernel,
+            n_filters,
+            params,
+            grads,
+            cached_input: Mat::zeros(0, 0),
+            grad_partials: Vec::new(), // nd-lint: allow(hot-loop-alloc)
+        }
     }
 
     /// Output positions per filter.
@@ -386,16 +414,27 @@ impl Layer for Conv1d {
         let out_len = self.out_len();
         let (kernel, n_filters) = (self.kernel, self.n_filters);
 
-        // Filter/bias gradients: fixed-chunk batch reduction, partials
-        // combined in ascending chunk order.
+        // Filter/bias gradients: each fixed-size chunk fills its own
+        // persistent partial buffer, folded into the running grads in
+        // ascending chunk order — thread-count invariant and
+        // allocation-free once the buffers are warm.
+        let plen = n_filters * kernel + n_filters;
+        let nchunks = batch.div_ceil(GRAD_CHUNK);
         let x_cache = &self.cached_input;
-        let partial = nd_par::par_map_reduce(
-            batch,
-            GRAD_CHUNK,
-            n_filters * out_len * kernel,
-            |range| {
-                let mut part = vec![0.0; n_filters * kernel + n_filters];
-                for r in range {
+        let partials = &mut self.grad_partials;
+        partials.resize_with(nchunks, Vec::new);
+        nd_par::par_for_rows(
+            &mut partials[..nchunks],
+            1,
+            1,
+            GRAD_CHUNK * n_filters * out_len * kernel,
+            |ci, slot| {
+                let part = &mut slot[0];
+                part.clear();
+                part.resize(plen, 0.0);
+                let lo = ci * GRAD_CHUNK;
+                let hi = (lo + GRAD_CHUNK).min(batch);
+                for r in lo..hi {
                     let x = x_cache.row(r);
                     let g = grad_output.row(r);
                     for f in 0..n_filters {
@@ -413,17 +452,10 @@ impl Layer for Conv1d {
                         part[n_filters * kernel + f] += gb;
                     }
                 }
-                part
-            },
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x += y;
-                }
-                a
             },
         );
-        if let Some(part) = partial {
-            for (gsum, &p) in self.grads.iter_mut().zip(&part) {
+        for part in partials.iter() {
+            for (gsum, &p) in self.grads.iter_mut().zip(part.iter()) {
                 *gsum += p;
             }
         }
@@ -505,6 +537,7 @@ impl MaxPool1d {
     /// Panics when `pool == 0`.
     pub fn new(n_filters: usize, in_len: usize, pool: usize) -> Self {
         assert!(pool > 0, "pool width must be positive");
+        // nd-lint: allow(hot-loop-alloc) — constructor, runs once.
         MaxPool1d { n_filters, in_len, pool, cached_argmax: Vec::new(), cached_batch: 0 }
     }
 
@@ -553,7 +586,10 @@ impl Layer for MaxPool1d {
             return self.pool(input, None);
         }
         let batch = input.rows();
-        let mut argmax = vec![0; batch * self.n_filters * self.out_len()];
+        // Reuse the cached argmax buffer across training steps.
+        let mut argmax = std::mem::take(&mut self.cached_argmax);
+        argmax.clear();
+        argmax.resize(batch * self.n_filters * self.out_len(), 0);
         let out = self.pool(input, Some(&mut argmax));
         self.cached_argmax = argmax;
         self.cached_batch = batch;
@@ -610,17 +646,20 @@ impl Dropout {
     /// Panics unless `0.0 <= rate < 1.0`.
     pub fn new(rate: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        // nd-lint: allow(hot-loop-alloc) — constructor, runs once.
         Dropout { rate, rng: SplitMix64::new(seed), mask: Vec::new(), cols: 0 }
     }
 
-    /// Training-mode forward: draws a fresh mask and applies it.
+    /// Training-mode forward: draws a fresh mask into the reused mask
+    /// buffer and applies it.
     fn forward_train(&mut self, input: &Mat) -> Mat {
         let keep = 1.0 - self.rate;
         let scale = 1.0 / keep;
         self.cols = input.cols();
-        self.mask = (0..input.len())
-            .map(|_| if self.rng.next_bool(keep) { scale } else { 0.0 })
-            .collect();
+        let rng = &mut self.rng;
+        self.mask.clear();
+        self.mask
+            .extend((0..input.len()).map(|_| if rng.next_bool(keep) { scale } else { 0.0 }));
         let mut out = input.clone();
         for (v, &m) in out.as_mut_slice().iter_mut().zip(&self.mask) {
             *v *= m;

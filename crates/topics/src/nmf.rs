@@ -14,6 +14,11 @@
 //! guaranteed not to increase the objective; we iterate until the
 //! relative objective improvement drops below `tol` or `max_iter` is
 //! reached.
+//!
+//! Every temporary the iteration needs lives in an [`NmfScratch`]
+//! workspace allocated once per `fit`: the loop body runs through the
+//! `*_into` product APIs and performs no heap allocation after the
+//! first iteration (enforced by `nd-lint`'s `hot-loop-alloc` rule).
 
 use crate::model::TopicModel;
 use nd_linalg::Mat;
@@ -47,6 +52,51 @@ pub struct Nmf {
 /// Small constant guarding the multiplicative-update denominators.
 const EPS: f64 = 1e-10;
 
+/// Preallocated per-`fit` workspace: every matrix temporary the
+/// multiplicative-update loop needs, allocated on the first iteration
+/// and reshaped in place (`Mat::reset_zeroed`) on every subsequent
+/// one. Shapes are fixed across the loop (`W: n×k`, `H: k×m`), so
+/// after iteration one nothing here ever reallocates.
+struct NmfScratch {
+    /// `AᵀW` (m×k); transposed into `wta`.
+    atw: Mat,
+    /// `WᵀA` (k×m) — numerator of the H update.
+    wta: Mat,
+    /// `WᵀW` (k×k).
+    wtw: Mat,
+    /// `WᵀWH` (k×m) — denominator of the H update.
+    wtwh: Mat,
+    /// `Hᵀ` (m×k); computed once per iteration and shared by the W
+    /// update and the objective.
+    ht: Mat,
+    /// `AHᵀ` (n×k) — numerator of the W update.
+    aht: Mat,
+    /// `HHᵀ` (k×k) via `gram(Hᵀ)` — shares `ht` instead of packing a
+    /// fresh transpose.
+    hht: Mat,
+    /// `WHHᵀ` (n×k) — denominator of the W update.
+    whht: Mat,
+    /// Transpose-packing buffer for `matmul_unchecked_into`.
+    bt: Mat,
+}
+
+impl NmfScratch {
+    fn new() -> Self {
+        let empty = || Mat::zeros(0, 0);
+        NmfScratch {
+            atw: empty(),
+            wta: empty(),
+            wtw: empty(),
+            wtwh: empty(),
+            ht: empty(),
+            aht: empty(),
+            hht: empty(),
+            whht: empty(),
+            bt: empty(),
+        }
+    }
+}
+
 impl Nmf {
     /// Creates a solver with the given configuration.
     pub fn new(config: NmfConfig) -> Self {
@@ -79,7 +129,8 @@ impl Nmf {
         let a_fro2 = a.frobenius_norm_sq();
         let mut prev_obj = f64::INFINITY;
         let mut iterations = 0;
-        let mut objective = objective_value(a, &w, &h, a_fro2);
+        let mut s = NmfScratch::new();
+        let mut objective = objective_value(a, &w, &h, a_fro2, &mut s);
 
         // Factor shapes are invariant across the whole loop (W is
         // n×k, H is k×m), so validate them once here and use the
@@ -92,18 +143,20 @@ impl Nmf {
             iterations = it + 1;
 
             // H <- H .* (W^T A) ./ (W^T W H)
-            let wta = a.transpose_matmul_dense(&w).transpose(); // k x m
-            let wtw = w.gram(); // k x k
-            let wtwh = wtw.matmul_unchecked(&h);
-            update_factor(&mut h, &wta, &wtwh);
+            a.transpose_matmul_dense_into(&w, &mut s.atw); // m x k
+            s.atw.transpose_into(&mut s.wta); // k x m
+            w.gram_into(&mut s.wtw); // k x k
+            s.wtw.matmul_unchecked_into(&h, &mut s.bt, &mut s.wtwh);
+            update_factor(&mut h, &s.wta, &s.wtwh);
 
             // W <- W .* (A H^T) ./ (W H H^T)
-            let aht = a.matmul_dense(&h.transpose()); // n x k
-            let hht = h.matmul_unchecked(&h.transpose()); // k x k
-            let whht = w.matmul_unchecked(&hht);
-            update_factor(&mut w, &aht, &whht);
+            h.transpose_into(&mut s.ht); // m x k, shared by both products
+            a.matmul_dense_into(&s.ht, &mut s.aht); // n x k
+            s.ht.gram_into(&mut s.hht); // H Hᵀ = (Hᵀ)ᵀ(Hᵀ), k x k
+            w.matmul_unchecked_into(&s.hht, &mut s.bt, &mut s.whht);
+            update_factor(&mut w, &s.aht, &s.whht);
 
-            objective = objective_value(a, &w, &h, a_fro2);
+            objective = objective_value(a, &w, &h, a_fro2, &mut s);
             if prev_obj.is_finite() {
                 let rel = (prev_obj - objective).abs() / prev_obj.max(EPS);
                 if rel < self.config.tol {
@@ -147,8 +200,9 @@ fn update_factor(x: &mut Mat, num: &Mat, den: &Mat) {
 
 /// `||A - WH||_F^2` computed without densifying `A`:
 /// `||A||² - 2·<A, WH> + ||WH||²`, with `<A, WH>` accumulated over the
-/// sparse entries and `||WH||² = tr((WᵀW)(HHᵀ))`.
-fn objective_value(a: &CsrMatrix, w: &Mat, h: &Mat, a_fro2: f64) -> f64 {
+/// sparse entries and `||WH||² = tr((WᵀW)(HHᵀ))`. The small `k×k`
+/// products land in the shared scratch workspace.
+fn objective_value(a: &CsrMatrix, w: &Mat, h: &Mat, a_fro2: f64, s: &mut NmfScratch) -> f64 {
     // <A, WH>: document chunks run in parallel, partial sums combine
     // in chunk order so the value is reproducible at any thread count.
     let k = w.cols();
@@ -176,12 +230,13 @@ fn objective_value(a: &CsrMatrix, w: &Mat, h: &Mat, a_fro2: f64) -> f64 {
     )
     .unwrap_or(0.0);
     // ||WH||^2 = tr((W^T W)(H H^T))
-    let wtw = w.gram();
-    let hht = h.matmul_unchecked(&h.transpose());
+    w.gram_into(&mut s.wtw);
+    h.transpose_into(&mut s.ht);
+    s.ht.gram_into(&mut s.hht);
     let mut wh_fro2 = 0.0;
-    for i in 0..wtw.rows() {
-        for j in 0..wtw.cols() {
-            wh_fro2 += wtw.get(i, j) * hht.get(j, i);
+    for i in 0..s.wtw.rows() {
+        for j in 0..s.wtw.cols() {
+            wh_fro2 += s.wtw.get(i, j) * s.hht.get(j, i);
         }
     }
     (a_fro2 - 2.0 * cross + wh_fro2).max(0.0)

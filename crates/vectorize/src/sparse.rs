@@ -187,11 +187,21 @@ impl CsrMatrix {
     /// # Panics
     /// Debug-asserts `rhs.rows() == self.cols()`.
     pub fn matmul_dense(&self, rhs: &Mat) -> Mat {
+        let mut out = Mat::zeros(0, 0);
+        self.matmul_dense_into(rhs, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::matmul_dense`] into a caller-provided scratch
+    /// matrix (reshaped and overwritten). Iteration loops — NMF runs
+    /// this product every update — reuse `out` across calls;
+    /// bit-identical to the allocating version.
+    pub fn matmul_dense_into(&self, rhs: &Mat, out: &mut Mat) {
         debug_assert_eq!(rhs.rows(), self.cols);
         let k = rhs.cols();
-        let mut out = Mat::zeros(self.rows, k);
+        out.reset_zeroed(self.rows, k);
         if self.rows == 0 || k == 0 {
-            return out;
+            return;
         }
         let work_per_row = (self.nnz() / self.rows).saturating_mul(k).max(1);
         let rows_per_chunk = nd_par::auto_chunk_len(self.rows, 16);
@@ -205,7 +215,6 @@ impl CsrMatrix {
                 }
             }
         });
-        out
     }
 
     /// Transposed sparse × dense product `self^T * rhs` (rhs is `rows × k`).
@@ -218,11 +227,20 @@ impl CsrMatrix {
     /// row still arrive in ascending document order, exactly as in
     /// the serial loop, so results are bit-for-bit reproducible.
     pub fn transpose_matmul_dense(&self, rhs: &Mat) -> Mat {
+        let mut out = Mat::zeros(0, 0);
+        self.transpose_matmul_dense_into(rhs, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::transpose_matmul_dense`] into a caller-provided
+    /// scratch matrix (reshaped and overwritten); bit-identical to the
+    /// allocating version.
+    pub fn transpose_matmul_dense_into(&self, rhs: &Mat, out: &mut Mat) {
         debug_assert_eq!(rhs.rows(), self.rows);
         let k = rhs.cols();
-        let mut out = Mat::zeros(self.cols, k);
+        out.reset_zeroed(self.cols, k);
         if self.cols == 0 || k == 0 {
-            return out;
+            return;
         }
         // At most one shard per worker: each extra shard costs a full
         // pass over the row structure.
@@ -248,7 +266,6 @@ impl CsrMatrix {
                 }
             }
         });
-        out
     }
 
     /// Squared Frobenius norm of the sparse matrix.

@@ -75,6 +75,39 @@ fn dense_matmul_is_thread_count_invariant() {
     assert_bitwise_stable("matmul", || a.matmul(&b).unwrap().as_slice().to_vec());
 }
 
+/// Resizing `NEWSDIFF_THREADS` *between dispatches inside one process*
+/// must neither change results nor wedge the worker pool: the pool
+/// re-reads the setting per dispatch, growing lazily and masking
+/// surplus workers when it shrinks.
+#[test]
+fn thread_resize_between_dispatches_is_invariant() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let a = random_mat(96, 80, 21);
+    let b = random_mat(80, 64, 22);
+    let kernel = || {
+        let mut out = a.matmul(&b).unwrap().as_slice().to_vec();
+        out.extend_from_slice(a.gram().as_slice());
+        out
+    };
+    std::env::set_var("NEWSDIFF_THREADS", "1");
+    let reference = kernel();
+    // Grow, shrink, regrow — every dispatch sees a different pool
+    // shape, none may see different bits.
+    for threads in ["2", "8", "1", "4", "2", "8"] {
+        std::env::set_var("NEWSDIFF_THREADS", threads);
+        let run = kernel();
+        assert_eq!(reference.len(), run.len());
+        for (i, (x, y)) in reference.iter().zip(&run).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "resize: element {i} differs after resizing to {threads} threads ({x} vs {y})"
+            );
+        }
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+}
+
 #[test]
 fn matvec_transpose_gram_are_thread_count_invariant() {
     let a = random_mat(120, 70, 3);
