@@ -37,4 +37,12 @@ else
     echo "BENCH_kernels.json not found; skipping (generate with ND_BENCH_JSON=BENCH_kernels.json cargo bench -p nd-bench --bench kernels)"
 fi
 
+echo "==> pipeline cache bench table (advisory: warm replay must dwarf cold runs)"
+if [[ -f BENCH_pipeline.json ]]; then
+    cargo run -q --release -p nd-bench --bin bench-compare -- BENCH_pipeline.json ||
+        echo "WARNING: bench-compare failed on BENCH_pipeline.json (advisory only; re-run 'ND_BENCH_JSON=BENCH_pipeline.json cargo bench -p nd-bench --bench pipeline' on a quiet machine)"
+else
+    echo "BENCH_pipeline.json not found; skipping (generate with ND_BENCH_JSON=BENCH_pipeline.json cargo bench -p nd-bench --bench pipeline)"
+fi
+
 echo "==> ci.sh: all green"

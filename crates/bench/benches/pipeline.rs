@@ -1,0 +1,94 @@
+//! Benchmarks of the staged pipeline DAG and its artifact cache:
+//! cold end-to-end runs, warm replays (every stage loaded from disk),
+//! and per-stage artifact decode medians.
+//!
+//! Generate the JSON dump for the CI table with:
+//!
+//! ```text
+//! ND_BENCH_JSON=BENCH_pipeline.json cargo bench -p nd-bench --bench pipeline
+//! ```
+//!
+//! All entries are table-only in `bench-compare` (no `threads/<t>`
+//! names), so this file never gates — the cold/warm ratio is the
+//! number to eyeball: warm must sit orders of magnitude under cold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nd_core::pipeline::{Pipeline, PipelineConfig};
+use nd_core::stage::stages;
+use nd_store::{ArtifactStore, ByteReader};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+fn cache_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ndbench-pipeline-{}-{tag}", std::process::id()))
+}
+
+fn config(dir: &Path) -> PipelineConfig {
+    PipelineConfig::small().with_cache_dir(dir.to_path_buf())
+}
+
+/// Cold: empty cache, every stage body executes and persists.
+fn bench_cold(c: &mut Criterion) {
+    let dir = cache_dir("cold");
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(3);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            std::fs::remove_dir_all(&dir).ok();
+            black_box(Pipeline::new(config(&dir)).run().expect("cold run"))
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Warm: pre-populated cache, zero stage bodies run — the whole
+/// pipeline is eight artifact loads plus output assembly.
+fn bench_warm(c: &mut Criterion) {
+    let dir = cache_dir("warm");
+    std::fs::remove_dir_all(&dir).ok();
+    Pipeline::new(config(&dir)).run().expect("populate cache");
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let (out, report) =
+                Pipeline::new(config(&dir)).run_with_report().expect("warm run");
+            assert_eq!(report.executed(), 0, "warm bench must replay from cache");
+            black_box(out)
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Per-stage replay cost: load + decode of each cached artifact, the
+/// unit of work a warm run repeats eight times.
+fn bench_stage_replay(c: &mut Criterion) {
+    let dir = cache_dir("replay");
+    std::fs::remove_dir_all(&dir).ok();
+    let (_, report) =
+        Pipeline::new(config(&dir)).run_with_report().expect("populate cache");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let mut group = c.benchmark_group("pipeline_replay");
+    group.sample_size(10);
+    for stage in stages() {
+        let fp = report.stage(stage.name()).expect("stage report").fingerprint;
+        group.bench_function(stage.name(), |b| {
+            b.iter(|| {
+                let payload = store.load(stage.name(), fp).expect("cached artifact");
+                let mut r = ByteReader::new(&payload);
+                black_box(stage.decode(&mut r).expect("decode"))
+            })
+        });
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(
+    name = pipeline;
+    config = Criterion::default();
+    targets = bench_cold, bench_warm, bench_stage_replay
+);
+criterion_main!(pipeline);

@@ -14,6 +14,43 @@ use crate::trending::{embed_terms, TrendingTopic};
 use nd_embed::WordVectors;
 use nd_events::Event;
 use nd_linalg::vecops::cosine;
+use nd_store::{ArtifactError, ByteReader, ByteWriter};
+
+/// Encodes the correlation artifact.
+pub fn encode_correlation(c: &CorrelationResult, out: &mut ByteWriter) {
+    out.put_usize(c.pairs.len());
+    for p in &c.pairs {
+        out.put_usize(p.trending_idx);
+        out.put_usize(p.twitter_idx);
+        out.put_f64(p.similarity);
+    }
+    out.put_usize(c.unmatched_twitter.len());
+    for &i in &c.unmatched_twitter {
+        out.put_usize(i);
+    }
+}
+
+/// Decodes the correlation artifact.
+///
+/// # Errors
+/// Truncated or malformed payloads yield an [`ArtifactError`].
+pub fn decode_correlation(r: &mut ByteReader<'_>) -> Result<CorrelationResult, ArtifactError> {
+    let n = r.len_prefix()?;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        pairs.push(CorrelatedPair {
+            trending_idx: r.usize()?,
+            twitter_idx: r.usize()?,
+            similarity: r.f64()?,
+        });
+    }
+    let m = r.len_prefix()?;
+    let mut unmatched_twitter = Vec::with_capacity(m);
+    for _ in 0..m {
+        unmatched_twitter.push(r.usize()?);
+    }
+    Ok(CorrelationResult { pairs, unmatched_twitter })
+}
 
 /// Five days, the paper's start-date window.
 pub const START_WINDOW: u64 = 5 * 86_400;
@@ -28,6 +65,16 @@ pub struct CorrelatedPair {
     /// Cosine similarity between the news-event and Twitter-event
     /// embeddings.
     pub similarity: f64,
+}
+
+/// The correlation stage's artifact: both directions together (the
+/// paper computes forward and reverse and asserts they agree, §5.8).
+#[derive(Debug, Clone)]
+pub struct CorrelationOutput {
+    /// Trending news topics → Twitter events.
+    pub forward: CorrelationResult,
+    /// Twitter events → trending news topics.
+    pub reverse: CorrelationResult,
 }
 
 /// Result of the correlation stage.

@@ -17,6 +17,10 @@ pub enum CoreError {
     /// A pipeline stage produced no output (e.g. no events detected,
     /// no correlated pairs) where later stages require some.
     NoOutput(&'static str),
+    /// The artifact cache or stage graph misbehaved (unknown stage
+    /// name, unwritable cache directory, ...). Unreadable cached
+    /// artifacts do *not* surface here — they read as cache misses.
+    Artifact(String),
 }
 
 impl fmt::Display for CoreError {
@@ -26,6 +30,7 @@ impl fmt::Display for CoreError {
             CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             CoreError::EmptyInput(stage) => write!(f, "{stage}: empty input"),
             CoreError::NoOutput(stage) => write!(f, "{stage}: produced no output"),
+            CoreError::Artifact(msg) => write!(f, "artifact cache error: {msg}"),
         }
     }
 }

@@ -7,6 +7,78 @@
 //! associated tweets are dropped (§4.7).
 
 use nd_events::{AnomalySource, Event, Mabed, MabedConfig, SlicedCorpus, TimestampedDoc};
+use nd_store::{ArtifactError, ByteReader, ByteWriter};
+
+/// The event-detection stage's artifact: both MABED passes together.
+#[derive(Debug, Clone)]
+pub struct DetectedEvents {
+    /// Events from the NewsED corpus (60-min slices).
+    pub news: Vec<Event>,
+    /// Events from the TwitterED corpus (30-min slices, ≥10 docs).
+    pub twitter: Vec<Event>,
+}
+
+/// Encodes the event-detection artifact.
+pub fn encode_events(e: &DetectedEvents, out: &mut ByteWriter) {
+    encode_event_list(&e.news, out);
+    encode_event_list(&e.twitter, out);
+}
+
+/// Decodes the event-detection artifact.
+///
+/// # Errors
+/// Truncated or malformed payloads yield an [`ArtifactError`].
+pub fn decode_events(r: &mut ByteReader<'_>) -> Result<DetectedEvents, ArtifactError> {
+    Ok(DetectedEvents { news: decode_event_list(r)?, twitter: decode_event_list(r)? })
+}
+
+/// Encodes a list of MABED events (shared with the trending artifact).
+pub(crate) fn encode_event_list(events: &[Event], out: &mut ByteWriter) {
+    out.put_usize(events.len());
+    for e in events {
+        encode_event(e, out);
+    }
+}
+
+/// Decodes a list of MABED events.
+pub(crate) fn decode_event_list(r: &mut ByteReader<'_>) -> Result<Vec<Event>, ArtifactError> {
+    let n = r.len_prefix()?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        events.push(decode_event(r)?);
+    }
+    Ok(events)
+}
+
+pub(crate) fn encode_event(e: &Event, out: &mut ByteWriter) {
+    out.put_str(&e.main_word);
+    out.put_usize(e.related.len());
+    for (w, weight) in &e.related {
+        out.put_str(w);
+        out.put_f64(*weight);
+    }
+    out.put_u64(e.start);
+    out.put_u64(e.end);
+    out.put_f64(e.magnitude);
+    out.put_usize(e.n_docs);
+}
+
+pub(crate) fn decode_event(r: &mut ByteReader<'_>) -> Result<Event, ArtifactError> {
+    let main_word = r.str()?;
+    let n = r.len_prefix()?;
+    let mut related = Vec::with_capacity(n);
+    for _ in 0..n {
+        related.push((r.str()?, r.f64()?));
+    }
+    Ok(Event {
+        main_word,
+        related,
+        start: r.u64()?,
+        end: r.u64()?,
+        magnitude: r.f64()?,
+        n_docs: r.usize()?,
+    })
+}
 
 /// Event-module configuration.
 #[derive(Debug, Clone)]

@@ -19,6 +19,7 @@
 use nd_embed::{doc_embedding, AverageStrategy, WordVectors};
 use nd_events::Event;
 use nd_linalg::Mat;
+use nd_store::{ArtifactError, ByteReader, ByteWriter};
 use nd_synth::{bucket_count, day_of_week, Tweet};
 use std::collections::{HashMap, HashSet};
 
@@ -38,12 +39,12 @@ pub struct EventAssignment {
 
 /// Assigns tweets to events with the paper's membership rule.
 /// `tweet_tokens` must align with `tweets` (the TwitterED token
-/// streams). Events with fewer than [`MIN_EVENT_TWEETS`] matches are
-/// dropped.
-pub fn assign_tweets(
+/// streams — pass the corpus docs directly, no token copies needed).
+/// Events with fewer than [`MIN_EVENT_TWEETS`] matches are dropped.
+pub fn assign_tweets<T: AsRef<[String]>>(
     events: &[Event],
     tweets: &[Tweet],
-    tweet_tokens: &[Vec<String>],
+    tweet_tokens: &[T],
 ) -> Vec<EventAssignment> {
     debug_assert_eq!(tweets.len(), tweet_tokens.len());
     let mut out = Vec::new();
@@ -52,7 +53,7 @@ pub fn assign_tweets(
             .iter()
             .enumerate()
             .filter(|(i, t)| {
-                event.matches_document(t.timestamp, &tweet_tokens[*i], RELATED_FRACTION)
+                event.matches_document(t.timestamp, tweet_tokens[*i].as_ref(), RELATED_FRACTION)
             })
             .map(|(i, _)| i)
             .collect();
@@ -61,6 +62,39 @@ pub fn assign_tweets(
         }
     }
     out
+}
+
+/// Encodes the feature-creation artifact (event→tweet assignments).
+pub fn encode_assignments(assignments: &[EventAssignment], out: &mut ByteWriter) {
+    out.put_usize(assignments.len());
+    for a in assignments {
+        out.put_usize(a.event_idx);
+        out.put_usize(a.tweet_indices.len());
+        for &i in &a.tweet_indices {
+            out.put_usize(i);
+        }
+    }
+}
+
+/// Decodes the feature-creation artifact.
+///
+/// # Errors
+/// Truncated or malformed payloads yield an [`ArtifactError`].
+pub fn decode_assignments(
+    r: &mut ByteReader<'_>,
+) -> Result<Vec<EventAssignment>, ArtifactError> {
+    let n = r.len_prefix()?;
+    let mut assignments = Vec::with_capacity(n);
+    for _ in 0..n {
+        let event_idx = r.usize()?;
+        let m = r.len_prefix()?;
+        let mut tweet_indices = Vec::with_capacity(m);
+        for _ in 0..m {
+            tweet_indices.push(r.usize()?);
+        }
+        assignments.push(EventAssignment { event_idx, tweet_indices });
+    }
+    Ok(assignments)
 }
 
 /// Size of the metadata vector (7-d follower one-hot + day of week).
@@ -198,12 +232,12 @@ impl Dataset {
 /// A tweet belonging to several events contributes one sample per
 /// event ("as some tweets can belong to multiple events, the size of
 /// the Twitter dataset increases" — §5.6).
-pub fn build_dataset(
+pub fn build_dataset<T: AsRef<[String]>>(
     variant: DatasetVariant,
     events: &[Event],
     assignments: &[EventAssignment],
     tweets: &[Tweet],
-    tweet_tokens: &[Vec<String>],
+    tweet_tokens: &[T],
     vectors: &WordVectors,
     seed: u64,
 ) -> Dataset {
@@ -229,6 +263,7 @@ pub fn build_dataset(
             let tweet = &tweets[ti];
             // Restrict the tweet to the event vocabulary (§4.7).
             let tokens: Vec<String> = tweet_tokens[ti]
+                .as_ref()
                 .iter()
                 .filter(|t| vocab.contains(t.as_str()))
                 .cloned()

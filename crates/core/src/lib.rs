@@ -16,10 +16,12 @@
 //! | Feature Creation (SW/RND/SWM + metadata, Table 2) | [`features`] |
 //! | Audience Interest Prediction (MLP / CNN) | [`predict`] |
 //!
-//! [`pipeline`] runs the whole thing on a synthetic world;
-//! [`matching`] implements the minimum-cost-flow matching the paper
-//! lists as future work; [`report`] renders the tables the benches
-//! print.
+//! [`stage`] carves the architecture into an explicit DAG of
+//! fingerprinted stages; [`pipeline`] drives that graph over a
+//! content-addressed artifact cache, so warm re-runs replay stages
+//! from disk bit for bit; [`matching`] implements the minimum-cost-
+//! flow matching the paper lists as future work; [`report`] renders
+//! the tables the benches print.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,8 +38,12 @@ pub mod predict;
 pub mod preprocess;
 pub mod pretrained;
 pub mod report;
+pub mod stage;
 pub mod topic_module;
 pub mod trending;
 
 pub use error::{CoreError, Result};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineOutput};
+pub use pipeline::{
+    CacheConfig, CacheStatus, Pipeline, PipelineConfig, PipelineOutput, RunReport, StageReport,
+};
+pub use stage::{ArtifactSet, ArtifactValue, Stage};

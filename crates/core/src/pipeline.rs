@@ -1,16 +1,51 @@
-//! End-to-end pipeline: the whole of paper Figure 1 on one world.
+//! End-to-end pipeline: the whole of paper Figure 1 on one world,
+//! driven as an explicit stage DAG with a content-addressed artifact
+//! cache.
+//!
+//! The executor walks [`stages`](crate::stage::stages) in topological
+//! order. For each stage it computes the fingerprint (config + code
+//! version + upstream fingerprints), consults the cache when a
+//! [`CacheConfig::dir`] is set, and only executes the stage body on a
+//! miss. A warm re-run therefore executes zero stage bodies and is
+//! bit-identical to the cold run; a re-run with one knob changed
+//! recomputes exactly the downstream cone of that knob.
 
-use crate::correlate::{correlate, correlate_reverse, CorrelationResult};
+use crate::correlate::CorrelationResult;
 use crate::error::{CoreError, Result};
-use crate::event_module::{detect_news_events, detect_twitter_events, EventModuleConfig};
-use crate::features::{assign_tweets, build_dataset, Dataset, DatasetVariant, EventAssignment};
-use crate::preprocess::{build_news_ed, build_news_tm, build_twitter_ed};
-use crate::pretrained::{train_pretrained, PretrainedConfig};
-use crate::topic_module::{extract_topics, NewsTopics, TopicModuleConfig};
-use crate::trending::{extract_trending, TrendingTopic};
+use crate::event_module::{encode_event_list, EventModuleConfig};
+use crate::features::{build_dataset, encode_assignments, Dataset, DatasetVariant, EventAssignment};
+use crate::pretrained::{encode_vectors, PretrainedConfig};
+use crate::stage::{correlated_events, stages, ArtifactSet};
+use crate::topic_module::{encode_topics, NewsTopics, TopicModuleConfig};
+use crate::trending::{encode_trending, TrendingTopic};
 use nd_embed::WordVectors;
 use nd_events::Event;
-use nd_synth::{World, WorldConfig};
+use nd_store::{fnv1a64, ArtifactStore, ByteReader, ByteWriter};
+use nd_synth::{encode_world, World, WorldConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Artifact-cache controls. None of these contribute to stage
+/// fingerprints: they steer *whether* cached artifacts are used, not
+/// *what* the pipeline computes.
+#[derive(Debug, Clone, Default)]
+pub struct CacheConfig {
+    /// Run directory holding `<stage>-<fingerprint>.art` files plus
+    /// the `run_report.json` sidecar. `None` disables caching (every
+    /// stage recomputes in memory, nothing is persisted).
+    pub dir: Option<PathBuf>,
+    /// Recompute every stage even on a cache hit (cold run); results
+    /// still overwrite the cache.
+    pub force: bool,
+    /// Recompute from this stage onward regardless of cache state;
+    /// stages before it may still replay from cache.
+    pub from: Option<String>,
+    /// Stop after this stage; later stages are skipped entirely
+    /// (use [`Pipeline::execute`] — a full [`PipelineOutput`] cannot
+    /// be assembled from a truncated run).
+    pub until: Option<String>,
+}
 
 /// Full pipeline configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +62,8 @@ pub struct PipelineConfig {
     pub trending_threshold: f64,
     /// Trending ↔ Twitter-event threshold (paper: 0.65).
     pub correlation_threshold: f64,
+    /// Artifact-cache controls (excluded from stage fingerprints).
+    pub cache: CacheConfig,
 }
 
 impl Default for PipelineConfig {
@@ -38,6 +75,7 @@ impl Default for PipelineConfig {
             pretrained: PretrainedConfig::default(),
             trending_threshold: 0.7,
             correlation_threshold: 0.65,
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -58,6 +96,134 @@ impl PipelineConfig {
             },
             ..Default::default()
         }
+    }
+
+    /// Enables the artifact cache under `dir`.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache.dir = Some(dir.into());
+        self
+    }
+
+    /// The workspace-shared run directory (`target/nd-run-cache`):
+    /// test suites point here so the small world is trained once per
+    /// workspace test pass and replayed everywhere else.
+    pub fn shared_run_dir() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/nd-run-cache")
+    }
+}
+
+/// Cache disposition of one stage in one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Replayed from a cached artifact; the body did not execute.
+    Hit,
+    /// No usable cached artifact; the body executed.
+    Miss,
+    /// `force`/`from` demanded recomputation; the body executed.
+    Forced,
+    /// Past the `until` stage; neither cache nor body was touched.
+    Skipped,
+}
+
+impl CacheStatus {
+    /// Stable lowercase label (JSON / metrics).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Forced => "forced",
+            CacheStatus::Skipped => "skipped",
+        }
+    }
+
+    /// Whether the stage body executed.
+    pub fn executed(self) -> bool {
+        matches!(self, CacheStatus::Miss | CacheStatus::Forced)
+    }
+}
+
+/// Per-stage observability record.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Stage name.
+    pub stage: &'static str,
+    /// The stage's cache fingerprint for this run.
+    pub fingerprint: u64,
+    /// What the executor did.
+    pub cache: CacheStatus,
+    /// Wall time of the stage (body or cache replay).
+    pub wall_ms: f64,
+    /// Serialized artifact payload size (0 when uncached/skipped).
+    pub bytes: u64,
+}
+
+/// What one pipeline run did, stage by stage.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-stage records in execution order.
+    pub stages: Vec<StageReport>,
+    /// End-to-end wall time.
+    pub total_ms: f64,
+}
+
+impl RunReport {
+    /// Looks up one stage's record.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// How many stage bodies executed (cache misses + forced).
+    pub fn executed(&self) -> usize {
+        self.stages.iter().filter(|s| s.cache.executed()).count()
+    }
+
+    /// JSON rendering (the `run_report.json` sidecar format).
+    pub fn to_json(&self) -> String {
+        let stages: Vec<serde_json::Value> = self
+            .stages
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "stage": s.stage,
+                    "fingerprint": format!("{:016x}", s.fingerprint),
+                    "cache": s.cache.as_str(),
+                    "wall_ms": s.wall_ms,
+                    "bytes": s.bytes,
+                })
+            })
+            .collect();
+        serde_json::json!({ "stages": stages, "total_ms": self.total_ms }).to_string()
+    }
+
+    /// Parses a `run_report.json` sidecar back into a report. Stage
+    /// names are matched against the compiled-in registry; unknown
+    /// stages or malformed fields are dropped.
+    pub fn from_json(text: &str) -> Option<RunReport> {
+        let v: serde_json::Value = serde_json::from_str(text).ok()?;
+        let mut report = RunReport { stages: Vec::new(), total_ms: v["total_ms"].as_f64()? };
+        for s in v["stages"].as_array()? {
+            let name = s["stage"].as_str()?;
+            let Some(stage) =
+                stages().iter().map(|st| st.name()).find(|n| *n == name)
+            else {
+                continue;
+            };
+            let cache = match s["cache"].as_str()? {
+                "hit" => CacheStatus::Hit,
+                "miss" => CacheStatus::Miss,
+                "forced" => CacheStatus::Forced,
+                _ => CacheStatus::Skipped,
+            };
+            report.stages.push(StageReport {
+                stage,
+                fingerprint: u64::from_str_radix(s["fingerprint"].as_str()?, 16).ok()?,
+                cache,
+                wall_ms: s["wall_ms"].as_f64()?,
+                bytes: s["bytes"].as_u64()?,
+            });
+        }
+        Some(report)
     }
 }
 
@@ -84,7 +250,8 @@ pub struct PipelineOutput {
     pub assignments: Vec<EventAssignment>,
     /// The pretrained word vectors.
     pub vectors: WordVectors,
-    /// TwitterED token streams, aligned with `world.tweets`.
+    /// TwitterED token streams, aligned with `world.tweets` (moved
+    /// out of the preprocessing artifact — never copied).
     pub tweet_tokens: Vec<Vec<String>>,
 }
 
@@ -108,75 +275,164 @@ impl Pipeline {
     /// depend on produces nothing (e.g. no Twitter events survive the
     /// 10-tweet rule).
     pub fn run(&self) -> Result<PipelineOutput> {
+        self.run_with_report().map(|(output, _)| output)
+    }
+
+    /// Like [`run`](Pipeline::run), also returning the per-stage
+    /// cache/timing report.
+    ///
+    /// # Errors
+    /// As [`run`](Pipeline::run); additionally
+    /// [`CoreError::Artifact`] when `cache.until` truncated the run
+    /// before the final stage.
+    pub fn run_with_report(&self) -> Result<(PipelineOutput, RunReport)> {
+        let (mut artifacts, report) = self.execute()?;
+        let output = PipelineOutput::assemble(&mut artifacts)?;
+        Ok((output, report))
+    }
+
+    /// Walks the stage DAG, replaying cached artifacts and executing
+    /// bodies only on misses. Returns whatever was materialized —
+    /// with `cache.until` set, later artifacts are absent.
+    ///
+    /// # Errors
+    /// [`CoreError::Artifact`] for unknown stage names in
+    /// `cache.from`/`cache.until` or an unusable cache directory;
+    /// stage-body errors propagate unchanged.
+    pub fn execute(&self) -> Result<(ArtifactSet, RunReport)> {
         let cfg = &self.config;
-        // (1) Data generation / collection.
-        let world = World::generate(cfg.world.clone());
-        if world.articles.is_empty() || world.tweets.is_empty() {
-            return Err(CoreError::EmptyInput("world generation"));
+        let graph = stages();
+        let stage_index = |label: &str, name: &Option<String>| -> Result<Option<usize>> {
+            match name {
+                None => Ok(None),
+                Some(n) => graph
+                    .iter()
+                    .position(|s| s.name() == n.as_str())
+                    .map(Some)
+                    .ok_or_else(|| {
+                        CoreError::Artifact(format!("unknown stage `{n}` in `{label}`"))
+                    }),
+            }
+        };
+        let from_idx = stage_index("from", &cfg.cache.from)?;
+        let until_idx = stage_index("until", &cfg.cache.until)?;
+        let store = match &cfg.cache.dir {
+            Some(dir) => Some(ArtifactStore::open(dir)?),
+            None => None,
+        };
+
+        let run_start = Instant::now();
+        let mut fingerprints: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut artifacts = ArtifactSet::new();
+        let mut report = RunReport::default();
+
+        for (i, stage) in graph.iter().enumerate() {
+            let input_fps: Vec<u64> =
+                stage.deps().iter().map(|d| fingerprints[d]).collect();
+            let fp = stage.fingerprint(cfg, &input_fps);
+            fingerprints.insert(stage.name(), fp);
+
+            if until_idx.is_some_and(|u| i > u) {
+                report.stages.push(StageReport {
+                    stage: stage.name(),
+                    fingerprint: fp,
+                    cache: CacheStatus::Skipped,
+                    wall_ms: 0.0,
+                    bytes: 0,
+                });
+                continue;
+            }
+
+            let forced = cfg.cache.force || from_idx.is_some_and(|f| i >= f);
+            let stage_start = Instant::now();
+            let mut bytes = 0u64;
+
+            // A cached artifact is usable only when it decodes fully:
+            // truncation, codec drift, or trailing garbage all read as
+            // misses and fall through to recomputation.
+            let mut replayed = None;
+            if !forced {
+                if let Some(store) = &store {
+                    if let Some(payload) = store.load(stage.name(), fp) {
+                        let mut r = ByteReader::new(&payload);
+                        if let Ok(value) = stage.decode(&mut r) {
+                            if r.is_empty() {
+                                bytes = payload.len() as u64;
+                                replayed = Some(value);
+                            }
+                        }
+                    }
+                }
+            }
+
+            let (value, status) = match replayed {
+                Some(value) => (value, CacheStatus::Hit),
+                None => {
+                    let value = stage.run(cfg, &artifacts)?;
+                    if let Some(store) = &store {
+                        let mut w = ByteWriter::new();
+                        stage.encode(&value, &mut w)?;
+                        bytes = w.len() as u64;
+                        store.save(stage.name(), fp, w.as_bytes())?;
+                    }
+                    let status =
+                        if forced { CacheStatus::Forced } else { CacheStatus::Miss };
+                    (value, status)
+                }
+            };
+            artifacts.insert(stage.name(), value);
+            report.stages.push(StageReport {
+                stage: stage.name(),
+                fingerprint: fp,
+                cache: status,
+                wall_ms: stage_start.elapsed().as_secs_f64() * 1e3,
+                bytes,
+            });
         }
 
-        // (2) Preprocessing: the three corpora.
-        let news_tm = build_news_tm(&world.articles);
-        let news_ed = build_news_ed(&world.articles);
-        let twitter_ed = build_twitter_ed(&world.tweets);
+        report.total_ms = run_start.elapsed().as_secs_f64() * 1e3;
+        if let Some(store) = &store {
+            store.write_text("run_report.json", &report.to_json())?;
+        }
+        Ok((artifacts, report))
+    }
+}
+
+impl PipelineOutput {
+    /// Assembles the public output from a fully-materialized artifact
+    /// set, moving every artifact out (tweet tokens are moved from the
+    /// preprocessing corpus, never cloned).
+    ///
+    /// # Errors
+    /// [`CoreError::Artifact`] when a stage artifact is absent.
+    pub fn assemble(artifacts: &mut ArtifactSet) -> Result<PipelineOutput> {
+        let world = artifacts.take_world()?;
+        let corpora = artifacts.take_corpora()?;
+        let topics = artifacts.take_topics()?;
+        let events = artifacts.take_events()?;
+        let vectors = artifacts.take_vectors()?;
+        let trending = artifacts.take_trending()?;
+        let correlation_out = artifacts.take_correlation()?;
+        let assignments = artifacts.take_assignments()?;
+
+        let correlated = correlated_events(&correlation_out.forward, &events.twitter);
         let tweet_tokens: Vec<Vec<String>> =
-            twitter_ed.iter().map(|d| d.tokens.clone()).collect();
-
-        // (3) Topic modeling.
-        let topics = extract_topics(&news_tm, &cfg.topic);
-
-        // (4) Event detection.
-        let news_events = detect_news_events(&news_ed, &cfg.event);
-        if news_events.is_empty() {
-            return Err(CoreError::NoOutput("news event detection"));
-        }
-        let twitter_events = detect_twitter_events(&twitter_ed, &cfg.event);
-        if twitter_events.is_empty() {
-            return Err(CoreError::NoOutput("twitter event detection"));
-        }
-
-        // (5) Pretrained embeddings.
-        let vectors = train_pretrained(&cfg.pretrained);
-
-        // (6) Trending news topics.
-        let trending =
-            extract_trending(&topics.topics, &news_events, &vectors, cfg.trending_threshold);
-        if trending.is_empty() {
-            return Err(CoreError::NoOutput("trending extraction"));
-        }
-
-        // (7) Correlation, both directions.
-        let correlation =
-            correlate(&trending, &twitter_events, &vectors, cfg.correlation_threshold);
-        let reverse_correlation =
-            correlate_reverse(&trending, &twitter_events, &vectors, cfg.correlation_threshold);
-
-        // (8) Feature creation inputs: the correlated Twitter events.
-        let mut correlated_idx: Vec<usize> =
-            correlation.pairs.iter().map(|p| p.twitter_idx).collect();
-        correlated_idx.sort_unstable();
-        correlated_idx.dedup();
-        let correlated_events: Vec<Event> =
-            correlated_idx.iter().map(|&i| twitter_events[i].clone()).collect();
-        let assignments = assign_tweets(&correlated_events, &world.tweets, &tweet_tokens);
-
+            corpora.twitter_ed.into_iter().map(|d| d.tokens).collect();
         Ok(PipelineOutput {
             world,
             topics,
-            news_events,
-            twitter_events,
+            news_events: events.news,
+            twitter_events: events.twitter,
             trending,
-            correlation,
-            reverse_correlation,
-            correlated_events,
+            correlation: correlation_out.forward,
+            reverse_correlation: correlation_out.reverse,
+            correlated_events: correlated,
             assignments,
             vectors,
             tweet_tokens,
         })
     }
-}
 
-impl PipelineOutput {
     /// Builds one of the §5.6 dataset variants from this run.
     pub fn dataset(&self, variant: DatasetVariant, seed: u64) -> Dataset {
         build_dataset(
@@ -189,6 +445,28 @@ impl PipelineOutput {
             seed,
         )
     }
+
+    /// A stable 64-bit digest over every artifact (all floats hashed
+    /// via their bit patterns). Two runs are bit-identical iff their
+    /// digests agree — the determinism suite's warm ≡ cold check.
+    pub fn content_digest(&self) -> u64 {
+        let mut w = ByteWriter::new();
+        encode_world(&self.world, &mut w);
+        encode_topics(&self.topics, &mut w);
+        encode_event_list(&self.news_events, &mut w);
+        encode_event_list(&self.twitter_events, &mut w);
+        encode_trending(&self.trending, &mut w);
+        crate::correlate::encode_correlation(&self.correlation, &mut w);
+        crate::correlate::encode_correlation(&self.reverse_correlation, &mut w);
+        encode_event_list(&self.correlated_events, &mut w);
+        encode_assignments(&self.assignments, &mut w);
+        encode_vectors(&self.vectors, &mut w);
+        w.put_usize(self.tweet_tokens.len());
+        for tokens in &self.tweet_tokens {
+            w.put_str_list(tokens);
+        }
+        fnv1a64(w.as_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -196,10 +474,18 @@ mod tests {
     use super::*;
     use std::sync::OnceLock;
 
-    /// The small pipeline is expensive enough that tests share a run.
+    /// The small pipeline is expensive enough that tests share a run —
+    /// and all suites share one on-disk run directory, so the world is
+    /// trained at most once per workspace test pass.
     fn output() -> &'static PipelineOutput {
         static OUT: OnceLock<PipelineOutput> = OnceLock::new();
-        OUT.get_or_init(|| Pipeline::new(PipelineConfig::small()).run().expect("pipeline"))
+        OUT.get_or_init(|| {
+            Pipeline::new(
+                PipelineConfig::small().with_cache_dir(PipelineConfig::shared_run_dir()),
+            )
+            .run()
+            .expect("pipeline")
+        })
     }
 
     #[test]
@@ -267,5 +553,34 @@ mod tests {
         assert_eq!(a2.x.cols(), a1.x.cols() + 8);
         assert_eq!(a1.y_likes.len(), a1.len());
         assert!(a1.y_likes.iter().all(|&y| y < 3));
+    }
+
+    #[test]
+    fn unknown_stage_names_rejected() {
+        let mut config = PipelineConfig::small();
+        config.cache.from = Some("nonsense".into());
+        let err = Pipeline::new(config).execute().unwrap_err();
+        assert!(err.to_string().contains("nonsense"), "got: {err}");
+    }
+
+    #[test]
+    fn run_report_json_roundtrips() {
+        let report = RunReport {
+            stages: vec![StageReport {
+                stage: "collect",
+                fingerprint: 0xdead_beef,
+                cache: CacheStatus::Hit,
+                wall_ms: 1.5,
+                bytes: 42,
+            }],
+            total_ms: 2.0,
+        };
+        let back = RunReport::from_json(&report.to_json()).expect("parse");
+        assert_eq!(back.stages.len(), 1);
+        assert_eq!(back.stages[0].stage, "collect");
+        assert_eq!(back.stages[0].fingerprint, 0xdead_beef);
+        assert_eq!(back.stages[0].cache, CacheStatus::Hit);
+        assert_eq!(back.stages[0].bytes, 42);
+        assert!((back.total_ms - 2.0).abs() < 1e-12);
     }
 }

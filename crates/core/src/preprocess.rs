@@ -8,9 +8,78 @@
 //!   detection, with `@mention` counts preserved for MABED.
 
 use nd_events::TimestampedDoc;
+use nd_store::{ArtifactError, ByteReader, ByteWriter};
 use nd_synth::{NewsArticle, Tweet};
 use nd_text::pipeline::{count_mentions, preprocess_event_detection};
 use nd_text::preprocess_topic_modeling;
+
+/// The preprocessing stage's artifact: all three corpora of §4.2,
+/// each aligned with its source collection.
+#[derive(Debug, Clone)]
+pub struct Corpora {
+    /// NewsTM token streams, aligned with `world.articles`.
+    pub news_tm: Vec<Vec<String>>,
+    /// NewsED timestamped docs, aligned with `world.articles`.
+    pub news_ed: Vec<TimestampedDoc>,
+    /// TwitterED timestamped docs, aligned with `world.tweets`.
+    pub twitter_ed: Vec<TimestampedDoc>,
+}
+
+impl Corpora {
+    /// Builds all three corpora from the collected world.
+    pub fn build(articles: &[NewsArticle], tweets: &[Tweet]) -> Corpora {
+        Corpora {
+            news_tm: build_news_tm(articles),
+            news_ed: build_news_ed(articles),
+            twitter_ed: build_twitter_ed(tweets),
+        }
+    }
+}
+
+/// Encodes the preprocessing artifact.
+pub fn encode_corpora(c: &Corpora, out: &mut ByteWriter) {
+    out.put_usize(c.news_tm.len());
+    for doc in &c.news_tm {
+        out.put_str_list(doc);
+    }
+    encode_timestamped(&c.news_ed, out);
+    encode_timestamped(&c.twitter_ed, out);
+}
+
+/// Decodes the preprocessing artifact.
+///
+/// # Errors
+/// Truncated or malformed payloads yield an [`ArtifactError`].
+pub fn decode_corpora(r: &mut ByteReader<'_>) -> Result<Corpora, ArtifactError> {
+    let n = r.len_prefix()?;
+    let mut news_tm = Vec::with_capacity(n);
+    for _ in 0..n {
+        news_tm.push(r.str_list()?);
+    }
+    Ok(Corpora { news_tm, news_ed: decode_timestamped(r)?, twitter_ed: decode_timestamped(r)? })
+}
+
+fn encode_timestamped(docs: &[TimestampedDoc], out: &mut ByteWriter) {
+    out.put_usize(docs.len());
+    for d in docs {
+        out.put_u64(d.timestamp);
+        out.put_str_list(&d.tokens);
+        out.put_usize(d.mentions);
+    }
+}
+
+fn decode_timestamped(r: &mut ByteReader<'_>) -> Result<Vec<TimestampedDoc>, ArtifactError> {
+    let n = r.len_prefix()?;
+    let mut docs = Vec::with_capacity(n);
+    for _ in 0..n {
+        docs.push(TimestampedDoc {
+            timestamp: r.u64()?,
+            tokens: r.str_list()?,
+            mentions: r.usize()?,
+        });
+    }
+    Ok(docs)
+}
 
 /// The NewsTM corpus: one token stream per article, aligned with the
 /// input order.

@@ -10,7 +10,45 @@
 
 use nd_embed::{Word2Vec, Word2VecConfig, Word2VecMode, WordVectors};
 use nd_linalg::rng::SplitMix64;
+use nd_store::{ArtifactError, ByteReader, ByteWriter};
 use nd_synth::topics::{topic_inventory, FILLER, OUTLETS};
+
+/// Encodes the pretrained embedding table (insertion order preserved).
+pub fn encode_vectors(wv: &WordVectors, out: &mut ByteWriter) {
+    out.put_usize(wv.dim());
+    out.put_usize(wv.len());
+    for (word, vector) in wv.iter() {
+        out.put_str(word);
+        for &x in vector {
+            out.put_f64(x);
+        }
+    }
+}
+
+/// Decodes a pretrained embedding table.
+///
+/// # Errors
+/// Truncated or malformed payloads yield an [`ArtifactError`].
+pub fn decode_vectors(r: &mut ByteReader<'_>) -> Result<WordVectors, ArtifactError> {
+    let dim = r.usize()?;
+    let n = r.len_prefix()?;
+    if n.saturating_mul(dim).saturating_mul(8) > r.remaining() {
+        return Err(ArtifactError::Truncated { need: n * dim * 8, have: r.remaining() });
+    }
+    let mut wv = WordVectors::new(dim);
+    let mut vector = vec![0.0f64; dim];
+    for _ in 0..n {
+        let word = r.str()?;
+        for slot in vector.iter_mut() {
+            *slot = r.f64()?;
+        }
+        wv.insert(word, &vector);
+    }
+    if wv.len() != n {
+        return Err(ArtifactError::Malformed("duplicate embedding word"));
+    }
+    Ok(wv)
+}
 
 /// Pretraining configuration.
 #[derive(Debug, Clone)]

@@ -4,8 +4,10 @@
 //! topics with NMF — the exact configuration the paper deploys
 //! (scikit-learn's `TfidfVectorizer` + `NMF` in the original).
 
+use nd_linalg::Mat;
+use nd_store::{ArtifactError, ByteReader, ByteWriter};
 use nd_topics::{Nmf, NmfConfig, Topic, TopicModel};
-use nd_vectorize::{DtmBuilder, Weighting};
+use nd_vectorize::{DtmBuilder, Vocabulary, Weighting};
 
 /// Topic-module configuration.
 #[derive(Debug, Clone)]
@@ -63,6 +65,77 @@ pub fn extract_topics(corpus: &[Vec<String>], config: &TopicModuleConfig) -> New
     .fit(&a, dtm.vocab());
     let topics = model.topics(config.keywords_per_topic);
     NewsTopics { model, topics }
+}
+
+/// Encodes the topic-modeling artifact (fitted NMF model + decoded
+/// keyword lists).
+pub fn encode_topics(t: &NewsTopics, out: &mut ByteWriter) {
+    encode_mat(&t.model.doc_topic, out);
+    encode_mat(&t.model.topic_term, out);
+    out.put_usize(t.model.vocab.len());
+    for (_, term) in t.model.vocab.iter() {
+        out.put_str(term);
+    }
+    out.put_f64(t.model.objective);
+    out.put_usize(t.model.iterations);
+    out.put_usize(t.topics.len());
+    for topic in &t.topics {
+        out.put_usize(topic.id);
+        out.put_str_list(&topic.keywords);
+        out.put_f64_slice(&topic.weights);
+    }
+}
+
+/// Decodes the topic-modeling artifact.
+///
+/// # Errors
+/// Truncated or malformed payloads yield an [`ArtifactError`].
+pub fn decode_topics(r: &mut ByteReader<'_>) -> Result<NewsTopics, ArtifactError> {
+    let doc_topic = decode_mat(r)?;
+    let topic_term = decode_mat(r)?;
+    let n_terms = r.len_prefix()?;
+    let mut vocab = Vocabulary::new();
+    for _ in 0..n_terms {
+        vocab.intern(&r.str()?);
+    }
+    if vocab.len() != n_terms {
+        return Err(ArtifactError::Malformed("duplicate vocabulary term"));
+    }
+    let objective = r.f64()?;
+    let iterations = r.usize()?;
+    let n_topics = r.len_prefix()?;
+    let mut topics = Vec::with_capacity(n_topics);
+    for _ in 0..n_topics {
+        topics.push(Topic { id: r.usize()?, keywords: r.str_list()?, weights: r.f64_vec()? });
+    }
+    Ok(NewsTopics {
+        model: TopicModel { doc_topic, topic_term, vocab, objective, iterations },
+        topics,
+    })
+}
+
+pub(crate) fn encode_mat(m: &Mat, out: &mut ByteWriter) {
+    out.put_usize(m.rows());
+    out.put_usize(m.cols());
+    for &x in m.as_slice() {
+        out.put_f64(x);
+    }
+}
+
+pub(crate) fn decode_mat(r: &mut ByteReader<'_>) -> Result<Mat, ArtifactError> {
+    let rows = r.usize()?;
+    let cols = r.usize()?;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or(ArtifactError::Malformed("matrix shape overflows"))?;
+    if n.saturating_mul(8) > r.remaining() {
+        return Err(ArtifactError::Truncated { need: n * 8, have: r.remaining() });
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(r.f64()?);
+    }
+    Mat::from_vec(rows, cols, data).map_err(|_| ArtifactError::Malformed("matrix shape"))
 }
 
 #[cfg(test)]

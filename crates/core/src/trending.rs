@@ -6,11 +6,42 @@
 //! NewsTopic2Vec / NewsEvent2Vec) and scored by cosine similarity.
 //! Pairs above the threshold become **trending news topics**.
 
+use crate::event_module::{decode_event, encode_event};
 use nd_embed::{doc_embedding, AverageStrategy, WordVectors};
 use nd_events::Event;
 use nd_linalg::vecops::cosine;
+use nd_store::{ArtifactError, ByteReader, ByteWriter};
 use nd_topics::Topic;
 use std::collections::HashMap;
+
+/// Encodes the trending-topics artifact.
+pub fn encode_trending(trending: &[TrendingTopic], out: &mut ByteWriter) {
+    out.put_usize(trending.len());
+    for t in trending {
+        out.put_usize(t.topic_id);
+        out.put_str_list(&t.keywords);
+        encode_event(&t.event, out);
+        out.put_f64(t.similarity);
+    }
+}
+
+/// Decodes the trending-topics artifact.
+///
+/// # Errors
+/// Truncated or malformed payloads yield an [`ArtifactError`].
+pub fn decode_trending(r: &mut ByteReader<'_>) -> Result<Vec<TrendingTopic>, ArtifactError> {
+    let n = r.len_prefix()?;
+    let mut trending = Vec::with_capacity(n);
+    for _ in 0..n {
+        trending.push(TrendingTopic {
+            topic_id: r.usize()?,
+            keywords: r.str_list()?,
+            event: decode_event(r)?,
+            similarity: r.f64()?,
+        });
+    }
+    Ok(trending)
+}
 
 /// A `<news topic, news event>` pair above the similarity threshold.
 #[derive(Debug, Clone)]

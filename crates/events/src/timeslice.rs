@@ -23,6 +23,15 @@ impl TimestampedDoc {
     }
 }
 
+impl AsRef<[String]> for TimestampedDoc {
+    /// A doc *is* its token stream for consumers that only need the
+    /// tokens — lets downstream modules borrow corpora in place
+    /// instead of re-materializing `Vec<Vec<String>>` copies.
+    fn as_ref(&self) -> &[String] {
+        &self.tokens
+    }
+}
+
 /// Per-word, per-slice statistics for one corpus.
 #[derive(Debug, Clone)]
 pub struct SlicedCorpus {

@@ -17,6 +17,7 @@
 //! | `unsafe-comment`  | whole workspace               | `unsafe` without `// SAFETY:` |
 //! | `lock-across-io`  | nd-serve                      | guard live across blocking I/O |
 //! | `hot-loop-alloc`  | NMF / Word2Vec / layer files  | `Vec::new` / `vec![` / `with_capacity` outside `*Scratch` impls |
+//! | `stage-io`        | nd-core                       | raw `std::fs` / `File` / `OpenOptions` instead of nd-store |
 //!
 //! Code under `#[cfg(test)]` / `#[test]` is skipped: tests are allowed
 //! to unwrap, spawn, and time things.
@@ -50,6 +51,7 @@ pub const RULE_NAMES: &[&str] = &[
     "unsafe-comment",
     "lock-across-io",
     "hot-loop-alloc",
+    "stage-io",
 ];
 
 /// One rule violation.
@@ -85,6 +87,8 @@ pub struct FileScope {
     pub lock_check: bool,
     /// `hot-loop-alloc` applies (training hot-path files).
     pub hot_loop: bool,
+    /// `stage-io` applies (nd-core pipeline/stage code).
+    pub stage_io: bool,
 }
 
 /// Scope for a workspace-relative path like `crates/serve/src/server.rs`.
@@ -102,6 +106,7 @@ pub fn scope_for(rel: &str) -> FileScope {
             && (crate_name == "serve" || rel == "crates/core/src/checkpoint.rs"),
         lock_check: in_src && crate_name == "serve",
         hot_loop: HOT_LOOP_FILES.contains(&rel.as_str()),
+        stage_io: in_src && crate_name == "core",
     }
 }
 
@@ -145,6 +150,9 @@ pub fn analyze(rel: &str, src: &str) -> Vec<Finding> {
     }
     if scope.hot_loop {
         rule_hot_loop_alloc(rel, &sig, &mut findings);
+    }
+    if scope.stage_io {
+        rule_stage_io(rel, &sig, &mut findings);
     }
 
     findings.retain(|f| !suppressed(&comments, f));
@@ -738,6 +746,46 @@ fn rule_hot_loop_alloc(rel: &str, sig: &[STok], out: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------- S —
+
+/// nd-core stage and pipeline code persists every byte through
+/// nd-store (`ArtifactStore` frames with checksums and atomic
+/// tmp+rename, `Database` with its WAL). Raw `std::fs` / `File` /
+/// `OpenOptions` in this crate bypasses fingerprinting and crash
+/// safety, and silently forks the cache format — route the I/O
+/// through the store instead.
+fn rule_stage_io(rel: &str, sig: &[STok], out: &mut Vec<Finding>) {
+    let mut flag = |line: u32, what: &str| {
+        out.push(Finding {
+            rule: "stage-io",
+            file: rel.to_string(),
+            line,
+            message: format!(
+                "{what} in nd-core: stage outputs must flow through nd-store \
+                 (ArtifactStore / Database), not raw filesystem calls — direct \
+                 I/O here bypasses fingerprints, checksums, and atomic rename"
+            ),
+        });
+    };
+    for i in 0..sig.len() {
+        // `fs :: …` — std::fs::read, fs::write, use std::fs::…
+        if sig[i].text == "fs"
+            && sig[i].kind == TokKind::Ident
+            && is(sig, i + 1, ":")
+            && is(sig, i + 2, ":")
+        {
+            flag(sig[i].line, "`fs::` path");
+        }
+        // `File :: …` / `OpenOptions :: …` — direct handle creation.
+        if (sig[i].text == "File" || sig[i].text == "OpenOptions")
+            && is(sig, i + 1, ":")
+            && is(sig, i + 2, ":")
+        {
+            flag(sig[i].line, &format!("`{}::`", sig[i].text));
+        }
+    }
+}
+
 /// [`match_delim`] over already-filtered significant tokens.
 fn match_delim_stok(sig: &[STok], open_idx: usize, open: &str, close: &str) -> usize {
     let mut depth = 0i32;
@@ -1005,6 +1053,51 @@ mod tests {
     fn hot_loop_alloc_suppressible() {
         let src = "fn f() { let a = Vec::new(); // nd-lint: allow(hot-loop-alloc)\n}";
         assert!(analyze(HOT, src).is_empty());
+    }
+
+    const CORE: &str = "crates/core/src/stage.rs";
+
+    #[test]
+    fn stage_io_scope_is_core_src() {
+        assert!(scope_for("crates/core/src/stage.rs").stage_io);
+        assert!(scope_for("crates/core/src/pipeline.rs").stage_io);
+        assert!(!scope_for("crates/store/src/artifact.rs").stage_io);
+        assert!(!scope_for(SERVE).stage_io);
+        assert!(!scope_for("tests/pipeline_cache.rs").stage_io);
+    }
+
+    #[test]
+    fn stage_io_flags_raw_filesystem_calls() {
+        let src = r#"
+            fn run() {
+                let bytes = std::fs::read("x.art");
+                let f = File::create("y.art");
+                let o = OpenOptions::new().write(true).open("z.art");
+            }
+        "#;
+        assert_eq!(rules_of(&analyze(CORE, src)), ["stage-io"; 3].to_vec());
+        // Same code outside nd-core is out of scope.
+        assert!(analyze("crates/store/src/artifact.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stage_io_clean_store_usage_and_tests_pass() {
+        let src = r#"
+            fn run(store: &ArtifactStore) -> Result<()> {
+                store.save("trending", fp, &payload)?;
+                store.write_text("run_report.json", &json)?;
+                Ok(())
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { std::fs::remove_dir_all("tmp").ok(); }
+            }
+        "#;
+        assert!(analyze(CORE, src).is_empty());
+        // A field named `fs` on some struct does not trip the path check.
+        let field = "fn f(cfg: &Config) -> usize { cfg.fs.len() }";
+        assert!(analyze(CORE, field).is_empty());
     }
 
     #[test]

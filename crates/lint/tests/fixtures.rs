@@ -71,6 +71,19 @@ fn unsafe_comment_fixture_pair() {
 }
 
 #[test]
+fn stage_io_fixture_pair() {
+    let bad = include_str!("fixtures/stage_io_bad.rs");
+    let good = include_str!("fixtures/stage_io_good.rs");
+    let core = "crates/core/src/fixture.rs";
+    assert_eq!(rules(core, bad), ["stage-io"]);
+    assert_eq!(rules(core, good), [] as [&str; 0]);
+    // Out of scope: nd-store itself owns the raw file I/O, and the
+    // serving tier manages its own database directory.
+    assert_eq!(rules("crates/store/src/fixture.rs", bad), [] as [&str; 0]);
+    assert_eq!(rules(SERVE, bad), [] as [&str; 0]);
+}
+
+#[test]
 fn lock_across_io_fixture_pair() {
     let bad = include_str!("fixtures/lock_across_io_bad.rs");
     let good = include_str!("fixtures/lock_across_io_good.rs");

@@ -1,0 +1,22 @@
+//! stage-io fixture (violating): an nd-core stage persisting its
+//! output with raw filesystem calls instead of the artifact store.
+
+use std::fs;
+use std::fs::File;
+use std::io::Write;
+
+pub struct TrendingStage;
+
+impl TrendingStage {
+    pub fn run(&self, payload: &[u8]) -> std::io::Result<()> {
+        // Sidesteps fingerprinting and atomic rename entirely.
+        fs::create_dir_all("cache")?;
+        let mut f = File::create("cache/trending.art")?;
+        f.write_all(payload)?;
+        Ok(())
+    }
+
+    pub fn load(&self) -> std::io::Result<Vec<u8>> {
+        std::fs::read("cache/trending.art")
+    }
+}

@@ -1,0 +1,29 @@
+//! stage-io fixture (clean): the same stage routed through nd-store's
+//! artifact layer — fingerprints, checksums, and atomic rename come
+//! for free. Tests may touch the filesystem directly.
+
+use nd_store::ArtifactStore;
+
+pub struct TrendingStage;
+
+impl TrendingStage {
+    pub fn run(&self, store: &ArtifactStore, fp: u64, payload: &[u8]) -> Result<(), StoreError> {
+        store.save("trending", fp, payload)?;
+        store.write_text("run_report.json", "{}")?;
+        Ok(())
+    }
+
+    pub fn load(&self, store: &ArtifactStore, fp: u64) -> Option<Vec<u8>> {
+        store.load("trending", fp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_dirs_are_fine_in_tests() {
+        std::fs::remove_dir_all("tmp").ok();
+        let f = std::fs::File::create("tmp/x").unwrap();
+        drop(f);
+    }
+}

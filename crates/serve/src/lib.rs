@@ -22,6 +22,8 @@
 //! - [`registry`] — versioned models behind swappable [`std::sync::Arc`]
 //!   handles; hot swap never tears an in-flight request.
 //! - [`metrics`] — lock-free counters/histograms for `GET /metrics`.
+//! - [`retrain`] — reload-with-retrain: re-run the staged pipeline
+//!   from a cached run directory, refit the served models, hot-swap.
 //! - [`client`] — a small blocking client used by the tests, the
 //!   demo, and the load generator.
 //!
@@ -33,7 +35,7 @@
 //! | `GET /models`        | Serving versions and parameter counts      |
 //! | `GET /healthz`       | Liveness                                   |
 //! | `GET /metrics`       | Prometheus-style exposition text           |
-//! | `POST /admin/reload` | Synchronous checkpoint refresh + hot swap  |
+//! | `POST /admin/reload` | Checkpoint refresh + hot swap; with a `run_dir` body, retrain from that cached pipeline run first |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +46,7 @@ pub mod client;
 pub mod http;
 pub mod metrics;
 pub mod registry;
+pub mod retrain;
 pub mod server;
 
 pub use batcher::{BatchConfig, Batcher, SubmitError};
@@ -51,6 +54,7 @@ pub use cache::LruCache;
 pub use client::{Client, Response};
 pub use metrics::{Endpoint, Metrics};
 pub use registry::{ModelHandle, ModelSpec, Registry, SwapEvent};
+pub use retrain::{retrain_from_run, RetrainModel, RetrainSpec};
 pub use server::{ServeConfig, Server};
 
 /// Errors surfaced while configuring or running the service.

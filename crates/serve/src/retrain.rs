@@ -1,0 +1,93 @@
+//! Retrain-from-cached-run: the paper's two-hourly refresh loop,
+//! driven through the staged pipeline's artifact cache.
+//!
+//! `POST /admin/reload` with a `run_dir` body re-executes the nd-core
+//! pipeline against that cache directory. A warm cache replays every
+//! stage from disk (zero stage bodies run), so the expensive part of a
+//! refresh collapses to feature assembly + network training; a cache
+//! dirtied by new data or changed knobs recomputes exactly the
+//! invalidated cone. The freshly trained networks are checkpointed
+//! into the registry's store and hot-swapped without dropping
+//! in-flight requests, and the run's [`RunReport`] is surfaced on
+//! `GET /metrics` as per-stage gauges.
+
+use crate::registry::{Registry, SwapEvent};
+use crate::ServeError;
+use nd_core::checkpoint::save_checkpoint;
+use nd_core::features::DatasetVariant;
+use nd_core::pipeline::{Pipeline, PipelineConfig, RunReport};
+use nd_core::predict::{NetworkKind, PredictConfig, Target};
+use nd_neural::{Trainer, TrainerConfig};
+use nd_store::Database;
+use std::path::Path;
+
+/// One model to retrain and checkpoint on every refresh.
+#[derive(Debug, Clone)]
+pub struct RetrainModel {
+    /// Checkpoint name — must match a served [`crate::ModelSpec`] for
+    /// the refresh to swap it in.
+    pub name: String,
+    /// Network architecture (paper Tables 8–9 columns).
+    pub kind: NetworkKind,
+    /// Label set to fit (likes or retweets).
+    pub target: Target,
+}
+
+/// Everything a reload-with-retrain needs besides the run directory.
+#[derive(Debug, Clone)]
+pub struct RetrainSpec {
+    /// Pipeline knobs; the cache directory inside is overridden by the
+    /// request's `run_dir`.
+    pub pipeline: PipelineConfig,
+    /// Which feature table to build (paper Table 2).
+    pub variant: DatasetVariant,
+    /// Training protocol (batch size, epochs, early stopping, seed).
+    pub predict: PredictConfig,
+    /// Models to retrain, in order.
+    pub models: Vec<RetrainModel>,
+    /// Seed for dataset assembly (subsampling / shuffling).
+    pub dataset_seed: u64,
+}
+
+/// Runs the pipeline against `run_dir`'s artifact cache, retrains every
+/// model in `spec`, checkpoints the results into the registry's store,
+/// and hot-swaps the registry to the new versions.
+///
+/// Returns the pipeline's per-stage report (cache status, wall time,
+/// artifact bytes) and the registry swap events.
+pub fn retrain_from_run(
+    registry: &Registry,
+    spec: &RetrainSpec,
+    run_dir: &Path,
+) -> Result<(RunReport, Vec<SwapEvent>), ServeError> {
+    let mut config = spec.pipeline.clone();
+    config.cache.dir = Some(run_dir.to_path_buf());
+    let (output, report) = Pipeline::new(config).run_with_report()?;
+
+    let dataset = output.dataset(spec.variant, spec.dataset_seed);
+    if dataset.is_empty() {
+        return Err(ServeError::Config("retraining dataset is empty".to_string()));
+    }
+
+    let mut db = Database::open(registry.db_dir())?;
+    let trainer = Trainer::new(TrainerConfig {
+        batch_size: spec.predict.batch_size,
+        max_epochs: spec.predict.max_epochs,
+        early_stopping: spec.predict.early_stopping.clone(),
+        seed: spec.predict.seed,
+    });
+    for model in &spec.models {
+        let mut network = model.kind.build(dataset.x.cols(), spec.predict.seed);
+        let mut optimizer = model.kind.optimizer();
+        let y = match model.target {
+            Target::Likes => &dataset.y_likes,
+            Target::Retweets => &dataset.y_retweets,
+        };
+        trainer.fit(&mut network, &dataset.x, y, optimizer.as_mut());
+        save_checkpoint(&mut db, &model.name, &network)?;
+    }
+    drop(db);
+
+    let events = registry.refresh()?;
+    Ok((report, events))
+}

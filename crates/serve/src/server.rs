@@ -15,11 +15,14 @@ use crate::cache::LruCache;
 use crate::http::{read_request, write_response, ReadOutcome, Request};
 use crate::metrics::{Endpoint, Metrics};
 use crate::registry::{ModelHandle, Registry};
+use crate::retrain::{retrain_from_run, RetrainSpec};
 use crate::ServeError;
+use nd_core::pipeline::RunReport;
 use nd_linalg::vecops::argmax;
 use serde_json::{json, Value};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -39,6 +42,11 @@ pub struct ServeConfig {
     /// Poll the store for newer checkpoints this often (`None` =
     /// manual `POST /admin/reload` only).
     pub refresh_interval: Option<Duration>,
+    /// Enables reload-with-retrain: `POST /admin/reload` with a
+    /// `run_dir` body re-runs the pipeline against that artifact
+    /// cache, retrains these models, and hot-swaps them (`None` =
+    /// plain checkpoint refresh only).
+    pub retrain: Option<RetrainSpec>,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +57,7 @@ impl Default for ServeConfig {
             cache_rows: 4096,
             max_body_bytes: 1 << 20,
             refresh_interval: None,
+            retrain: None,
         }
     }
 }
@@ -68,6 +77,10 @@ struct Shared {
     shutdown: AtomicBool,
     open_conns: AtomicUsize,
     max_body: usize,
+    retrain: Option<RetrainSpec>,
+    /// Per-stage report of the most recent reload-with-retrain,
+    /// rendered into `GET /metrics`.
+    last_run: Mutex<Option<RunReport>>,
 }
 
 impl Shared {
@@ -102,6 +115,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             open_conns: AtomicUsize::new(0),
             max_body: config.max_body_bytes,
+            retrain: config.retrain.clone(),
+            last_run: Mutex::new(None),
         });
 
         let acceptor = {
@@ -307,7 +322,7 @@ fn handle_request(
         Endpoint::Healthz => {
             (200, Vec::new(), json!({"status": "ok", "models": shared.registry.list().len()}))
         }
-        Endpoint::Reload => handle_reload(shared),
+        Endpoint::Reload => handle_reload(shared, request),
         // Already answered above; if routing ever regresses, a wrong
         // 500 beats a panic that kills the connection thread.
         Endpoint::Metrics => (500, Vec::new(), json!({"error": "metrics routed past its handler"})),
@@ -346,6 +361,24 @@ fn render_metrics(shared: &Arc<Shared>) -> String {
             handle.version,
         ));
     }
+    // Clone out under a brief lock; rendering happens lock-free.
+    let last_run = shared.last_run.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    if let Some(report) = last_run {
+        for s in &report.stages {
+            gauges.push((
+                format!("nd_pipeline_stage_wall_ms{{stage=\"{}\"}}", s.stage),
+                s.wall_ms as u64,
+            ));
+            gauges.push((
+                format!("nd_pipeline_stage_cache_hit{{stage=\"{}\"}}", s.stage),
+                u64::from(!s.cache.executed()),
+            ));
+            gauges.push((
+                format!("nd_pipeline_artifact_bytes{{stage=\"{}\"}}", s.stage),
+                s.bytes,
+            ));
+        }
+    }
     shared.metrics.render(&gauges)
 }
 
@@ -366,7 +399,60 @@ fn handle_models(shared: &Arc<Shared>) -> (u16, Vec<(&'static str, String)>, Val
     (200, Vec::new(), json!({"models": models}))
 }
 
-fn handle_reload(shared: &Arc<Shared>) -> (u16, Vec<(&'static str, String)>, Value) {
+fn handle_reload(
+    shared: &Arc<Shared>,
+    request: &Request,
+) -> (u16, Vec<(&'static str, String)>, Value) {
+    // `{"run_dir": "..."}` selects reload-with-retrain; any other body
+    // (including empty) is the plain checkpoint refresh.
+    let run_dir = serde_json::from_slice::<Value>(&request.body)
+        .ok()
+        .and_then(|v| v.get("run_dir").and_then(Value::as_str).map(PathBuf::from));
+    if let Some(run_dir) = run_dir {
+        let Some(spec) = shared.retrain.as_ref() else {
+            return (
+                400,
+                Vec::new(),
+                json!({"error": "server has no retrain spec configured"}),
+            );
+        };
+        return match retrain_from_run(&shared.registry, spec, &run_dir) {
+            Ok((report, events)) => {
+                shared.apply_swaps(&events);
+                let swapped: Vec<Value> = events
+                    .iter()
+                    .map(|e| {
+                        json!({"model": e.name, "from": e.from, "to": e.to, "pruned": e.pruned})
+                    })
+                    .collect();
+                let stages: Vec<Value> = report
+                    .stages
+                    .iter()
+                    .map(|s| {
+                        json!({
+                            "stage": s.stage,
+                            "cache": s.cache.as_str(),
+                            "wall_ms": s.wall_ms,
+                            "bytes": s.bytes,
+                        })
+                    })
+                    .collect();
+                let executed = report.executed();
+                let body = json!({
+                    "swapped": swapped,
+                    "pipeline": {
+                        "executed": executed,
+                        "replayed": report.stages.len() - executed,
+                        "total_ms": report.total_ms,
+                        "stages": stages,
+                    },
+                });
+                *shared.last_run.lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
+                (200, Vec::new(), body)
+            }
+            Err(e) => (500, Vec::new(), json!({"error": e.to_string()})),
+        };
+    }
     match shared.registry.refresh() {
         Ok(events) => {
             shared.apply_swaps(&events);

@@ -13,7 +13,10 @@
 //!   that accelerate equality and range scans;
 //! * durability via a length-prefixed [write-ahead log](wal) with
 //!   snapshot compaction — a [`Database`] reopened from
-//!   disk replays the log and serves identical query results.
+//!   disk replays the log and serves identical query results;
+//! * a content-addressed [artifact store](artifact) holding
+//!   fingerprinted pipeline stage outputs, with checksummed frames
+//!   where any corruption reads back as a cache miss.
 //!
 //! ```
 //! use nd_store::{Database, Filter};
@@ -33,12 +36,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod artifact;
 pub mod collection;
 pub mod db;
 pub mod error;
 pub mod query;
 pub mod wal;
 
+pub use artifact::{fnv1a64, ArtifactError, ArtifactStore, ByteReader, ByteWriter};
 pub use collection::Collection;
 pub use db::Database;
 pub use error::{Result, StoreError};

@@ -38,6 +38,7 @@ pub mod api;
 pub mod engagement;
 pub mod events;
 pub mod news_gen;
+pub mod serial;
 pub mod time;
 pub mod topics;
 pub mod tweet_gen;
@@ -46,6 +47,7 @@ pub mod world;
 
 pub use engagement::{bucket_count, EngagementModel};
 pub use events::GroundTruthEvent;
+pub use serial::{decode_world, encode_world};
 pub use time::day_of_week;
 pub use topics::{topic_inventory, TopicKind, TopicSpec};
 pub use users::User;

@@ -265,6 +265,50 @@ fn word_vector_iteration_is_stable_across_trainings() {
     assert_eq!(flat(&wv_a), flat(&wv_b), "iteration order and vectors must be identical");
 }
 
+/// The staged pipeline's cache contract: a warm run replays every
+/// artifact from disk (zero stage bodies execute) and reproduces the
+/// cold run bit for bit — at any thread count, because replay never
+/// touches the parallel kernels and the cold bodies are themselves
+/// thread-count invariant (the tests above).
+#[test]
+fn pipeline_warm_runs_are_bit_identical_across_threads() {
+    use newsdiff::core::pipeline::{Pipeline, PipelineConfig};
+    let _guard = ENV_LOCK.lock().unwrap();
+    let dir = PipelineConfig::shared_run_dir();
+
+    std::env::set_var("NEWSDIFF_THREADS", "1");
+    let mut cold_cfg = PipelineConfig::small().with_cache_dir(&dir);
+    cold_cfg.cache.force = true;
+    let (cold, cold_report) =
+        Pipeline::new(cold_cfg).run_with_report().expect("cold run");
+    assert_eq!(
+        cold_report.executed(),
+        cold_report.stages.len(),
+        "force must execute every stage body"
+    );
+    let cold_digest = cold.content_digest();
+
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("NEWSDIFF_THREADS", threads);
+        let (warm, report) = Pipeline::new(PipelineConfig::small().with_cache_dir(&dir))
+            .run_with_report()
+            .expect("warm run");
+        let executed: Vec<&str> = report
+            .stages
+            .iter()
+            .filter(|s| s.cache.executed())
+            .map(|s| s.stage)
+            .collect();
+        assert!(executed.is_empty(), "warm run at {threads} threads executed {executed:?}");
+        assert_eq!(
+            warm.content_digest(),
+            cold_digest,
+            "warm output differs from cold at {threads} threads"
+        );
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+}
+
 #[test]
 fn neural_layers_are_thread_count_invariant() {
     let input = random_mat(24, 40, 19);

@@ -10,10 +10,16 @@ use newsdiff::synth::TopicKind;
 use std::sync::OnceLock;
 
 /// One shared small-scale pipeline run (release-mode tests share the
-/// cost across assertions).
+/// cost across assertions). The run goes through the workspace-shared
+/// artifact cache, so across the whole test pass the small world is
+/// trained once and replayed everywhere else.
 fn output() -> &'static PipelineOutput {
     static OUT: OnceLock<PipelineOutput> = OnceLock::new();
-    OUT.get_or_init(|| Pipeline::new(PipelineConfig::small()).run().expect("pipeline"))
+    OUT.get_or_init(|| {
+        Pipeline::new(PipelineConfig::small().with_cache_dir(PipelineConfig::shared_run_dir()))
+            .run()
+            .expect("pipeline")
+    })
 }
 
 #[test]

@@ -1,0 +1,161 @@
+//! Artifact-cache correctness suite for the staged pipeline DAG.
+//!
+//! Uses a process-private run directory (cleaned at first use) so
+//! cold/warm expectations are exact regardless of what earlier test
+//! passes left in the workspace-shared cache. Tests share the cache
+//! directory, so they serialize through a file-local mutex.
+
+use newsdiff::core::pipeline::{CacheStatus, Pipeline, PipelineConfig, RunReport};
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+const UPSTREAM: [&str; 5] = ["collect", "preprocess", "topics", "events", "embeddings"];
+
+fn dir() -> PathBuf {
+    std::env::temp_dir().join(format!("nd-pipeline-cache-{}", std::process::id()))
+}
+
+fn config() -> PipelineConfig {
+    PipelineConfig::small().with_cache_dir(dir())
+}
+
+/// Cold-populates the private cache exactly once; returns the
+/// baseline content digest.
+fn baseline_digest() -> u64 {
+    static DIGEST: OnceLock<u64> = OnceLock::new();
+    *DIGEST.get_or_init(|| {
+        std::fs::remove_dir_all(dir()).ok();
+        let (out, report) = Pipeline::new(config()).run_with_report().expect("cold run");
+        assert!(
+            report.stages.iter().all(|s| s.cache == CacheStatus::Miss),
+            "fresh directory must miss everywhere: {report:?}"
+        );
+        out.content_digest()
+    })
+}
+
+fn status_of(report: &RunReport, stage: &str) -> CacheStatus {
+    report.stage(stage).unwrap_or_else(|| panic!("no report for {stage}")).cache
+}
+
+#[test]
+fn warm_rerun_replays_every_stage_bit_identically() {
+    let _guard = LOCK.lock().unwrap();
+    let cold = baseline_digest();
+    let (out, report) = Pipeline::new(config()).run_with_report().expect("warm run");
+    assert_eq!(report.executed(), 0, "warm run executed stage bodies: {report:?}");
+    assert!(report.stages.iter().all(|s| s.cache == CacheStatus::Hit));
+    assert_eq!(out.content_digest(), cold, "warm output must be bit-identical");
+    // Every stage replayed a non-empty artifact payload.
+    assert!(report.stages.iter().all(|s| s.bytes > 0));
+}
+
+#[test]
+fn trending_threshold_change_recomputes_only_downstream_cone() {
+    let _guard = LOCK.lock().unwrap();
+    baseline_digest();
+    let mut cfg = config();
+    cfg.trending_threshold = 0.65; // lower than small()'s 0.7: keeps a superset
+    let (_, report) = Pipeline::new(cfg.clone()).run_with_report().expect("dirty run");
+    for stage in UPSTREAM {
+        assert_eq!(status_of(&report, stage), CacheStatus::Hit, "{stage} must replay");
+    }
+    for stage in ["trending", "correlation", "features"] {
+        assert_eq!(status_of(&report, stage), CacheStatus::Miss, "{stage} must recompute");
+    }
+    // The recomputation was itself cached: same config now fully hits.
+    let (_, again) = Pipeline::new(cfg).run_with_report().expect("re-run");
+    assert_eq!(again.executed(), 0);
+}
+
+#[test]
+fn correlation_threshold_change_recomputes_exactly_correlation_and_features() {
+    let _guard = LOCK.lock().unwrap();
+    baseline_digest();
+    let mut cfg = config();
+    cfg.correlation_threshold = 0.6;
+    let (_, report) = Pipeline::new(cfg).run_with_report().expect("dirty run");
+    for stage in UPSTREAM {
+        assert_eq!(status_of(&report, stage), CacheStatus::Hit, "{stage} must replay");
+    }
+    assert_eq!(
+        status_of(&report, "trending"),
+        CacheStatus::Hit,
+        "correlation threshold must not dirty trending"
+    );
+    for stage in ["correlation", "features"] {
+        assert_eq!(status_of(&report, stage), CacheStatus::Miss, "{stage} must recompute");
+    }
+}
+
+#[test]
+fn corrupted_artifact_recomputes_and_heals_instead_of_erroring() {
+    let _guard = LOCK.lock().unwrap();
+    let cold = baseline_digest();
+
+    // Truncate the cached trending artifact mid-payload.
+    let victim = std::fs::read_dir(dir())
+        .expect("cache dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("trending-") && n.ends_with(".art"))
+        })
+        .expect("trending artifact on disk");
+    let full = std::fs::metadata(&victim).expect("metadata").len();
+    let file = std::fs::OpenOptions::new().write(true).open(&victim).expect("open");
+    file.set_len(full / 2).expect("truncate");
+    drop(file);
+
+    // The damaged artifact reads as a miss: only trending recomputes
+    // (its fingerprint is unchanged, so downstream stages still hit),
+    // and the output is still bit-identical to the cold run.
+    let (out, report) = Pipeline::new(config()).run_with_report().expect("healing run");
+    assert_eq!(status_of(&report, "trending"), CacheStatus::Miss, "corruption = miss");
+    assert_eq!(report.executed(), 1, "only the damaged stage recomputes: {report:?}");
+    assert_eq!(out.content_digest(), cold);
+
+    // The recomputation healed the cache in place.
+    let (_, healed) = Pipeline::new(config()).run_with_report().expect("healed run");
+    assert_eq!(healed.executed(), 0);
+    assert_eq!(std::fs::metadata(&victim).expect("metadata").len(), full);
+}
+
+#[test]
+fn force_from_and_until_steer_the_executor() {
+    let _guard = LOCK.lock().unwrap();
+    baseline_digest();
+
+    // `from`: everything before replays, the named stage onward
+    // recomputes even though the cache is valid.
+    let mut cfg = config();
+    cfg.cache.from = Some("trending".into());
+    let (_, report) = Pipeline::new(cfg).run_with_report().expect("from run");
+    for stage in UPSTREAM {
+        assert_eq!(status_of(&report, stage), CacheStatus::Hit);
+    }
+    for stage in ["trending", "correlation", "features"] {
+        assert_eq!(status_of(&report, stage), CacheStatus::Forced);
+    }
+
+    // `until`: later stages are skipped outright; the artifact set
+    // holds only the materialized prefix.
+    let mut cfg = config();
+    cfg.cache.until = Some("preprocess".into());
+    let (artifacts, report) = Pipeline::new(cfg).execute().expect("until run");
+    assert!(artifacts.contains("collect") && artifacts.contains("preprocess"));
+    assert!(!artifacts.contains("topics") && !artifacts.contains("features"));
+    for stage in ["topics", "events", "embeddings", "trending", "correlation", "features"] {
+        assert_eq!(status_of(&report, stage), CacheStatus::Skipped);
+    }
+
+    // `force`: every stage recomputes; output still bit-identical.
+    let mut cfg = config();
+    cfg.cache.force = true;
+    let (out, report) = Pipeline::new(cfg).run_with_report().expect("forced run");
+    assert!(report.stages.iter().all(|s| s.cache == CacheStatus::Forced));
+    assert_eq!(out.content_digest(), baseline_digest());
+}

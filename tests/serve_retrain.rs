@@ -1,0 +1,132 @@
+//! Reload-with-retrain: `POST /admin/reload {"run_dir": ...}` replays
+//! the staged pipeline from its artifact cache, refits the served
+//! model, hot-swaps the new checkpoint, and surfaces the per-stage
+//! report on `GET /metrics`.
+
+use newsdiff::core::checkpoint::save_checkpoint;
+use newsdiff::core::features::DatasetVariant;
+use newsdiff::core::pipeline::{Pipeline, PipelineConfig};
+use newsdiff::core::predict::{NetworkKind, PredictConfig, Target};
+use newsdiff::serve::{
+    Client, ModelSpec, Registry, RetrainModel, RetrainSpec, ServeConfig, Server,
+};
+use newsdiff::store::Database;
+use serde_json::json;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("ndrt-{}-{}", std::process::id(), name));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+/// A fast retrain protocol: a few epochs are enough to produce a new
+/// checkpoint; model quality is covered by the end-to-end suite.
+fn predict_config() -> PredictConfig {
+    PredictConfig {
+        batch_size: 512,
+        max_epochs: 3,
+        early_stopping: None,
+        val_fraction: 0.2,
+        seed: 7,
+    }
+}
+
+#[test]
+fn reload_with_run_dir_retrains_and_swaps_from_the_artifact_cache() {
+    let db_dir = tmpdir("retrain-db");
+    let run_dir = PipelineConfig::shared_run_dir();
+    let pipeline_config = PipelineConfig::small().with_cache_dir(run_dir.clone());
+
+    // Populate the run cache and discover the feature width, exactly
+    // as an offline training job would.
+    let output = Pipeline::new(pipeline_config.clone()).run().expect("cold run");
+    let dataset = output.dataset(DatasetVariant::A1, 11);
+    assert!(!dataset.is_empty());
+    let dim = dataset.x.cols();
+
+    // Seed checkpoint version 1.
+    {
+        let mut db = Database::open(&db_dir).expect("open db");
+        let network = NetworkKind::Mlp1.build(dim, 7);
+        let v = save_checkpoint(&mut db, "likes", &network).expect("seed checkpoint");
+        assert_eq!(v, 1);
+    }
+
+    let spec = ModelSpec::new("likes", dim, move || NetworkKind::Mlp1.build(dim, 7));
+    let registry = Registry::load(&db_dir, vec![spec], 2).expect("registry");
+    let config = ServeConfig {
+        retrain: Some(RetrainSpec {
+            pipeline: pipeline_config,
+            variant: DatasetVariant::A1,
+            predict: predict_config(),
+            models: vec![RetrainModel {
+                name: "likes".to_string(),
+                kind: NetworkKind::Mlp1,
+                target: Target::Likes,
+            }],
+            dataset_seed: 11,
+        }),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config, registry).expect("start server");
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let res = client
+        .post_json("/admin/reload", &json!({"run_dir": run_dir.to_string_lossy().to_string()}))
+        .expect("reload");
+    assert_eq!(res.status, 200, "{}", String::from_utf8_lossy(&res.body));
+    let body: serde_json::Value = serde_json::from_slice(&res.body).expect("json body");
+
+    // The retrained model hot-swapped 1 -> 2.
+    let swapped = body["swapped"].as_array().expect("swapped list");
+    assert_eq!(swapped.len(), 1);
+    assert_eq!(swapped[0]["model"].as_str(), Some("likes"));
+    assert_eq!(swapped[0]["from"].as_u64(), Some(1));
+    assert_eq!(swapped[0]["to"].as_u64(), Some(2));
+
+    // The pipeline section reports all eight stages; the run went
+    // through the pre-populated cache, so nothing re-executed.
+    let pipeline = &body["pipeline"];
+    assert_eq!(pipeline["stages"].as_array().map(Vec::len), Some(8));
+    assert_eq!(pipeline["executed"].as_u64(), Some(0), "warm cache must replay every stage");
+    assert_eq!(pipeline["replayed"].as_u64(), Some(8));
+
+    // The per-stage report is now live on /metrics.
+    let metrics = client.get("/metrics").expect("metrics");
+    let text = String::from_utf8_lossy(&metrics.body).to_string();
+    for gauge in
+        ["nd_pipeline_stage_wall_ms", "nd_pipeline_stage_cache_hit", "nd_pipeline_artifact_bytes"]
+    {
+        assert!(text.contains(gauge), "missing {gauge} in:\n{text}");
+    }
+    assert!(text.contains("nd_pipeline_stage_cache_hit{stage=\"features\"} 1"));
+
+    // A plain reload (no run_dir) still answers and finds nothing new.
+    let res = client.post_json("/admin/reload", &json!({})).expect("plain reload");
+    assert_eq!(res.status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn reload_with_run_dir_requires_a_retrain_spec() {
+    let db_dir = tmpdir("retrain-unconfigured");
+    {
+        let mut db = Database::open(&db_dir).expect("open db");
+        let network = NetworkKind::Mlp1.build(8, 7);
+        save_checkpoint(&mut db, "likes", &network).expect("seed checkpoint");
+    }
+    let spec = ModelSpec::new("likes", 8, || NetworkKind::Mlp1.build(8, 7));
+    let registry = Registry::load(&db_dir, vec![spec], 2).expect("registry");
+    let server = Server::start(ServeConfig::default(), registry).expect("start server");
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let res = client
+        .post_json("/admin/reload", &json!({"run_dir": "/nonexistent"}))
+        .expect("reload");
+    assert_eq!(res.status, 400);
+
+    server.shutdown();
+}
