@@ -151,6 +151,53 @@ fn bench_matmul_1024_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+/// The packed GEMM kernel itself, with scratch and output buffers
+/// reused across iterations (the steady-state shape of every `_into`
+/// call site): measures the kernel, not the allocator.
+fn bench_gemm_scaling(c: &mut Criterion) {
+    for (size, samples) in [(256usize, FAST_KERNEL_SAMPLES), (512, 20), (1024, 5)] {
+        let a = random_mat(size, size, 31);
+        let b = random_mat(size, size, 32);
+        let mut scratch = nd_linalg::GemmScratch::new();
+        let mut out = Mat::zeros(size, size);
+        let mut g = c.benchmark_group(&format!("gemm_{size}"));
+        g.sample_size(samples);
+        for t in THREAD_STEPS {
+            g.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
+                std::env::set_var("NEWSDIFF_THREADS", t);
+                bch.iter(|| {
+                    a.matmul_unchecked_into(black_box(&b), &mut scratch, &mut out);
+                    black_box(out.get(0, 0))
+                });
+            });
+        }
+        std::env::remove_var("NEWSDIFF_THREADS");
+        g.finish();
+    }
+}
+
+/// Matrix-free LSA fit: randomized SVD driven through the sparse
+/// matrix's `MatOp` impl — sketch GEMMs plus SpMM, never densified.
+fn bench_lsa_scaling(c: &mut Criterion) {
+    use nd_topics::lsa::{Lsa, LsaConfig};
+    let docs = synth_docs(2_000, 3_000, 80, 33);
+    let dtm = DtmBuilder::new().build(&docs);
+    let a = dtm.weighted(Weighting::TfIdfNormalized);
+    let mut g = c.benchmark_group("lsa_fit_2000x3000_k20");
+    g.sample_size(10);
+    for t in THREAD_STEPS {
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
+            std::env::set_var("NEWSDIFF_THREADS", t);
+            bch.iter(|| {
+                let lsa = Lsa::new(LsaConfig { n_topics: 20, ..Default::default() });
+                black_box(lsa.fit(black_box(&a), dtm.vocab()))
+            });
+        });
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+    g.finish();
+}
+
 fn bench_cnn_epoch_scaling(c: &mut Criterion) {
     let mut rng = SplitMix64::new(24);
     let n = 500;
@@ -280,8 +327,8 @@ criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(20);
     targets = bench_tfidf, bench_nmf, bench_mabed, bench_word2vec, bench_cosine,
-        bench_matmul_scaling, bench_matmul_1024_scaling, bench_csr_scaling,
-        bench_nmf_scaling, bench_word2vec_scaling, bench_layers_scaling,
-        bench_cnn_epoch_scaling
+        bench_matmul_scaling, bench_matmul_1024_scaling, bench_gemm_scaling,
+        bench_lsa_scaling, bench_csr_scaling, bench_nmf_scaling,
+        bench_word2vec_scaling, bench_layers_scaling, bench_cnn_epoch_scaling
 );
 criterion_main!(kernels);

@@ -7,10 +7,14 @@
 //!
 //! * [`Mat`] — a row-major dense `f64` matrix with the usual algebra
 //!   (products, transposes, element-wise maps, reductions, slicing).
+//! * [`gemm`] — the packed, register-blocked GEMM microkernel every
+//!   dense product routes through, plus the [`MatOp`] operator trait
+//!   that lets algorithms run matrix-free over other representations.
 //! * [`vecops`] — free functions over `&[f64]` slices (dot products,
 //!   norms, cosine similarity, softmax, …).
 //! * [`svd`] — truncated singular value decomposition via randomized
-//!   subspace iteration, used by the LSA topic model.
+//!   subspace iteration over any [`MatOp`], used by the LSA topic
+//!   model (sparse, matrix-free) and available densely via [`Mat`].
 //! * [`stats`] — descriptive statistics and correlation coefficients,
 //!   used by the MABED event-detection weights.
 //! * [`rng`] — small deterministic RNG helpers so every stochastic
@@ -24,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod gemm;
 pub mod mat;
 pub mod rng;
 pub mod stats;
@@ -31,5 +36,6 @@ pub mod svd;
 pub mod vecops;
 
 pub use error::{LinalgError, Result};
+pub use gemm::{GemmScratch, MatOp};
 pub use mat::Mat;
-pub use svd::{truncated_svd, Svd};
+pub use svd::{truncated_svd, truncated_svd_op, Svd};

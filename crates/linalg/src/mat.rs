@@ -8,8 +8,9 @@ use crate::rng::SplitMix64;
 /// `Mat` is the workhorse type shared by the NMF topic model, the
 /// embedding trainers, and the neural-network layers. It keeps one
 /// contiguous `Vec<f64>`; the hot paths (matrix products, transpose)
-/// are cache-tiled and run across threads via `nd-par`, with fixed
-/// tile boundaries and accumulation order so results are bit-for-bit
+/// route through the packed GEMM microkernel ([`crate::gemm`]) and
+/// run across threads via `nd-par`, with fixed panel boundaries
+/// and accumulation order so results are bit-for-bit
 /// identical at any `NEWSDIFF_THREADS` setting.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -277,57 +278,76 @@ impl Mat {
     /// Matrix product without the shape `Result`; for iteration-hot
     /// call sites that validate shapes once up front.
     ///
-    /// The right-hand side is transpose-packed so every output entry
-    /// is a contiguous–contiguous dot product; output rows are
-    /// blocked across threads and the packed rows are walked in
-    /// column tiles for cache reuse. Accumulation order per entry is
-    /// fixed (ascending `k` in [`vecops::dot`]'s four-lane pattern),
-    /// so any thread count produces identical bits.
+    /// Runs on the packed register-blocked kernel in [`crate::gemm`]
+    /// using a thread-local packing scratch, so repeated calls do not
+    /// re-allocate. Accumulation order per entry is fixed by the
+    /// kernel's panel schedule, so any thread count produces
+    /// identical bits.
     ///
     /// # Panics
     /// Debug-asserts `self.cols == rhs.rows`.
     pub fn matmul_unchecked(&self, rhs: &Mat) -> Mat {
-        let mut bt = Mat::zeros(0, 0);
         let mut out = Mat::zeros(0, 0);
-        self.matmul_unchecked_into(rhs, &mut bt, &mut out);
+        crate::gemm::with_tls_scratch(|scratch| {
+            self.matmul_unchecked_into(rhs, scratch, &mut out);
+        });
         out
     }
 
-    /// [`Mat::matmul_unchecked`] into caller-provided scratch: `bt`
-    /// receives the transpose-packed right-hand side and `out` the
-    /// product (both reshaped and overwritten). Iteration loops reuse
-    /// the two buffers across calls, eliminating the per-call packing
-    /// allocation. Bit-identical to the allocating version.
+    /// [`Mat::matmul_unchecked`] into caller-provided scratch:
+    /// `scratch` holds the GEMM packing panels and `out` receives the
+    /// product (reshaped and overwritten). Iteration loops reuse both
+    /// across calls, eliminating per-call packing allocations.
+    /// Bit-identical to the allocating version.
     ///
     /// # Panics
     /// Debug-asserts `self.cols == rhs.rows`.
-    pub fn matmul_unchecked_into(&self, rhs: &Mat, bt: &mut Mat, out: &mut Mat) {
+    pub fn matmul_unchecked_into(
+        &self,
+        rhs: &Mat,
+        scratch: &mut crate::gemm::GemmScratch,
+        out: &mut Mat,
+    ) {
         debug_assert_eq!(self.cols, rhs.rows, "matmul_unchecked_into shape mismatch");
-        let (m, n) = (self.rows, rhs.cols);
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
         out.reset_zeroed(m, n);
-        if m == 0 || n == 0 || self.cols == 0 {
-            return;
-        }
-        // Pack B as row-major Bᵀ: column j of B becomes contiguous
-        // row j, turning the inner loop into a streaming dot.
-        rhs.transpose_into(bt);
-        let bt = &*bt;
-        // A j-tile of Bᵀ (64 rows × k) is reused across every row of
-        // an output block before moving on, keeping it in L1/L2.
-        const J_TILE: usize = 64;
-        let rows_per_chunk = nd_par::auto_chunk_len(m, 8);
-        let work_per_row = n.saturating_mul(self.cols);
-        nd_par::par_for_rows(&mut out.data, n, rows_per_chunk, work_per_row, |i0, block| {
-            for j0 in (0..n).step_by(J_TILE) {
-                let j_end = (j0 + J_TILE).min(n);
-                for (bi, out_row) in block.chunks_exact_mut(n).enumerate() {
-                    let a_row = self.row(i0 + bi);
-                    for (j, o) in out_row[j0..j_end].iter_mut().enumerate() {
-                        *o = crate::vecops::dot(a_row, bt.row(j0 + j));
-                    }
-                }
-            }
-        });
+        crate::gemm::gemm_into(m, k, n, &self.data, false, &rhs.data, false, false, scratch, &mut out.data);
+    }
+
+    /// `selfᵀ * rhs` without materializing the transpose, into
+    /// caller-provided scratch (`out` reshaped and overwritten). The
+    /// packed kernel absorbs the transposed orientation during panel
+    /// packing, so this costs the same as a plain product.
+    ///
+    /// # Panics
+    /// Debug-asserts `self.rows == rhs.rows`.
+    pub fn transpose_matmul_into(
+        &self,
+        rhs: &Mat,
+        scratch: &mut crate::gemm::GemmScratch,
+        out: &mut Mat,
+    ) {
+        debug_assert_eq!(self.rows, rhs.rows, "transpose_matmul_into shape mismatch");
+        let (m, k, n) = (self.cols, self.rows, rhs.cols);
+        out.reset_zeroed(m, n);
+        crate::gemm::gemm_into(m, k, n, &self.data, true, &rhs.data, false, false, scratch, &mut out.data);
+    }
+
+    /// `self * rhsᵀ` without materializing the transpose, into
+    /// caller-provided scratch (`out` reshaped and overwritten).
+    ///
+    /// # Panics
+    /// Debug-asserts `self.cols == rhs.cols`.
+    pub fn matmul_transpose_into(
+        &self,
+        rhs: &Mat,
+        scratch: &mut crate::gemm::GemmScratch,
+        out: &mut Mat,
+    ) {
+        debug_assert_eq!(self.cols, rhs.cols, "matmul_transpose_into shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        out.reset_zeroed(m, n);
+        crate::gemm::gemm_into(m, k, n, &self.data, false, &rhs.data, true, false, scratch, &mut out.data);
     }
 
     /// Matrix–vector product `self * v`.
@@ -357,12 +377,7 @@ impl Mat {
         }
         out.clear();
         out.resize(self.rows, 0.0);
-        let rows_per_chunk = nd_par::auto_chunk_len(self.rows, 64);
-        nd_par::par_for_rows(&mut out[..], 1, rows_per_chunk, self.cols, |i0, block| {
-            for (k, o) in block.iter_mut().enumerate() {
-                *o = crate::vecops::dot(self.row(i0 + k), v);
-            }
-        });
+        crate::gemm::matvec_into(self.rows, self.cols, &self.data, false, v, false, out);
         Ok(())
     }
 
@@ -619,41 +634,27 @@ impl Mat {
 
     /// `A^T * A` without materializing the transpose.
     ///
-    /// Output rows are sharded across threads; every worker streams
-    /// the source rows in ascending order and accumulates only into
-    /// its own shard, so per-entry summation order (and therefore the
-    /// result, bit-for-bit) is independent of the thread count.
+    /// Routed through the packed GEMM kernel with `self` packed once
+    /// per side (transposed for the left operand, plain for the
+    /// right), using a thread-local packing scratch. The kernel's
+    /// fixed panel schedule makes the result bit-for-bit independent
+    /// of the thread count.
     pub fn gram(&self) -> Mat {
         let mut out = Mat::zeros(0, 0);
-        self.gram_into(&mut out);
+        crate::gemm::with_tls_scratch(|scratch| {
+            self.gram_into(scratch, &mut out);
+        });
         out
     }
 
-    /// [`Mat::gram`] into a caller-provided scratch matrix (reshaped
-    /// and overwritten). Iteration-hot call sites reuse `out` across
-    /// calls; bit-identical to the allocating version.
-    pub fn gram_into(&self, out: &mut Mat) {
+    /// [`Mat::gram`] into caller-provided scratch (`out` reshaped and
+    /// overwritten, `scratch` holding the packing panels).
+    /// Iteration-hot call sites reuse both across calls; bit-identical
+    /// to the allocating version.
+    pub fn gram_into(&self, scratch: &mut crate::gemm::GemmScratch, out: &mut Mat) {
         let (r, c) = (self.rows, self.cols);
         out.reset_zeroed(c, c);
-        if r == 0 || c == 0 {
-            return;
-        }
-        let src = &self.data;
-        let rows_per_chunk = nd_par::auto_chunk_len(c, 4);
-        let work_per_row = r.saturating_mul(c);
-        nd_par::par_for_rows(&mut out.data, c, rows_per_chunk, work_per_row, |k0, block| {
-            for row in src.chunks_exact(c) {
-                for (kk, out_row) in block.chunks_exact_mut(c).enumerate() {
-                    let a = row[k0 + kk];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    for (o, &b) in out_row.iter_mut().zip(row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        crate::gemm::gemm_into(c, r, c, &self.data, true, &self.data, false, false, scratch, &mut out.data);
     }
 }
 
@@ -963,17 +964,21 @@ mod tests {
         let a = Mat::random_uniform(33, 21, -1.0, 1.0, 9);
         let b = Mat::random_uniform(21, 17, -1.0, 1.0, 10);
         // Dirty, wrongly-shaped scratch must not leak into results.
-        let mut bt = Mat::filled(3, 5, 7.0);
+        let mut scratch = crate::gemm::GemmScratch::new();
         let mut out = Mat::filled(2, 2, -3.0);
-        a.matmul_unchecked_into(&b, &mut bt, &mut out);
+        a.matmul_unchecked_into(&b, &mut scratch, &mut out);
         assert_eq!(out, a.matmul_unchecked(&b));
+        // Reusing the now-dirty packing scratch must be bit-identical.
+        let mut out2 = Mat::filled(5, 1, 11.0);
+        a.matmul_unchecked_into(&b, &mut scratch, &mut out2);
+        assert_eq!(out, out2);
 
         let mut t = Mat::filled(1, 9, 4.0);
         a.transpose_into(&mut t);
         assert_eq!(t, a.transpose());
 
         let mut g = Mat::filled(40, 2, 1.0);
-        a.gram_into(&mut g);
+        a.gram_into(&mut scratch, &mut g);
         assert_eq!(g, a.gram());
 
         let v: Vec<f64> = (0..21).map(|i| (i as f64).cos()).collect();

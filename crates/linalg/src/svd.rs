@@ -6,8 +6,15 @@
 //! (Halko, Martinsson & Tropp 2011): project onto a random sketch,
 //! orthonormalize, iterate a few power steps, then solve the small
 //! projected problem by Jacobi eigendecomposition of its Gram matrix.
+//!
+//! The algorithm is **matrix-free**: [`truncated_svd_op`] only touches
+//! `A` through the [`MatOp`] trait (`apply_into` / `apply_t_into`), so
+//! it runs directly on a sparse `CsrMatrix` — sketch-sized GEMMs plus
+//! SpMM — without ever densifying, and never materializes `Aᵀ` even in
+//! the dense case.
 
 use crate::error::{LinalgError, Result};
+use crate::gemm::{GemmScratch, MatOp};
 use crate::mat::Mat;
 
 /// Result of a truncated SVD: `A ≈ U * diag(S) * V^T`.
@@ -33,29 +40,54 @@ pub struct Svd {
 /// # Errors
 /// Returns [`LinalgError::Empty`] for an empty matrix or `k == 0`.
 pub fn truncated_svd(a: &Mat, k: usize, n_iter: usize, seed: u64) -> Result<Svd> {
-    if a.rows() == 0 || a.cols() == 0 || k == 0 {
+    truncated_svd_op(a, k, n_iter, seed)
+}
+
+/// Matrix-free variant of [`truncated_svd`]: computes the top-`k`
+/// singular triplets of any [`MatOp`] (dense [`Mat`], sparse
+/// `CsrMatrix`, …) touching the operator only through
+/// `apply_into`/`apply_t_into`. Peak memory is the sketch
+/// (`rows × p` + `cols × p`), never a densified or transposed copy
+/// of the operator itself.
+///
+/// # Errors
+/// Returns [`LinalgError::Empty`] for an empty operator or `k == 0`.
+pub fn truncated_svd_op<A: MatOp + ?Sized>(
+    a: &A,
+    k: usize,
+    n_iter: usize,
+    seed: u64,
+) -> Result<Svd> {
+    let (rows, cols) = (a.nrows(), a.ncols());
+    if rows == 0 || cols == 0 || k == 0 {
         return Err(LinalgError::Empty("truncated_svd"));
     }
-    let k = k.min(a.rows()).min(a.cols());
+    let k = k.min(rows).min(cols);
     // Oversample the sketch for accuracy, then truncate at the end.
-    let p = (k + 8).min(a.rows()).min(a.cols());
+    let p = (k + 8).min(rows).min(cols);
 
-    let at = a.transpose();
     // Random sketch: Y = A * Omega, Omega ~ N(0,1)^{n x p}.
-    let omega = Mat::random_normal(a.cols(), p, 0.0, 1.0, seed);
-    let mut y = a.matmul(&omega)?;
+    let omega = Mat::random_normal(cols, p, 0.0, 1.0, seed);
+    let mut scratch = GemmScratch::new();
+    let mut y = Mat::zeros(0, 0);
+    a.apply_into(&omega, &mut scratch, &mut y);
     orthonormalize_cols(&mut y);
+    let mut z = Mat::zeros(0, 0);
     for _ in 0..n_iter {
-        let mut z = at.matmul(&y)?;
+        a.apply_t_into(&y, &mut scratch, &mut z);
         orthonormalize_cols(&mut z);
-        y = a.matmul(&z)?;
+        a.apply_into(&z, &mut scratch, &mut y);
         orthonormalize_cols(&mut y);
     }
-    // B = Q^T A  (p x n); SVD of B gives the triplets of A.
-    let b = y.transpose().matmul(a)?;
-    // Eigendecompose B B^T (p x p, symmetric PSD).
-    let bbt = b.matmul(&b.transpose())?;
-    let (eigvals, eigvecs) = jacobi_eigen_symmetric(&bbt, 200);
+    // Bᵀ = Aᵀ Q  (n x p): one more transpose-apply, reusing the power
+    // iteration's workspace. SVD of B = QᵀA gives the triplets of A.
+    let mut bt = z;
+    a.apply_t_into(&y, &mut scratch, &mut bt);
+    // B Bᵀ = (Bᵀ)ᵀ (Bᵀ): a p x p Gram of the stored Bᵀ, through the
+    // packed kernel's scratch — no intermediate B or B·Bᵀ temporaries.
+    let mut bbt = Mat::zeros(0, 0);
+    bt.gram_into(&mut scratch, &mut bbt);
+    let (eigvals, eigvecs) = jacobi_eigen_symmetric(&bbt, jacobi_sweep_cap(p));
 
     // Sort by eigenvalue descending.
     let mut order: Vec<usize> = (0..eigvals.len()).collect();
@@ -63,8 +95,8 @@ pub fn truncated_svd(a: &Mat, k: usize, n_iter: usize, seed: u64) -> Result<Svd>
     order.truncate(k);
 
     let mut s = Vec::with_capacity(k);
-    let mut u = Mat::zeros(a.rows(), k);
-    let mut v = Mat::zeros(a.cols(), k);
+    let mut u = Mat::zeros(rows, k);
+    let mut v = Mat::zeros(cols, k);
     // All three buffers are reused across the assembly loop:
     // `Mat::col` / `Mat::matvec` would allocate fresh vectors per
     // singular triplet.
@@ -80,15 +112,26 @@ pub fn truncated_svd(a: &Mat, k: usize, n_iter: usize, seed: u64) -> Result<Svd>
         for (i, &val) in qu.iter().enumerate() {
             u.set(i, out_col, val);
         }
-        // Right singular vector: v = A^T u / sigma.
+        // Right singular vector: v = Aᵀu/σ = AᵀQw/σ = Bᵀw/σ — a linear
+        // combination of the already-materialized Bᵀ columns, so no
+        // extra pass over the operator is needed.
         if sigma > 1e-12 {
-            at.matvec_into(&qu, &mut av)?;
+            bt.matvec_cols_into(&w, &mut av);
             for (i, &val) in av.iter().enumerate() {
                 v.set(i, out_col, val / sigma);
             }
         }
     }
     Ok(Svd { u, s, v })
+}
+
+/// Sweep cap for the Jacobi eigensolver on the projected `p x p`
+/// problem. Cyclic Jacobi converges quadratically once a handful of
+/// sweeps have mixed every pair, so small sketches (`p` = k + 8
+/// oversampling, a few dozen at most) need nowhere near the old fixed
+/// cap of 200 sweeps.
+fn jacobi_sweep_cap(p: usize) -> usize {
+    8 + 2 * (usize::BITS - p.leading_zeros()) as usize
 }
 
 impl Mat {
@@ -162,7 +205,10 @@ fn orthonormalize_cols(m: &mut Mat) {
 ///
 /// Returns `(eigenvalues, eigenvectors)` with eigenvectors in columns.
 /// Convergence is declared when the off-diagonal Frobenius mass drops
-/// below `1e-12` of the total, or after `max_sweeps` sweeps.
+/// below `1e-24` absolutely *or* below `1e-28` of the diagonal mass —
+/// the relative test lets well-scaled matrices (the usual case: B·Bᵀ
+/// of an orthonormal sketch) exit after a few sweeps instead of
+/// polishing toward an absolute threshold they may never reach.
 fn jacobi_eigen_symmetric(a: &Mat, max_sweeps: usize) -> (Vec<f64>, Mat) {
     let n = a.rows();
     debug_assert_eq!(n, a.cols());
@@ -176,7 +222,8 @@ fn jacobi_eigen_symmetric(a: &Mat, max_sweeps: usize) -> (Vec<f64>, Mat) {
                 off += d.get(i, j) * d.get(i, j);
             }
         }
-        if off < 1e-24 {
+        let diag: f64 = (0..n).map(|i| d.get(i, i) * d.get(i, i)).sum();
+        if off < 1e-24 || off <= diag * 1e-28 {
             break;
         }
         for p in 0..n {

@@ -1,0 +1,183 @@
+//! Equivalence tests for the packed GEMM kernel.
+//!
+//! The packed path (`gemm_packed`) only engages above a size cutoff,
+//! so these tests compare it against an independent naive reference on
+//! shapes chosen to stress every edge: dimensions that are not
+//! multiples of the register block (MR=3, NR=12), the depth blocking
+//! (KC=256), and the row-panel parallel grain (MC=126), plus the
+//! degenerate k=1, 1×n, and m×1 cases and all four transpose
+//! orientations.
+
+use nd_linalg::gemm::{gemm_into, GemmScratch, KC, MC, MR, NR};
+use nd_linalg::rng::SplitMix64;
+use nd_linalg::Mat;
+
+/// Textbook triple loop, written independently of the kernel under
+/// test (no fused multiply-add, no blocking).
+#[allow(clippy::too_many_arguments)]
+fn reference(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f64],
+    a_trans: bool,
+    b: &[f64],
+    b_trans: bool,
+    accumulate: bool,
+    out: &mut [f64],
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for kk in 0..k {
+                let av = if a_trans { a[kk * m + i] } else { a[i * k + kk] };
+                let bv = if b_trans { b[j * k + kk] } else { b[kk * n + j] };
+                acc += av * bv;
+            }
+            if accumulate {
+                out[i * n + j] += acc;
+            } else {
+                out[i * n + j] = acc;
+            }
+        }
+    }
+}
+
+fn fill(rng: &mut SplitMix64, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.next_range(-1.0, 1.0)).collect()
+}
+
+/// Shapes stressing block boundaries and degenerate extents. The
+/// largest ones exceed the naive cutoff so the packed path is
+/// exercised; the block-constant arithmetic keeps them honest if the
+/// constants ever change.
+fn ragged_shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (1, 1, 1),
+        (MR, 5, NR),
+        (MR + 1, 7, NR + 1),
+        (1, 40, 97),             // 1×n
+        (97, 40, 1),             // m×1 (matvec path)
+        (50, 1, 60),             // k=1
+        (MC, KC, NR),            // exact panel/depth blocks
+        (MC + 1, KC + 1, NR + 1),
+        (2 * MC - 1, KC / 2, 3 * NR - 5),
+        (129, 257, 63),
+        (100, 300, 50),
+    ]
+}
+
+#[test]
+fn packed_matches_reference_all_orientations() {
+    let mut rng = SplitMix64::new(0xE0_17);
+    let mut scratch = GemmScratch::new();
+    for (m, k, n) in ragged_shapes() {
+        for (a_trans, b_trans) in [(false, false), (true, false), (false, true), (true, true)] {
+            let a = fill(&mut rng, m * k);
+            let b = fill(&mut rng, k * n);
+            let mut got = vec![0.0; m * n];
+            let mut want = vec![0.0; m * n];
+            gemm_into(m, k, n, &a, a_trans, &b, b_trans, false, &mut scratch, &mut got);
+            reference(m, k, n, &a, a_trans, &b, b_trans, false, &mut want);
+            for (idx, (g, w)) in got.iter().zip(&want).enumerate() {
+                // Different summation orders (blocked + FMA vs serial):
+                // allow rounding at the scale of the dot length.
+                let tol = 1e-13 * (k as f64).max(1.0);
+                assert!(
+                    (g - w).abs() <= tol,
+                    "({m},{k},{n}) trans=({a_trans},{b_trans}) idx {idx}: {g} vs {w}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn accumulate_adds_onto_existing_output() {
+    let mut rng = SplitMix64::new(0xACC);
+    let mut scratch = GemmScratch::new();
+    for (m, k, n) in [(5, 9, 7), (129, 257, 63)] {
+        let a = fill(&mut rng, m * k);
+        let b = fill(&mut rng, k * n);
+        let seed_out = fill(&mut rng, m * n);
+        let mut got = seed_out.clone();
+        let mut want = seed_out.clone();
+        gemm_into(m, k, n, &a, false, &b, false, true, &mut scratch, &mut got);
+        reference(m, k, n, &a, false, &b, false, true, &mut want);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-13 * k as f64, "accumulate ({m},{k},{n}): {g} vs {w}");
+        }
+    }
+}
+
+#[test]
+fn zero_extents_are_safe() {
+    let mut scratch = GemmScratch::new();
+    // k == 0 zeroes the output (empty sum) unless accumulating.
+    let mut out = vec![7.0; 6];
+    gemm_into(2, 0, 3, &[], false, &[], false, false, &mut scratch, &mut out);
+    assert!(out.iter().all(|&v| v == 0.0));
+    let mut out = vec![7.0; 6];
+    gemm_into(2, 0, 3, &[], false, &[], false, true, &mut scratch, &mut out);
+    assert!(out.iter().all(|&v| v == 7.0));
+    // m == 0 / n == 0 touch nothing.
+    gemm_into(0, 4, 3, &[], false, &[0.0; 12], false, false, &mut scratch, &mut []);
+    gemm_into(2, 4, 0, &[0.0; 8], false, &[], false, false, &mut scratch, &mut []);
+}
+
+#[test]
+fn scratch_reuse_across_shapes_is_bitwise_stable() {
+    // A dirty scratch left over from a larger product must not leak
+    // into a smaller one: packing writes every slot it reads.
+    let mut rng = SplitMix64::new(0x5C);
+    let (m, k, n) = (129, 257, 63);
+    let a = fill(&mut rng, m * k);
+    let b = fill(&mut rng, k * n);
+    let mut fresh = vec![0.0; m * n];
+    gemm_into(m, k, n, &a, false, &b, false, false, &mut GemmScratch::new(), &mut fresh);
+
+    let mut dirty = GemmScratch::new();
+    let big_a = fill(&mut rng, 300 * 300);
+    let big_b = fill(&mut rng, 300 * 300);
+    let mut big_out = vec![0.0; 300 * 300];
+    gemm_into(300, 300, 300, &big_a, false, &big_b, false, false, &mut dirty, &mut big_out);
+    let mut reused = vec![0.0; m * n];
+    gemm_into(m, k, n, &a, false, &b, false, false, &mut dirty, &mut reused);
+    for (f, r) in fresh.iter().zip(&reused) {
+        assert_eq!(f.to_bits(), r.to_bits(), "dirty scratch changed the result");
+    }
+}
+
+#[test]
+fn fused_transpose_products_bit_identical_to_composed() {
+    // The `_into` fusions used by NMF must be drop-in: same bits as
+    // materializing the transpose and multiplying.
+    let mut scratch = GemmScratch::new();
+    let h = Mat::random_normal(20, 130, 0.0, 1.0, 0xF0);
+    let w = Mat::random_normal(130, 20, 0.0, 1.0, 0xF1);
+
+    // h · hᵀ (b_trans) vs h · transpose(h).
+    let mut fused = Mat::zeros(20, 20);
+    h.matmul_transpose_into(&h, &mut scratch, &mut fused);
+    let composed = h.matmul(&h.transpose()).unwrap();
+    for (f, c) in fused.as_slice().iter().zip(composed.as_slice()) {
+        assert_eq!(f.to_bits(), c.to_bits(), "matmul_transpose_into differs");
+    }
+
+    // wᵀ · x via transpose_matmul_into (a_trans) vs transpose(w) · x.
+    let x = Mat::random_normal(130, 45, 0.0, 1.0, 0xF2);
+    let mut fused = Mat::zeros(20, 45);
+    w.transpose_matmul_into(&x, &mut scratch, &mut fused);
+    let composed = w.transpose().matmul(&x).unwrap();
+    for (f, c) in fused.as_slice().iter().zip(composed.as_slice()) {
+        assert_eq!(f.to_bits(), c.to_bits(), "transpose_matmul_into differs");
+    }
+
+    // gram_into vs transpose(w) · w.
+    let mut fused = Mat::zeros(20, 20);
+    w.gram_into(&mut scratch, &mut fused);
+    let composed = w.transpose().matmul(&w).unwrap();
+    for (f, c) in fused.as_slice().iter().zip(composed.as_slice()) {
+        assert_eq!(f.to_bits(), c.to_bits(), "gram_into differs");
+    }
+}

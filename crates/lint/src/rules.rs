@@ -37,6 +37,7 @@ const SPAWN_CRATES: &[&str] = &["par", "serve"];
 /// workspace, so heap allocation is denied file-wide except inside
 /// `impl` blocks of types whose name contains `Scratch`.
 const HOT_LOOP_FILES: &[&str] = &[
+    "crates/linalg/src/gemm.rs",
     "crates/topics/src/nmf.rs",
     "crates/embed/src/word2vec.rs",
     "crates/neural/src/layer.rs",

@@ -140,9 +140,6 @@ pub struct Dense {
     params: Vec<f64>,
     grads: Vec<f64>,
     cached_input: Mat,
-    /// Per-chunk partial-gradient buffers, reused across backward
-    /// passes so the training loop allocates nothing per step.
-    grad_partials: Vec<Vec<f64>>,
 }
 
 impl Dense {
@@ -159,20 +156,14 @@ impl Dense {
         params.extend(std::iter::repeat_n(0.0, out_dim));
         // nd-lint: allow(hot-loop-alloc) — constructor, runs once.
         let grads = vec![0.0; params.len()];
-        Dense {
-            in_dim,
-            out_dim,
-            params,
-            grads,
-            cached_input: Mat::zeros(0, 0),
-            grad_partials: Vec::new(), // nd-lint: allow(hot-loop-alloc)
-        }
+        Dense { in_dim, out_dim, params, grads, cached_input: Mat::zeros(0, 0) }
     }
 }
 
-/// Fixed batch chunk for parameter-gradient reductions: the partial
-/// sums must combine in an order that does not move with the thread
-/// count.
+/// Fixed batch chunk for `Conv1d`'s parameter-gradient reduction: the
+/// partial sums must combine in an order that does not move with the
+/// thread count. (`Dense` gets the same guarantee for free from the
+/// GEMM kernel's fixed depth-block order.)
 const GRAD_CHUNK: usize = 16;
 
 impl Layer for Dense {
@@ -188,31 +179,29 @@ impl Layer for Dense {
         debug_assert_eq!(input.cols(), self.in_dim, "dense input width");
         let batch = input.rows();
         let (in_dim, out_dim) = (self.in_dim, self.out_dim);
-        let params = &self.params;
         let mut out = Mat::zeros(batch, out_dim);
-        // Samples are independent: each worker owns a disjoint block
-        // of output rows.
-        nd_par::par_for_rows(
-            out.as_mut_slice(),
-            out_dim,
-            nd_par::auto_chunk_len(batch, 8),
-            in_dim * out_dim,
-            |r0, block| {
-                for (k, o) in block.chunks_mut(out_dim).enumerate() {
-                    let x = input.row(r0 + k);
-                    o.copy_from_slice(&params[in_dim * out_dim..]);
-                    for (i, &xi) in x.iter().enumerate() {
-                        if xi == 0.0 {
-                            continue;
-                        }
-                        let w_row = &params[i * out_dim..(i + 1) * out_dim];
-                        for (oj, &w) in o.iter_mut().zip(w_row) {
-                            *oj += xi * w;
-                        }
-                    }
-                }
-            },
-        );
+        // X·W through the packed GEMM kernel; thread-local scratch
+        // because the serving path calls this through `&self`.
+        nd_linalg::gemm::with_tls_scratch(|s| {
+            nd_linalg::gemm::gemm_into(
+                batch,
+                in_dim,
+                out_dim,
+                input.as_slice(),
+                false,
+                &self.params[..in_dim * out_dim],
+                false,
+                false,
+                s,
+                out.as_mut_slice(),
+            );
+        });
+        let bias = &self.params[in_dim * out_dim..];
+        for row in out.as_mut_slice().chunks_mut(out_dim) {
+            for (o, &b) in row.iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
         out
     }
 
@@ -223,69 +212,46 @@ impl Layer for Dense {
         let (in_dim, out_dim) = (self.in_dim, self.out_dim);
 
         // Parameter gradients (averaged over the batch by the loss, so
-        // plain accumulation here): each fixed-size chunk fills its own
-        // persistent partial buffer, then the partials fold into the
-        // running grads in ascending chunk order — thread-count
-        // invariant and allocation-free once the buffers are warm.
-        let plen = in_dim * out_dim + out_dim;
-        let nchunks = batch.div_ceil(GRAD_CHUNK);
+        // plain accumulation here). Weight gradient Xᵀ·G accumulates
+        // straight into the running grads: the GEMM kernel's serial
+        // depth-block order makes the sum thread-count invariant, so no
+        // per-chunk partial buffers are needed.
         let input = &self.cached_input;
-        let partials = &mut self.grad_partials;
-        partials.resize_with(nchunks, Vec::new);
-        nd_par::par_for_rows(
-            &mut partials[..nchunks],
-            1,
-            1,
-            GRAD_CHUNK * in_dim * out_dim,
-            |ci, slot| {
-                let part = &mut slot[0];
-                part.clear();
-                part.resize(plen, 0.0);
-                let lo = ci * GRAD_CHUNK;
-                let hi = (lo + GRAD_CHUNK).min(batch);
-                for r in lo..hi {
-                    let x = input.row(r);
-                    let g = grad_output.row(r);
-                    for (i, &xi) in x.iter().enumerate() {
-                        if xi == 0.0 {
-                            continue;
-                        }
-                        let gw = &mut part[i * out_dim..(i + 1) * out_dim];
-                        for (gwj, &gj) in gw.iter_mut().zip(g) {
-                            *gwj += xi * gj;
-                        }
-                    }
-                    let gb = &mut part[in_dim * out_dim..];
-                    for (gbj, &gj) in gb.iter_mut().zip(g) {
-                        *gbj += gj;
-                    }
-                }
-            },
-        );
-        for part in partials.iter() {
-            for (gsum, &p) in self.grads.iter_mut().zip(part.iter()) {
-                *gsum += p;
+        let mut grad_input = Mat::zeros(batch, in_dim);
+        nd_linalg::gemm::with_tls_scratch(|s| {
+            nd_linalg::gemm::gemm_into(
+                in_dim,
+                batch,
+                out_dim,
+                input.as_slice(),
+                true,
+                grad_output.as_slice(),
+                false,
+                true,
+                s,
+                &mut self.grads[..in_dim * out_dim],
+            );
+            // Input gradient: G·Wᵀ through the same kernel.
+            nd_linalg::gemm::gemm_into(
+                batch,
+                out_dim,
+                in_dim,
+                grad_output.as_slice(),
+                false,
+                &self.params[..in_dim * out_dim],
+                true,
+                false,
+                s,
+                grad_input.as_mut_slice(),
+            );
+        });
+        // Bias gradient: column sums of G, ascending rows.
+        let gb = &mut self.grads[in_dim * out_dim..];
+        for r in 0..batch {
+            for (gbj, &gj) in gb.iter_mut().zip(grad_output.row(r)) {
+                *gbj += gj;
             }
         }
-
-        // Input gradient: g W^T, rows independent.
-        let mut grad_input = Mat::zeros(batch, in_dim);
-        let params = &self.params;
-        nd_par::par_for_rows(
-            grad_input.as_mut_slice(),
-            in_dim,
-            nd_par::auto_chunk_len(batch, 8),
-            in_dim * out_dim,
-            |r0, block| {
-                for (k, gi) in block.chunks_mut(in_dim).enumerate() {
-                    let g = grad_output.row(r0 + k);
-                    for (i, gii) in gi.iter_mut().enumerate() {
-                        let w_row = &params[i * out_dim..(i + 1) * out_dim];
-                        *gii = w_row.iter().zip(g).map(|(&w, &gj)| w * gj).sum();
-                    }
-                }
-            },
-        );
         grad_input
     }
 

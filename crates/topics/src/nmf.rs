@@ -58,33 +58,31 @@ const EPS: f64 = 1e-10;
 /// one. Shapes are fixed across the loop (`W: n×k`, `H: k×m`), so
 /// after iteration one nothing here ever reallocates.
 struct NmfScratch {
-    /// `AᵀW` (m×k); transposed into `wta`.
-    atw: Mat,
-    /// `WᵀA` (k×m) — numerator of the H update.
+    /// `WᵀA` (k×m) — numerator of the H update, written directly in
+    /// its consumed layout by the fused
+    /// `CsrMatrix::transpose_matmul_dense_t_into` kernel (no `AᵀW`
+    /// intermediate, no transpose pass).
     wta: Mat,
     /// `WᵀW` (k×k).
     wtw: Mat,
     /// `WᵀWH` (k×m) — denominator of the H update.
     wtwh: Mat,
-    /// `Hᵀ` (m×k); computed once per iteration and shared by the W
-    /// update and the objective.
+    /// `Hᵀ` (m×k); needed by the sparse `AHᵀ` product.
     ht: Mat,
     /// `AHᵀ` (n×k) — numerator of the W update.
     aht: Mat,
-    /// `HHᵀ` (k×k) via `gram(Hᵀ)` — shares `ht` instead of packing a
-    /// fresh transpose.
+    /// `HHᵀ` (k×k) via `matmul_transpose_into` straight off `H`.
     hht: Mat,
     /// `WHHᵀ` (n×k) — denominator of the W update.
     whht: Mat,
-    /// Transpose-packing buffer for `matmul_unchecked_into`.
-    bt: Mat,
+    /// Packing panels shared by every dense GEMM in the loop.
+    gemm: nd_linalg::GemmScratch,
 }
 
 impl NmfScratch {
     fn new() -> Self {
         let empty = || Mat::zeros(0, 0);
         NmfScratch {
-            atw: empty(),
             wta: empty(),
             wtw: empty(),
             wtwh: empty(),
@@ -92,7 +90,7 @@ impl NmfScratch {
             aht: empty(),
             hht: empty(),
             whht: empty(),
-            bt: empty(),
+            gemm: nd_linalg::GemmScratch::new(),
         }
     }
 }
@@ -143,17 +141,16 @@ impl Nmf {
             iterations = it + 1;
 
             // H <- H .* (W^T A) ./ (W^T W H)
-            a.transpose_matmul_dense_into(&w, &mut s.atw); // m x k
-            s.atw.transpose_into(&mut s.wta); // k x m
-            w.gram_into(&mut s.wtw); // k x k
-            s.wtw.matmul_unchecked_into(&h, &mut s.bt, &mut s.wtwh);
+            a.transpose_matmul_dense_t_into(&w, &mut s.wta); // fused (AᵀW)ᵀ, k x m
+            w.gram_into(&mut s.gemm, &mut s.wtw); // k x k
+            s.wtw.matmul_unchecked_into(&h, &mut s.gemm, &mut s.wtwh);
             update_factor(&mut h, &s.wta, &s.wtwh);
 
             // W <- W .* (A H^T) ./ (W H H^T)
-            h.transpose_into(&mut s.ht); // m x k, shared by both products
+            h.transpose_into(&mut s.ht); // m x k, for the sparse product
             a.matmul_dense_into(&s.ht, &mut s.aht); // n x k
-            s.ht.gram_into(&mut s.hht); // H Hᵀ = (Hᵀ)ᵀ(Hᵀ), k x k
-            w.matmul_unchecked_into(&s.hht, &mut s.bt, &mut s.whht);
+            h.matmul_transpose_into(&h, &mut s.gemm, &mut s.hht); // H Hᵀ, k x k
+            w.matmul_unchecked_into(&s.hht, &mut s.gemm, &mut s.whht);
             update_factor(&mut w, &s.aht, &s.whht);
 
             objective = objective_value(a, &w, &h, a_fro2, &mut s);
@@ -230,9 +227,8 @@ fn objective_value(a: &CsrMatrix, w: &Mat, h: &Mat, a_fro2: f64, s: &mut NmfScra
     )
     .unwrap_or(0.0);
     // ||WH||^2 = tr((W^T W)(H H^T))
-    w.gram_into(&mut s.wtw);
-    h.transpose_into(&mut s.ht);
-    s.ht.gram_into(&mut s.hht);
+    w.gram_into(&mut s.gemm, &mut s.wtw);
+    h.matmul_transpose_into(h, &mut s.gemm, &mut s.hht);
     let mut wh_fro2 = 0.0;
     for i in 0..s.wtw.rows() {
         for j in 0..s.wtw.cols() {

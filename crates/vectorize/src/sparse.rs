@@ -268,9 +268,69 @@ impl CsrMatrix {
         });
     }
 
+    /// Fused transposed product `rhs^T * self` (rhs is `rows × k`),
+    /// written directly in `k × cols` layout — i.e. the transpose of
+    /// [`CsrMatrix::transpose_matmul_dense_into`]'s result without
+    /// materializing the `cols × k` intermediate or a transpose pass.
+    /// NMF's H update consumes `(AᵀW)ᵀ` in exactly this layout.
+    ///
+    /// Output rows (one per rhs column) are sharded across workers;
+    /// every worker streams the documents in ascending order, so each
+    /// output entry accumulates its contributions in the same order as
+    /// the unfused kernel — the two are bit-for-bit identical — and
+    /// independently of the thread count.
+    pub fn transpose_matmul_dense_t_into(&self, rhs: &Mat, out: &mut Mat) {
+        debug_assert_eq!(rhs.rows(), self.rows);
+        let k = rhs.cols();
+        out.reset_zeroed(k, self.cols);
+        if self.cols == 0 || k == 0 {
+            return;
+        }
+        let cols = self.cols;
+        let shard_rows = k.div_ceil(nd_par::threads()).max(1);
+        let work_per_row = self.nnz().max(1);
+        nd_par::par_for_rows(out.as_mut_slice(), cols, shard_rows, work_per_row, |t0, block| {
+            for i in 0..self.rows {
+                let row = self.row(i);
+                if row.nnz() == 0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(i);
+                for (local, out_row) in block.chunks_exact_mut(cols).enumerate() {
+                    let w = rhs_row[t0 + local];
+                    for (j, v) in row.iter() {
+                        out_row[j] += v * w;
+                    }
+                }
+            }
+        });
+    }
+
     /// Squared Frobenius norm of the sparse matrix.
     pub fn frobenius_norm_sq(&self) -> f64 {
         self.values.iter().map(|v| v * v).sum()
+    }
+}
+
+/// CSR matrices plug straight into the matrix-free algorithms in
+/// `nd-linalg` (randomized SVD for LSA): `apply`/`apply_t` are the
+/// existing deterministic SpMM kernels. The GEMM packing scratch is
+/// unused — sparse products need no panel packing.
+impl nd_linalg::MatOp for CsrMatrix {
+    fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    fn apply_into(&self, rhs: &Mat, _scratch: &mut nd_linalg::GemmScratch, out: &mut Mat) {
+        self.matmul_dense_into(rhs, out);
+    }
+
+    fn apply_t_into(&self, rhs: &Mat, _scratch: &mut nd_linalg::GemmScratch, out: &mut Mat) {
+        self.transpose_matmul_dense_into(rhs, out);
     }
 }
 
@@ -406,6 +466,67 @@ mod tests {
         for (a, b) in got_t.as_slice().iter().zip(want_t.as_slice()) {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn fused_transposed_product_bit_identical_to_unfused() {
+        let m = sample();
+        let rhs = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut fused = Mat::zeros(0, 0);
+        m.transpose_matmul_dense_t_into(&rhs, &mut fused);
+        let unfused = m.transpose_matmul_dense(&rhs).transpose();
+        assert_eq!(fused.shape(), (2, 3));
+        for (a, b) in fused.as_slice().iter().zip(unfused.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Larger pseudo-random case crossing the sharded path.
+        let rows = 90;
+        let cols = 70;
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let row_lists: Vec<Vec<(usize, f64)>> = (0..rows)
+            .map(|_| {
+                (0..9)
+                    .map(|_| {
+                        let c = (next() % cols as u64) as usize;
+                        let v = (next() % 100) as f64 / 10.0 - 5.0;
+                        (c, v)
+                    })
+                    .collect()
+            })
+            .collect();
+        let big = CsrMatrix::from_rows(cols, &row_lists);
+        let w = Mat::from_fn(rows, 8, |i, j| ((i * 3 + j) % 17) as f64 / 4.0 - 2.0);
+        let mut fused_big = Mat::zeros(0, 0);
+        big.transpose_matmul_dense_t_into(&w, &mut fused_big);
+        let unfused_big = big.transpose_matmul_dense(&w).transpose();
+        for (a, b) in fused_big.as_slice().iter().zip(unfused_big.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn mat_op_applies_match_direct_kernels() {
+        use nd_linalg::{GemmScratch, MatOp};
+        let m = sample();
+        let mut scratch = GemmScratch::new();
+        assert_eq!(MatOp::nrows(&m), 2);
+        assert_eq!(MatOp::ncols(&m), 3);
+
+        let rhs = Mat::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let mut out = Mat::zeros(0, 0);
+        m.apply_into(&rhs, &mut scratch, &mut out);
+        assert_eq!(out, m.matmul_dense(&rhs));
+
+        let rhs_t = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        m.apply_t_into(&rhs_t, &mut scratch, &mut out);
+        assert_eq!(out, m.transpose_matmul_dense(&rhs_t));
     }
 
     #[test]

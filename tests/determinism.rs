@@ -108,6 +108,45 @@ fn thread_resize_between_dispatches_is_invariant() {
     std::env::remove_var("NEWSDIFF_THREADS");
 }
 
+/// Shapes above the packed-kernel cutoff, spanning several KC depth
+/// blocks and MC row panels — the paths where work is actually split
+/// across the pool and the serial depth-block order is what keeps the
+/// bits pinned.
+#[test]
+fn packed_gemm_is_thread_count_invariant() {
+    let a = random_mat(600, 500, 41);
+    let b = random_mat(500, 400, 42);
+    assert_bitwise_stable("packed matmul", || a.matmul(&b).unwrap().as_slice().to_vec());
+    assert_bitwise_stable("fused transpose products", || {
+        let mut scratch = nd_linalg::GemmScratch::new();
+        let mut atb = Mat::zeros(500, 500);
+        a.transpose_matmul_into(&a, &mut scratch, &mut atb);
+        let mut abt = Mat::zeros(600, 600);
+        a.matmul_transpose_into(&a, &mut scratch, &mut abt);
+        let mut gram = Mat::zeros(500, 500);
+        a.gram_into(&mut scratch, &mut gram);
+        let mut out = atb.as_slice().to_vec();
+        out.extend_from_slice(abt.as_slice());
+        out.extend_from_slice(gram.as_slice());
+        out
+    });
+}
+
+#[test]
+fn lsa_fit_is_thread_count_invariant() {
+    use nd_topics::lsa::{Lsa, LsaConfig};
+    use nd_vectorize::Weighting;
+    let dtm = DtmBuilder::new().build(&corpus());
+    let a = dtm.weighted(Weighting::TfIdfNormalized);
+    assert_bitwise_stable("lsa", || {
+        let m = Lsa::new(LsaConfig { n_topics: 3, n_iter: 4, seed: 11 }).fit(&a, dtm.vocab());
+        let mut out = m.doc_topic.as_slice().to_vec();
+        out.extend_from_slice(m.topic_term.as_slice());
+        out.push(m.objective);
+        out
+    });
+}
+
 #[test]
 fn matvec_transpose_gram_are_thread_count_invariant() {
     let a = random_mat(120, 70, 3);
