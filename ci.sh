@@ -29,12 +29,23 @@ NEWSDIFF_THREADS=4 cargo test -q --test serve_roundtrip
 echo "==> serving load smoke (zero 5xx outside the overload drill)"
 cargo run --release --example serve_demo -- --smoke
 
+echo "==> pattern-mining smoke (planted signatures recovered exactly, drift shifts the catalog)"
+cargo run --release --example patterns_demo -- --smoke
+
 echo "==> bench scaling gate (advisory: parallel must not regress past serial)"
 if [[ -f BENCH_kernels.json ]]; then
     cargo run -q --release -p nd-bench --bin bench-compare -- BENCH_kernels.json ||
         echo "WARNING: bench-compare found parallel regressions (advisory only; re-run 'ND_BENCH_JSON=BENCH_kernels.json cargo bench -p nd-bench --bench kernels' on a quiet machine)"
 else
     echo "BENCH_kernels.json not found; skipping (generate with ND_BENCH_JSON=BENCH_kernels.json cargo bench -p nd-bench --bench kernels)"
+fi
+
+echo "==> pattern-mining bench gate (advisory: threaded mining must not regress past serial)"
+if [[ -f BENCH_patterns.json ]]; then
+    cargo run -q --release -p nd-bench --bin bench-compare -- BENCH_patterns.json ||
+        echo "WARNING: bench-compare found parallel regressions (advisory only; re-run 'ND_BENCH_JSON=BENCH_patterns.json cargo bench -p nd-bench --bench patterns' on a quiet machine)"
+else
+    echo "BENCH_patterns.json not found; skipping (generate with ND_BENCH_JSON=BENCH_patterns.json cargo bench -p nd-bench --bench patterns)"
 fi
 
 echo "==> pipeline cache bench table (advisory: warm replay must dwarf cold runs)"

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the pattern-mining subsystem: PrefixSpan
+//! and the co-occurrence pass over a 100k-user trajectory corpus,
+//! serial vs threaded (`NEWSDIFF_THREADS` is re-read per dispatch, so
+//! each group member pins its own thread count; the outputs are
+//! bit-identical across the whole group).
+//!
+//! Set `ND_BENCH_JSON=BENCH_patterns.json` to append the measurements
+//! as JSON when the run finishes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nd_patterns::{cooccurrence, mine, MiningConfig, SequenceConfig};
+use nd_synth::{generate_trajectories, TrajectoryConfig};
+use std::hint::black_box;
+
+/// Thread counts exercised by the scaling groups.
+const THREAD_STEPS: [&str; 3] = ["1", "2", "4"];
+
+/// Users in the benchmark corpus.
+const N_USERS: usize = 100_000;
+
+/// Days of trajectory per user: a week keeps the noise density (and
+/// therefore the frequent-pattern space) at the subsystem's design
+/// point while the corpus still carries every planted cohort.
+const DAYS: u64 = 7;
+
+fn corpus() -> nd_patterns::SequenceDb {
+    let set = generate_trajectories(N_USERS, 0, DAYS, &TrajectoryConfig::default());
+    set.full_db(&SequenceConfig::default())
+}
+
+fn bench_mine_scaling(c: &mut Criterion) {
+    // Corpus generation and compression stay outside the timed region;
+    // the projected-database mining loop is the kernel under test.
+    let db = corpus();
+    let mining = MiningConfig::default();
+    let mut g = c.benchmark_group("patterns_mine_100k");
+    g.sample_size(10);
+    for t in THREAD_STEPS {
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
+            std::env::set_var("NEWSDIFF_THREADS", t);
+            bch.iter(|| black_box(mine(black_box(&db), &mining)));
+        });
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+    g.finish();
+}
+
+fn bench_cooccur_scaling(c: &mut Criterion) {
+    let db = corpus();
+    let floor = MiningConfig::default().threshold(db.len()) as usize;
+    let mut g = c.benchmark_group("patterns_cooccur_100k");
+    g.sample_size(10);
+    for t in THREAD_STEPS {
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
+            std::env::set_var("NEWSDIFF_THREADS", t);
+            bch.iter(|| black_box(cooccurrence(black_box(&db), floor)));
+        });
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+    g.finish();
+}
+
+criterion_group!(benches, bench_mine_scaling, bench_cooccur_scaling);
+criterion_main!(benches);

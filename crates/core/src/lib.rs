@@ -33,6 +33,7 @@ pub mod error;
 pub mod event_module;
 pub mod features;
 pub mod matching;
+pub mod patterns_module;
 pub mod pipeline;
 pub mod predict;
 pub mod preprocess;

@@ -1,0 +1,189 @@
+//! Stage 9 — temporal audience-pattern mining (ROADMAP item 5).
+//!
+//! Generates seeded per-user trajectories over the world's time
+//! window (`nd-synth`), compresses them into symbol sequences, mines
+//! frequent sequential patterns (PrefixSpan) and co-occurring pairs
+//! (`nd-patterns`), and ranks everything into a serializable
+//! [`PatternCatalog`]. The planted ground-truth signatures travel in
+//! the artifact alongside the catalog, so any consumer — tests, the
+//! `/patterns` endpoint, the drift harness — can check recovery
+//! without regenerating the trajectories.
+
+use nd_patterns::{
+    cooccurrence, mine, MiningConfig, PatternCatalog, SequenceConfig,
+};
+use nd_store::{ArtifactError, ByteReader, ByteWriter};
+use nd_synth::{generate_trajectories, TrajectoryConfig, World};
+
+/// Configuration slice read by the `patterns` stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternStageConfig {
+    /// Trajectory-generation knobs. The effective RNG seed is
+    /// `world seed ⊕ trajectory seed`, so changing either reshuffles
+    /// the trajectories (and the world seed already re-fingerprints
+    /// this stage through its `collect` dependency).
+    pub trajectory: TrajectoryConfig,
+    /// Stream → sequence compression knobs.
+    pub sequence: SequenceConfig,
+    /// PrefixSpan thresholds (`min_support` is the dirty-cone knob
+    /// exercised by the cache tests).
+    pub mining: MiningConfig,
+    /// Catalog size cap after ranking.
+    pub max_patterns: usize,
+}
+
+impl Default for PatternStageConfig {
+    fn default() -> Self {
+        PatternStageConfig {
+            // Low per-day noise keeps symbol repetition per user near
+            // one across the 150-day default window, so the frequent-
+            // pattern space stays small while plants stay exact.
+            trajectory: TrajectoryConfig { base_events_per_day: 0.1, ..Default::default() },
+            sequence: SequenceConfig::default(),
+            mining: MiningConfig::default(),
+            max_patterns: 512,
+        }
+    }
+}
+
+/// One planted signature's ground truth, carried in the artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedRecord {
+    /// Signature name (`churn`, `funnel_early`, …).
+    pub name: String,
+    /// `nd_patterns::pattern_id` of the planted motif.
+    pub id: u64,
+    /// Exact number of users carrying the motif.
+    pub n_users: u32,
+}
+
+/// The `patterns` stage artifact.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PatternsOutput {
+    /// Ranked pattern catalog over the full window.
+    pub catalog: PatternCatalog,
+    /// Ground truth for recovery checks.
+    pub planted: Vec<PlantedRecord>,
+}
+
+/// Runs the stage body: trajectories → sequences → PrefixSpan +
+/// co-occurrence → ranked catalog.
+pub fn mine_patterns(world: &World, cfg: &PatternStageConfig) -> PatternsOutput {
+    let mut tcfg = cfg.trajectory.clone();
+    tcfg.seed ^= world.config.seed;
+    let set = generate_trajectories(
+        world.config.n_users,
+        world.config.start,
+        world.config.days,
+        &tcfg,
+    );
+    let db = set.full_db(&cfg.sequence);
+    let mined = mine(&db, &cfg.mining);
+    let pair_floor = cfg.mining.threshold(db.len()) as usize;
+    let pairs = cooccurrence(&db, pair_floor);
+    let catalog = PatternCatalog::build(db.len(), mined, pairs, cfg.max_patterns);
+    let planted = set
+        .planted
+        .iter()
+        .map(|p| PlantedRecord {
+            name: p.name.to_string(),
+            id: p.id,
+            n_users: p.n_users.min(u32::MAX as usize) as u32,
+        })
+        .collect();
+    PatternsOutput { catalog, planted }
+}
+
+/// Serializes the stage artifact.
+pub fn encode_patterns(out: &PatternsOutput, w: &mut ByteWriter) {
+    out.catalog.encode(w);
+    w.put_usize(out.planted.len());
+    for p in &out.planted {
+        w.put_str(&p.name);
+        w.put_u64(p.id);
+        w.put_u32(p.n_users);
+    }
+}
+
+/// Deserializes the stage artifact.
+///
+/// # Errors
+/// [`ArtifactError`] on truncation or codec drift.
+pub fn decode_patterns(r: &mut ByteReader<'_>) -> Result<PatternsOutput, ArtifactError> {
+    let catalog = PatternCatalog::decode(r)?;
+    let n = r.len_prefix()?;
+    let mut planted = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        planted.push(PlantedRecord { name: r.str()?, id: r.u64()?, n_users: r.u32()? });
+    }
+    Ok(PatternsOutput { catalog, planted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_synth::WorldConfig;
+    use std::sync::OnceLock;
+
+    fn output() -> &'static PatternsOutput {
+        static OUT: OnceLock<PatternsOutput> = OnceLock::new();
+        OUT.get_or_init(|| {
+            let world = World::generate(WorldConfig::small());
+            mine_patterns(&world, &PatternStageConfig::default())
+        })
+    }
+
+    #[test]
+    fn planted_signatures_recovered_by_id_with_exact_support() {
+        let out = output();
+        assert_eq!(out.planted.len(), 5);
+        // Full-window motifs must appear in the catalog with support
+        // equal to their cohort size (noise never fakes a motif).
+        for name in ["churn", "engagement", "error_chain"] {
+            let rec = out.planted.iter().find(|p| p.name == name).expect(name);
+            let hit = out
+                .catalog
+                .find(rec.id)
+                .unwrap_or_else(|| panic!("{name} motif missing from catalog"));
+            assert_eq!(hit.user_count, rec.n_users, "{name} support");
+        }
+    }
+
+    #[test]
+    fn catalog_respects_config_caps() {
+        let out = output();
+        let cfg = PatternStageConfig::default();
+        assert!(out.catalog.patterns.len() <= cfg.max_patterns);
+        assert!(out
+            .catalog
+            .patterns
+            .iter()
+            .all(|p| p.sequence.len() <= cfg.mining.max_length));
+        let need = cfg.mining.threshold(out.catalog.n_users as usize);
+        assert!(out.catalog.patterns.iter().all(|p| p.user_count >= need));
+    }
+
+    #[test]
+    fn artifact_roundtrips_bit_exactly() {
+        let out = output();
+        let mut w = ByteWriter::new();
+        encode_patterns(out, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_patterns(&mut r).expect("decode");
+        assert!(r.is_empty());
+        assert_eq!(&back, out);
+        let mut w2 = ByteWriter::new();
+        encode_patterns(&back, &mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn truncated_artifact_errors() {
+        let out = output();
+        let mut w = ByteWriter::new();
+        encode_patterns(out, &mut w);
+        let bytes = w.into_bytes();
+        assert!(decode_patterns(&mut ByteReader::new(&bytes[..bytes.len() / 2])).is_err());
+    }
+}

@@ -14,6 +14,7 @@ use crate::correlate::CorrelationResult;
 use crate::error::{CoreError, Result};
 use crate::event_module::{encode_event_list, EventModuleConfig};
 use crate::features::{build_dataset, encode_assignments, Dataset, DatasetVariant, EventAssignment};
+use crate::patterns_module::{encode_patterns, PatternStageConfig, PatternsOutput};
 use crate::pretrained::{encode_vectors, PretrainedConfig};
 use crate::stage::{correlated_events, stages, ArtifactSet};
 use crate::topic_module::{encode_topics, NewsTopics, TopicModuleConfig};
@@ -62,6 +63,8 @@ pub struct PipelineConfig {
     pub trending_threshold: f64,
     /// Trending ↔ Twitter-event threshold (paper: 0.65).
     pub correlation_threshold: f64,
+    /// Audience-pattern mining parameters (stage 9).
+    pub patterns: PatternStageConfig,
     /// Artifact-cache controls (excluded from stage fingerprints).
     pub cache: CacheConfig,
 }
@@ -75,6 +78,7 @@ impl Default for PipelineConfig {
             pretrained: PretrainedConfig::default(),
             trending_threshold: 0.7,
             correlation_threshold: 0.65,
+            patterns: PatternStageConfig::default(),
             cache: CacheConfig::default(),
         }
     }
@@ -253,6 +257,8 @@ pub struct PipelineOutput {
     /// TwitterED token streams, aligned with `world.tweets` (moved
     /// out of the preprocessing artifact — never copied).
     pub tweet_tokens: Vec<Vec<String>>,
+    /// The mined audience-pattern catalog + planted ground truth.
+    pub patterns: PatternsOutput,
 }
 
 /// The pipeline runner.
@@ -414,6 +420,7 @@ impl PipelineOutput {
         let trending = artifacts.take_trending()?;
         let correlation_out = artifacts.take_correlation()?;
         let assignments = artifacts.take_assignments()?;
+        let patterns = artifacts.take_patterns()?;
 
         let correlated = correlated_events(&correlation_out.forward, &events.twitter);
         let tweet_tokens: Vec<Vec<String>> =
@@ -430,6 +437,7 @@ impl PipelineOutput {
             assignments,
             vectors,
             tweet_tokens,
+            patterns,
         })
     }
 
@@ -465,6 +473,7 @@ impl PipelineOutput {
         for tokens in &self.tweet_tokens {
             w.put_str_list(tokens);
         }
+        encode_patterns(&self.patterns, &mut w);
         fnv1a64(w.as_bytes())
     }
 }

@@ -17,9 +17,9 @@
 //! (bumped by hand when a stage body changes semantics), its own
 //! config fingerprint, and the fingerprints of its dependencies in
 //! declaration order. Upstream changes therefore cascade: editing the
-//! world seed re-fingerprints all eight stages, while editing
+//! world seed re-fingerprints every stage, while editing
 //! `correlation_threshold` re-fingerprints only `correlation` and
-//! `features`. Cache-control knobs ([`CacheConfig`]
+//! `features`, and a mining knob re-fingerprints only `patterns`. Cache-control knobs ([`CacheConfig`]
 //! [`crate::pipeline::CacheConfig`]) are deliberately excluded.
 
 use crate::correlate::{correlate, correlate_reverse, CorrelationOutput};
@@ -29,6 +29,7 @@ use crate::event_module::{
     decode_events, detect_news_events, detect_twitter_events, encode_events, DetectedEvents,
 };
 use crate::features::{assign_tweets, decode_assignments, encode_assignments, EventAssignment};
+use crate::patterns_module::{decode_patterns, encode_patterns, mine_patterns, PatternsOutput};
 use crate::pipeline::PipelineConfig;
 use crate::preprocess::{decode_corpora, encode_corpora, Corpora};
 use crate::pretrained::{decode_vectors, encode_vectors, train_pretrained};
@@ -63,6 +64,8 @@ pub enum ArtifactValue {
     Correlation(CorrelationOutput),
     /// `features`: tweet-to-event assignments.
     Assignments(Vec<EventAssignment>),
+    /// `patterns`: the mined audience-pattern catalog + ground truth.
+    Patterns(PatternsOutput),
 }
 
 macro_rules! artifact_accessors {
@@ -129,6 +132,7 @@ impl ArtifactSet {
         trending, take_trending, Trending => Vec<TrendingTopic>, "trending";
         correlation, take_correlation, Correlation => CorrelationOutput, "correlation";
         assignments, take_assignments, Assignments => Vec<EventAssignment>, "features";
+        patterns, take_patterns, Patterns => PatternsOutput, "patterns";
     }
 }
 
@@ -515,6 +519,48 @@ impl Stage for FeatureStage {
     }
 }
 
+/// Stage 9 — temporal audience-pattern mining (ROADMAP item 5; not a
+/// paper module). Depends only on `collect`: trajectories are seeded
+/// from the world, and the mined catalog is independent of the
+/// text-side stages.
+#[derive(Debug, Clone, Copy)]
+pub struct PatternsStage;
+
+impl Stage for PatternsStage {
+    fn name(&self) -> &'static str {
+        "patterns"
+    }
+    fn deps(&self) -> &'static [&'static str] {
+        &["collect"]
+    }
+    fn code_version(&self) -> u64 {
+        1
+    }
+    fn config_fingerprint(&self, config: &PipelineConfig) -> u64 {
+        debug_fingerprint(&config.patterns)
+    }
+    fn run(&self, config: &PipelineConfig, inputs: &ArtifactSet) -> Result<ArtifactValue> {
+        let world = inputs.world()?;
+        let output = mine_patterns(world, &config.patterns);
+        if output.catalog.patterns.is_empty() {
+            return Err(CoreError::NoOutput("pattern mining"));
+        }
+        Ok(ArtifactValue::Patterns(output))
+    }
+    fn encode(&self, value: &ArtifactValue, out: &mut ByteWriter) -> Result<()> {
+        match value {
+            ArtifactValue::Patterns(p) => {
+                encode_patterns(p, out);
+                Ok(())
+            }
+            _ => Err(wrong_variant(self.name())),
+        }
+    }
+    fn decode(&self, r: &mut ByteReader<'_>) -> std::result::Result<ArtifactValue, ArtifactError> {
+        decode_patterns(r).map(ArtifactValue::Patterns)
+    }
+}
+
 /// The correlated Twitter events — the forward pair set's event
 /// targets, in index order. Derived (not cached): it is a cheap
 /// projection of the correlation artifact over the event artifact.
@@ -529,7 +575,7 @@ pub fn correlated_events(
 }
 
 /// The full stage graph in topological (declaration) order.
-pub fn stages() -> [&'static dyn Stage; 8] {
+pub fn stages() -> [&'static dyn Stage; 9] {
     [
         &CollectStage,
         &PreprocessStage,
@@ -539,6 +585,7 @@ pub fn stages() -> [&'static dyn Stage; 8] {
         &TrendingStage,
         &CorrelationStage,
         &FeatureStage,
+        &PatternsStage,
     ]
 }
 

@@ -16,7 +16,7 @@
 //! | `panic-path`      | nd-serve, nd-core checkpoints | `unwrap`/`expect`/`panic!`/`x[0]` |
 //! | `unsafe-comment`  | whole workspace               | `unsafe` without `// SAFETY:` |
 //! | `lock-across-io`  | nd-serve                      | guard live across blocking I/O |
-//! | `hot-loop-alloc`  | NMF / Word2Vec / layer files  | `Vec::new` / `vec![` / `with_capacity` outside `*Scratch` impls |
+//! | `hot-loop-alloc`  | NMF / Word2Vec / layer / PrefixSpan files | `Vec::new` / `vec![` / `with_capacity` outside `*Scratch` impls |
 //! | `stage-io`        | nd-core                       | raw `std::fs` / `File` / `OpenOptions` instead of nd-store |
 //!
 //! Code under `#[cfg(test)]` / `#[test]` is skipped: tests are allowed
@@ -26,7 +26,7 @@ use crate::lexer::{lex, Tok, TokKind};
 
 /// Crates whose numeric output must be bit-for-bit reproducible
 /// (DESIGN.md §8): the determinism rules apply to their `src/` trees.
-const KERNEL_CRATES: &[&str] = &["linalg", "topics", "events", "embed", "neural", "par"];
+const KERNEL_CRATES: &[&str] = &["linalg", "topics", "events", "embed", "neural", "par", "patterns"];
 
 /// Crates allowed to create threads (DESIGN.md §8–9): nd-par owns the
 /// deterministic fan-out, nd-serve owns the server's thread pool.
@@ -41,6 +41,7 @@ const HOT_LOOP_FILES: &[&str] = &[
     "crates/topics/src/nmf.rs",
     "crates/embed/src/word2vec.rs",
     "crates/neural/src/layer.rs",
+    "crates/patterns/src/prefixspan.rs",
 ];
 
 /// Every rule name, for `--help` and baseline validation.
@@ -817,6 +818,7 @@ mod tests {
     #[test]
     fn scope_mapping() {
         assert!(scope_for("crates/linalg/src/mat.rs").determinism);
+        assert!(scope_for("crates/patterns/src/prefixspan.rs").determinism);
         assert!(!scope_for("crates/core/src/pipeline.rs").determinism);
         assert!(!scope_for("crates/par/src/lib.rs").spawn_check);
         assert!(!scope_for("crates/serve/src/server.rs").spawn_check);
@@ -1006,6 +1008,8 @@ mod tests {
         assert!(scope_for("crates/topics/src/nmf.rs").hot_loop);
         assert!(scope_for("crates/embed/src/word2vec.rs").hot_loop);
         assert!(scope_for("crates/neural/src/layer.rs").hot_loop);
+        assert!(scope_for("crates/patterns/src/prefixspan.rs").hot_loop);
+        assert!(!scope_for("crates/patterns/src/cooccur.rs").hot_loop);
         assert!(!scope_for("crates/topics/src/plsi.rs").hot_loop);
         assert!(!scope_for(KERNEL).hot_loop);
     }

@@ -1,0 +1,153 @@
+//! Pairwise symbol co-occurrence across user sequences.
+//!
+//! Complements PrefixSpan: where sequential patterns capture *order*,
+//! co-occurrence captures *association* — which event pairs show up in
+//! the same user's stream regardless of order. Counts are per distinct
+//! user (a user contributes at most once per pair), and the Jaccard
+//! coefficient `|A∩B| / |A∪B|` is computed from integer counts, so
+//! every number is an exact function of the input.
+
+use crate::sequence::SequenceDb;
+use std::collections::BTreeMap;
+
+/// Fixed chunk size for the counting pass (thread-count independent).
+const CHUNK: usize = 256;
+
+/// One co-occurring symbol pair, `a < b` by symbol order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoPair {
+    /// Smaller symbol of the pair.
+    pub a: u32,
+    /// Larger symbol of the pair.
+    pub b: u32,
+    /// Users whose sequences contain both symbols.
+    pub count: u32,
+    /// `count / (users(a) + users(b) - count)` — association strength.
+    pub jaccard: f64,
+}
+
+/// Per-chunk counting state: a dense `nsym × nsym` upper-triangle
+/// pair matrix plus per-symbol user counts.
+struct PairCounts {
+    pairs: Vec<u32>,
+    singles: Vec<u32>,
+}
+
+/// Computes all symbol pairs co-occurring in at least `min_users`
+/// sequences, ordered by count descending, then `(a, b)` ascending.
+pub fn cooccurrence(db: &SequenceDb, min_users: usize) -> Vec<CoPair> {
+    // Alphabet: distinct symbols in ascending order.
+    let index: BTreeMap<u32, u32> = db
+        .sequences()
+        .iter()
+        .flatten()
+        .copied()
+        .collect::<std::collections::BTreeSet<u32>>()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, i as u32))
+        .collect();
+    let nsym = index.len();
+    if nsym == 0 {
+        return Vec::new();
+    }
+    let symbols: Vec<u32> = index.keys().copied().collect();
+    let n = db.len();
+    let avg_len = (db.total_symbols() / n.max(1)).max(1);
+    let seqs = db.sequences();
+
+    // Count per fixed-size chunk, then merge additively in ascending
+    // chunk order. Integer sums are order-invariant, so the result is
+    // identical at any thread count.
+    let merged = nd_par::par_map_reduce(
+        n,
+        CHUNK,
+        avg_len * nsym,
+        |r| {
+            let mut c = PairCounts {
+                pairs: vec![0u32; nsym * nsym],
+                singles: vec![0u32; nsym],
+            };
+            let mut present: Vec<u32> = Vec::with_capacity(nsym);
+            for i in r {
+                present.clear();
+                present.extend(
+                    seqs[i].iter().copied().collect::<std::collections::BTreeSet<u32>>(),
+                );
+                for (k, &s) in present.iter().enumerate() {
+                    let si = index[&s] as usize;
+                    c.singles[si] += 1;
+                    for &t in &present[k + 1..] {
+                        c.pairs[si * nsym + index[&t] as usize] += 1;
+                    }
+                }
+            }
+            c
+        },
+        |mut acc, part| {
+            for (a, p) in acc.pairs.iter_mut().zip(&part.pairs) {
+                *a += p;
+            }
+            for (a, p) in acc.singles.iter_mut().zip(&part.singles) {
+                *a += p;
+            }
+            acc
+        },
+    );
+    let Some(counts) = merged else { return Vec::new() };
+
+    let floor = min_users.max(1) as u32;
+    let mut out: Vec<CoPair> = Vec::new();
+    for ai in 0..nsym {
+        for bi in ai + 1..nsym {
+            let count = counts.pairs[ai * nsym + bi];
+            if count < floor {
+                continue;
+            }
+            let union = counts.singles[ai] + counts.singles[bi] - count;
+            out.push(CoPair {
+                a: symbols[ai],
+                b: symbols[bi],
+                count,
+                jaccard: f64::from(count) / f64::from(union.max(1)),
+            });
+        }
+    }
+    out.sort_by(|x, y| y.count.cmp(&x.count).then_with(|| (x.a, x.b).cmp(&(y.a, y.b))));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(seqs: &[&[u32]]) -> SequenceDb {
+        SequenceDb::new(seqs.iter().map(|s| s.to_vec()).collect())
+    }
+
+    #[test]
+    fn counts_distinct_users_not_occurrences() {
+        // User 0 has 1 and 2 multiple times: still one co-occurrence.
+        let d = db(&[&[1, 2, 1, 2], &[1, 2], &[1], &[2]]);
+        let pairs = cooccurrence(&d, 1);
+        assert_eq!(pairs.len(), 1);
+        let p = &pairs[0];
+        assert_eq!((p.a, p.b, p.count), (1, 2, 2));
+        // users(1)=3, users(2)=3, both=2 → jaccard 2/4.
+        assert!((p.jaccard - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_users_filters_and_order_is_count_then_symbols() {
+        let d = db(&[&[1, 2, 3], &[1, 2, 3], &[1, 2], &[4, 5]]);
+        let pairs = cooccurrence(&d, 2);
+        let keys: Vec<(u32, u32, u32)> = pairs.iter().map(|p| (p.a, p.b, p.count)).collect();
+        assert_eq!(keys, vec![(1, 2, 3), (1, 3, 2), (2, 3, 2)]);
+    }
+
+    #[test]
+    fn empty_database_is_empty() {
+        assert!(cooccurrence(&SequenceDb::default(), 1).is_empty());
+        assert!(cooccurrence(&db(&[&[], &[]]), 1).is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # nd-patterns — temporal audience-pattern mining
+//!
+//! Deterministic sequential pattern mining over per-user event
+//! streams: typed events compress into symbol sequences
+//! ([`sequence`]), projected-database PrefixSpan finds frequent
+//! gap-allowed subsequences ([`prefixspan`]), co-occurrence analysis
+//! finds unordered associations ([`cooccur`]), and the results rank
+//! into a serializable, queryable [`catalog::PatternCatalog`].
+//!
+//! Everything is bit-identical across `NEWSDIFF_THREADS` settings:
+//! fixed chunk boundaries, in-order merges, `BTreeMap`-only iteration,
+//! and integer support counts. See DESIGN.md §14.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod cooccur;
+pub mod event;
+pub mod prefixspan;
+pub mod sequence;
+
+pub use catalog::{categorize, is_subsequence, PatternCatalog, PatternCategory, TemporalPattern};
+pub use cooccur::{cooccurrence, CoPair};
+pub use event::{pattern_id, render_sequence, symbol_label, PatternEvent};
+pub use prefixspan::{mine, MinedPattern, MiningConfig};
+pub use sequence::{compress, compress_events, SequenceConfig, SequenceDb};

@@ -1,0 +1,356 @@
+//! Projected-database PrefixSpan over compressed user sequences.
+//!
+//! Support of a pattern = number of user sequences that contain it as
+//! a (gap-allowed) subsequence. Mining walks the pattern tree depth
+//! first: a frequent 1-pattern (root symbol) projects the database to
+//! per-sequence resume positions (first occurrence + 1), and each
+//! extension re-projects the suffixes. Every projection keeps at most
+//! one `(sequence, resume)` entry per user, so support counting never
+//! needs dedup beyond a per-suffix last-seen marker.
+//!
+//! ## Determinism contract
+//!
+//! The output order is a pure function of the input: root symbols
+//! ascending (BTreeMap order), then DFS preorder with candidate
+//! extensions ascending. Parallelism follows the nd-par rules — the
+//! root-count pass reduces fixed-size chunks **in ascending chunk
+//! order**, and the per-root subtree fan-out concatenates results in
+//! root order — so the mined list is identical at 1, 2, or 8 threads
+//! (all counts are integers; no float accumulation is involved).
+//!
+//! This file is on the nd-lint `hot-loop-alloc` list: all mining
+//! buffers live in [`MineScratch`] and are reused across the roots of
+//! a chunk; the recursion allocates nothing but the emitted patterns.
+
+use crate::sequence::SequenceDb;
+use std::collections::BTreeMap;
+
+/// Fixed chunk size for the root-count pass. Chunk boundaries must
+/// not depend on thread count, so this is a constant, not derived
+/// from `nd_par::threads()`.
+const ROOT_CHUNK: usize = 256;
+
+/// Thresholds governing which patterns are emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiningConfig {
+    /// Minimum support as a fraction of the user base (0..=1).
+    pub min_support: f64,
+    /// Absolute floor on supporting users; the effective threshold is
+    /// `max(min_users, ceil(min_support · n), 1)`.
+    pub min_users: usize,
+    /// Patterns shorter than this are mined through but not emitted.
+    pub min_length: usize,
+    /// Hard cap on pattern length (recursion depth).
+    pub max_length: usize,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig { min_support: 0.05, min_users: 5, min_length: 2, max_length: 5 }
+    }
+}
+
+impl MiningConfig {
+    /// The effective absolute support threshold for `n` sequences.
+    pub fn threshold(&self, n: usize) -> u32 {
+        let frac = (self.min_support * n as f64).ceil();
+        let frac = if frac.is_finite() && frac > 0.0 { frac as usize } else { 0 };
+        self.min_users.max(frac).max(1).min(u32::MAX as usize) as u32
+    }
+}
+
+/// One frequent sequential pattern with its absolute support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinedPattern {
+    /// The pattern's symbols, in order.
+    pub sequence: Vec<u32>,
+    /// Number of user sequences containing the pattern.
+    pub support: u32,
+}
+
+/// Per-depth reusable buffers for one projection level.
+#[derive(Default)]
+struct Level {
+    /// Projection for the candidate currently being extended:
+    /// `(sequence index, resume position)`.
+    proj: Vec<(u32, u32)>,
+    /// Extension support counts: symbol → (count, last-seen marker).
+    counts: BTreeMap<u32, (u32, u32)>,
+    /// Frequent extensions `(symbol, support)`, ascending by symbol.
+    cands: Vec<(u32, u32)>,
+}
+
+/// Reusable mining workspace: one per fan-out chunk, reused across
+/// every root (and recursion level) that chunk owns.
+pub struct MineScratch {
+    root_proj: Vec<(u32, u32)>,
+    prefix: Vec<u32>,
+    out: Vec<MinedPattern>,
+    levels: Vec<Level>,
+}
+
+impl MineScratch {
+    /// A workspace able to mine patterns up to `max_length` symbols.
+    pub fn new(max_length: usize) -> Self {
+        MineScratch {
+            root_proj: Vec::new(),
+            prefix: Vec::new(),
+            out: Vec::new(),
+            levels: (0..max_length).map(|_| Level::default()).collect(),
+        }
+    }
+
+    /// Mines the subtree rooted at symbol `root` (already known
+    /// frequent with support `count`), appending emitted patterns to
+    /// the internal buffer in DFS preorder.
+    fn mine_root(&mut self, db: &SequenceDb, root: u32, count: u32, need: u32, cfg: &MiningConfig) {
+        self.prefix.clear();
+        self.prefix.push(root);
+        self.root_proj.clear();
+        for (i, seq) in db.sequences().iter().enumerate() {
+            if let Some(pos) = seq.iter().position(|&s| s == root) {
+                self.root_proj.push((i as u32, pos as u32 + 1));
+            }
+        }
+        if cfg.min_length <= 1 {
+            self.out.push(MinedPattern { sequence: self.prefix.clone(), support: count });
+        }
+        extend(db, &self.root_proj, &mut self.prefix, need, cfg, &mut self.out, &mut self.levels);
+    }
+
+    /// Takes the accumulated patterns, leaving the workspace reusable.
+    fn take_patterns(&mut self) -> Vec<MinedPattern> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// Extends `prefix` (whose projection is `proj`) by every frequent
+/// symbol, recursing depth first. `levels` supplies one reusable
+/// buffer set per remaining depth.
+fn extend(
+    db: &SequenceDb,
+    proj: &[(u32, u32)],
+    prefix: &mut Vec<u32>,
+    need: u32,
+    cfg: &MiningConfig,
+    out: &mut Vec<MinedPattern>,
+    levels: &mut [Level],
+) {
+    if prefix.len() >= cfg.max_length {
+        return;
+    }
+    let Some((level, rest)) = levels.split_first_mut() else { return };
+    let seqs = db.sequences();
+
+    // Count distinct-sequence support for every extension symbol. A
+    // projection holds at most one entry per sequence, so a last-seen
+    // marker (sequence index + 1; 0 = unseen) dedups repeats within
+    // one suffix without any per-suffix set.
+    level.counts.clear();
+    for &(seq, pos) in proj {
+        let marker = seq + 1;
+        for &s in &seqs[seq as usize][pos as usize..] {
+            let e = level.counts.entry(s).or_insert((0, 0));
+            if e.1 != marker {
+                e.0 += 1;
+                e.1 = marker;
+            }
+        }
+    }
+    level.cands.clear();
+    level
+        .cands
+        .extend(level.counts.iter().filter_map(|(&s, &(c, _))| (c >= need).then_some((s, c))));
+
+    for ci in 0..level.cands.len() {
+        let (sym, count) = level.cands[ci];
+        level.proj.clear();
+        for &(seq, pos) in proj {
+            let suffix = &seqs[seq as usize][pos as usize..];
+            if let Some(off) = suffix.iter().position(|&x| x == sym) {
+                level.proj.push((seq, pos + off as u32 + 1));
+            }
+        }
+        prefix.push(sym);
+        if prefix.len() >= cfg.min_length {
+            out.push(MinedPattern { sequence: prefix.clone(), support: count });
+        }
+        extend(db, &level.proj, prefix, need, cfg, out, &mut *rest);
+        prefix.pop();
+    }
+}
+
+/// Mines every frequent sequential pattern of the database.
+///
+/// Returns patterns in root-ascending DFS preorder — a canonical
+/// order independent of thread count (see module docs).
+pub fn mine(db: &SequenceDb, cfg: &MiningConfig) -> Vec<MinedPattern> {
+    if db.is_empty() || cfg.max_length == 0 {
+        return Vec::default();
+    }
+    let n = db.len();
+    let need = cfg.threshold(n);
+    let seqs = db.sequences();
+    let avg_len = (db.total_symbols() / n).max(1);
+
+    // Root pass: distinct-sequence support per symbol, reduced in
+    // ascending chunk order (integer sums — order-invariant anyway).
+    let counts = nd_par::par_map_reduce(
+        n,
+        ROOT_CHUNK,
+        avg_len,
+        |r| {
+            let mut local: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
+            for i in r {
+                let marker = i as u32 + 1;
+                for &s in &seqs[i] {
+                    let e = local.entry(s).or_insert((0, 0));
+                    if e.1 != marker {
+                        e.0 += 1;
+                        e.1 = marker;
+                    }
+                }
+            }
+            local
+        },
+        |mut acc, part| {
+            for (s, (c, _)) in part {
+                acc.entry(s).or_insert((0, 0)).0 += c;
+            }
+            acc
+        },
+    )
+    .unwrap_or_default();
+
+    let roots: Vec<(u32, u32)> = counts
+        .into_iter()
+        .filter_map(|(s, (c, _))| (c >= need).then_some((s, c)))
+        .collect();
+    if roots.is_empty() {
+        return Vec::default();
+    }
+
+    // Per-root subtree fan-out: chunks are single roots, results are
+    // concatenated in root order, so the output is schedule-free.
+    let per_root_work = db.total_symbols().max(1);
+    let chunks = nd_par::run_chunks(roots.len(), 1, per_root_work, |r| {
+        let mut scratch = MineScratch::new(cfg.max_length);
+        for idx in r {
+            let (root, count) = roots[idx];
+            scratch.mine_root(db, root, count, need, cfg);
+        }
+        scratch.take_patterns()
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::SequenceDb;
+
+    fn db(seqs: &[&[u32]]) -> SequenceDb {
+        SequenceDb::new(seqs.iter().map(|s| s.to_vec()).collect())
+    }
+
+    fn cfg(min_users: usize, min_length: usize, max_length: usize) -> MiningConfig {
+        MiningConfig { min_support: 0.0, min_users, min_length, max_length }
+    }
+
+    /// Brute-force reference: support by direct subsequence scan.
+    fn support_of(pattern: &[u32], db: &SequenceDb) -> u32 {
+        db.sequences()
+            .iter()
+            .filter(|seq| {
+                let mut it = seq.iter();
+                pattern.iter().all(|p| it.any(|s| s == p))
+            })
+            .count() as u32
+    }
+
+    #[test]
+    fn mines_the_textbook_example() {
+        // Three of four sequences share 1 → 2; all contain 1.
+        let d = db(&[&[1, 2, 3], &[1, 3, 2], &[1, 2], &[1, 4]]);
+        let mined = mine(&d, &cfg(3, 1, 3));
+        let find = |p: &[u32]| mined.iter().find(|m| m.sequence == p).map(|m| m.support);
+        assert_eq!(find(&[1]), Some(4));
+        assert_eq!(find(&[1, 2]), Some(3));
+        assert_eq!(find(&[2]), Some(3));
+        assert_eq!(find(&[1, 3]), None, "support 2 < threshold 3");
+    }
+
+    #[test]
+    fn every_emitted_support_matches_brute_force() {
+        // Deterministic pseudo-random sequences from a tiny LCG.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move |bound: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        let seqs: Vec<Vec<u32>> = (0..40)
+            .map(|_| (0..(4 + next(8))).map(|_| next(5) as u32 + 1).collect())
+            .collect();
+        let d = SequenceDb::new(seqs);
+        let mined = mine(&d, &cfg(6, 1, 4));
+        assert!(!mined.is_empty());
+        for m in &mined {
+            assert_eq!(m.support, support_of(&m.sequence, &d), "pattern {:?}", m.sequence);
+            assert!(m.support >= 6);
+            assert!(m.sequence.len() <= 4);
+        }
+        // Closure check: every frequent prefix of an emitted pattern
+        // is itself emitted (Apriori property, min_length = 1).
+        for m in &mined {
+            for cut in 1..m.sequence.len() {
+                assert!(
+                    mined.iter().any(|x| x.sequence == m.sequence[..cut]),
+                    "missing prefix {:?}",
+                    &m.sequence[..cut]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_length_suppresses_short_patterns_without_losing_long_ones() {
+        let d = db(&[&[1, 2, 3], &[1, 2, 3], &[1, 2, 3]]);
+        let mined = mine(&d, &cfg(3, 2, 3));
+        assert!(mined.iter().all(|m| m.sequence.len() >= 2));
+        assert!(mined.iter().any(|m| m.sequence == [1, 2, 3]));
+    }
+
+    #[test]
+    fn max_length_caps_recursion() {
+        let d = db(&[&[1, 2, 3, 4], &[1, 2, 3, 4]]);
+        let mined = mine(&d, &cfg(2, 1, 2));
+        assert!(mined.iter().all(|m| m.sequence.len() <= 2));
+        assert!(mined.iter().any(|m| m.sequence == [3, 4]));
+    }
+
+    #[test]
+    fn threshold_combines_fraction_and_floor() {
+        let c = MiningConfig { min_support: 0.5, min_users: 3, min_length: 1, max_length: 3 };
+        assert_eq!(c.threshold(4), 3, "floor dominates");
+        assert_eq!(c.threshold(100), 50, "fraction dominates");
+        let zero = MiningConfig { min_support: 0.0, min_users: 0, min_length: 1, max_length: 3 };
+        assert_eq!(zero.threshold(10), 1, "never below one user");
+    }
+
+    #[test]
+    fn repeated_symbols_within_one_sequence_count_once() {
+        let d = db(&[&[7, 7, 7], &[7]]);
+        let mined = mine(&d, &cfg(2, 1, 2));
+        let one = mined.iter().find(|m| m.sequence == [7]).expect("pattern [7]");
+        assert_eq!(one.support, 2);
+        // [7,7] is supported only by the first sequence: below need=2.
+        assert!(!mined.iter().any(|m| m.sequence == [7, 7]));
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        assert!(mine(&SequenceDb::default(), &cfg(1, 1, 3)).is_empty());
+        let d = db(&[&[], &[]]);
+        assert!(mine(&d, &cfg(1, 1, 3)).is_empty());
+    }
+}

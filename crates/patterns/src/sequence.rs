@@ -1,0 +1,135 @@
+//! Per-user event streams compressed into mining-ready sequences.
+//!
+//! Raw trajectories are noisy: a binge-reading session emits dozens of
+//! consecutive `View:t` events that carry no more sequential signal
+//! than two do. Compression collapses runs of identical symbols to at
+//! most [`SequenceConfig::max_run`] occurrences and keeps only the
+//! most recent [`SequenceConfig::max_len`] symbols, bounding both the
+//! PrefixSpan projection depth and the per-user memory footprint.
+
+use crate::event::PatternEvent;
+
+/// Knobs for stream → sequence compression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceConfig {
+    /// Maximum run of identical consecutive symbols kept (≥1). Two is
+    /// enough to preserve planted double-error signatures while
+    /// collapsing binge runs.
+    pub max_run: usize,
+    /// Maximum sequence length; older symbols are dropped first.
+    pub max_len: usize,
+}
+
+impl Default for SequenceConfig {
+    fn default() -> Self {
+        SequenceConfig { max_run: 2, max_len: 256 }
+    }
+}
+
+/// Compresses one symbol stream per the config. Order is preserved;
+/// only run-collapsing and head-truncation are applied.
+pub fn compress(symbols: impl IntoIterator<Item = u32>, cfg: &SequenceConfig) -> Vec<u32> {
+    let max_run = cfg.max_run.max(1);
+    let mut out = Vec::new();
+    let mut run = 0usize;
+    for sym in symbols {
+        if out.last() == Some(&sym) {
+            run += 1;
+        } else {
+            run = 1;
+        }
+        if run <= max_run {
+            out.push(sym);
+        }
+    }
+    if out.len() > cfg.max_len {
+        out.drain(..out.len() - cfg.max_len);
+    }
+    out
+}
+
+/// Convenience: compress a typed event stream.
+pub fn compress_events(events: &[PatternEvent], cfg: &SequenceConfig) -> Vec<u32> {
+    compress(events.iter().map(|e| e.symbol()), cfg)
+}
+
+/// The mining input: one compressed symbol sequence per user, indexed
+/// by position (the miner never needs user identity, only distinct
+/// sequence counts).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SequenceDb {
+    sequences: Vec<Vec<u32>>,
+}
+
+impl SequenceDb {
+    /// Wraps already-compressed sequences.
+    pub fn new(sequences: Vec<Vec<u32>>) -> Self {
+        SequenceDb { sequences }
+    }
+
+    /// Compresses each raw stream and collects the database. Empty
+    /// streams are kept: they still count toward the support base
+    /// (a user who did nothing is evidence against every pattern).
+    pub fn from_streams<S: AsRef<[u32]>>(streams: &[S], cfg: &SequenceConfig) -> Self {
+        let sequences =
+            streams.iter().map(|s| compress(s.as_ref().iter().copied(), cfg)).collect();
+        SequenceDb { sequences }
+    }
+
+    /// Number of user sequences (the support denominator).
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// True when the database holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// Total symbol count, used as a work hint for parallel dispatch.
+    pub fn total_symbols(&self) -> usize {
+        self.sequences.iter().map(Vec::len).sum()
+    }
+
+    /// The sequences themselves, in user order.
+    pub fn sequences(&self) -> &[Vec<u32>] {
+        &self.sequences
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_run: usize, max_len: usize) -> SequenceConfig {
+        SequenceConfig { max_run, max_len }
+    }
+
+    #[test]
+    fn collapses_runs_but_preserves_pairs() {
+        let stream = [1, 1, 1, 1, 2, 3, 3, 1];
+        assert_eq!(compress(stream, &cfg(2, 64)), vec![1, 1, 2, 3, 3, 1]);
+        assert_eq!(compress(stream, &cfg(1, 64)), vec![1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn truncation_keeps_the_most_recent_suffix() {
+        let stream: Vec<u32> = (0..10).collect();
+        assert_eq!(compress(stream, &cfg(2, 4)), vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_max_run_is_clamped_to_one() {
+        assert_eq!(compress([5, 5, 5], &cfg(0, 8)), vec![5]);
+    }
+
+    #[test]
+    fn db_keeps_empty_streams_in_the_support_base() {
+        let streams: Vec<Vec<u32>> = vec![vec![1, 1, 1], vec![], vec![2]];
+        let db = SequenceDb::from_streams(&streams, &cfg(2, 8));
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.sequences()[0], vec![1, 1]);
+        assert!(db.sequences()[1].is_empty());
+        assert_eq!(db.total_symbols(), 3);
+    }
+}

@@ -90,17 +90,20 @@ pub enum Endpoint {
     Metrics,
     /// `POST /admin/reload`.
     Reload,
+    /// `GET /patterns`.
+    Patterns,
     /// Anything else (404/405 traffic).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 6] = [
+    const ALL: [Endpoint; 7] = [
         Endpoint::Predict,
         Endpoint::Models,
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Reload,
+        Endpoint::Patterns,
         Endpoint::Other,
     ];
 
@@ -111,12 +114,13 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Reload => "reload",
+            Endpoint::Patterns => "patterns",
             Endpoint::Other => "other",
         }
     }
 
     fn index(self) -> usize {
-        Endpoint::ALL.iter().position(|&e| e == self).unwrap_or(5)
+        Endpoint::ALL.iter().position(|&e| e == self).unwrap_or(6)
     }
 }
 
@@ -131,9 +135,9 @@ const BATCH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
 #[derive(Debug)]
 pub struct Metrics {
     /// Requests received, per endpoint.
-    requests: [Counter; 6],
+    requests: [Counter; 7],
     /// Errors (4xx/5xx) returned, per endpoint.
-    errors: [Counter; 6],
+    errors: [Counter; 7],
     /// 503s returned because the admission queue was full.
     pub overload_rejections: Counter,
     /// Feature rows predicted (cache hits included).

@@ -15,6 +15,7 @@ use crate::registry::{Registry, SwapEvent};
 use crate::ServeError;
 use nd_core::checkpoint::save_checkpoint;
 use nd_core::features::DatasetVariant;
+use nd_core::patterns_module::PatternsOutput;
 use nd_core::pipeline::{Pipeline, PipelineConfig, RunReport};
 use nd_core::predict::{NetworkKind, PredictConfig, Target};
 use nd_neural::{Trainer, TrainerConfig};
@@ -54,12 +55,13 @@ pub struct RetrainSpec {
 /// and hot-swaps the registry to the new versions.
 ///
 /// Returns the pipeline's per-stage report (cache status, wall time,
-/// artifact bytes) and the registry swap events.
+/// artifact bytes), the registry swap events, and the run's mined
+/// pattern catalog (served at `GET /patterns`).
 pub fn retrain_from_run(
     registry: &Registry,
     spec: &RetrainSpec,
     run_dir: &Path,
-) -> Result<(RunReport, Vec<SwapEvent>), ServeError> {
+) -> Result<(RunReport, Vec<SwapEvent>, PatternsOutput), ServeError> {
     let mut config = spec.pipeline.clone();
     config.cache.dir = Some(run_dir.to_path_buf());
     let (output, report) = Pipeline::new(config).run_with_report()?;
@@ -89,5 +91,5 @@ pub fn retrain_from_run(
     drop(db);
 
     let events = registry.refresh()?;
-    Ok((report, events))
+    Ok((report, events, output.patterns))
 }

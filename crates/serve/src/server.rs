@@ -17,8 +17,10 @@ use crate::metrics::{Endpoint, Metrics};
 use crate::registry::{ModelHandle, Registry};
 use crate::retrain::{retrain_from_run, RetrainSpec};
 use crate::ServeError;
+use nd_core::patterns_module::PatternsOutput;
 use nd_core::pipeline::RunReport;
 use nd_linalg::vecops::argmax;
+use nd_patterns::{symbol_label, PatternCategory};
 use serde_json::{json, Value};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -81,6 +83,9 @@ struct Shared {
     /// Per-stage report of the most recent reload-with-retrain,
     /// rendered into `GET /metrics`.
     last_run: Mutex<Option<RunReport>>,
+    /// Pattern catalog mined by the most recent reload-with-retrain,
+    /// served at `GET /patterns` and summarized in `GET /metrics`.
+    patterns: Mutex<Option<Arc<PatternsOutput>>>,
 }
 
 impl Shared {
@@ -117,6 +122,7 @@ impl Server {
             max_body: config.max_body_bytes,
             retrain: config.retrain.clone(),
             last_run: Mutex::new(None),
+            patterns: Mutex::new(None),
         });
 
         let acceptor = {
@@ -307,6 +313,7 @@ fn handle_request(
         ("GET", "/healthz") => Endpoint::Healthz,
         ("GET", "/metrics") => Endpoint::Metrics,
         ("POST", "/admin/reload") => Endpoint::Reload,
+        ("GET", "/patterns") => Endpoint::Patterns,
         _ => Endpoint::Other,
     };
     shared.metrics.request(endpoint);
@@ -323,11 +330,12 @@ fn handle_request(
             (200, Vec::new(), json!({"status": "ok", "models": shared.registry.list().len()}))
         }
         Endpoint::Reload => handle_reload(shared, request),
+        Endpoint::Patterns => handle_patterns(shared, request),
         // Already answered above; if routing ever regresses, a wrong
         // 500 beats a panic that kills the connection thread.
         Endpoint::Metrics => (500, Vec::new(), json!({"error": "metrics routed past its handler"})),
         Endpoint::Other => {
-            let known = matches!(path, "/predict" | "/models" | "/healthz" | "/metrics" | "/admin/reload");
+            let known = matches!(path, "/predict" | "/models" | "/healthz" | "/metrics" | "/admin/reload" | "/patterns");
             if known {
                 (405, Vec::new(), json!({"error": "method not allowed"}))
             } else {
@@ -359,6 +367,23 @@ fn render_metrics(shared: &Arc<Shared>) -> String {
         gauges.push((
             format!("nd_serve_model_version{{model=\"{}\"}}", handle.name),
             handle.version,
+        ));
+    }
+    let patterns = shared.patterns.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    if let Some(out) = patterns {
+        gauges.push((
+            "nd_patterns_catalog_size".to_string(),
+            out.catalog.patterns.len() as u64,
+        ));
+        for (category, count) in out.catalog.category_counts() {
+            gauges.push((
+                format!("nd_patterns_catalog_patterns{{category=\"{}\"}}", category.label()),
+                count as u64,
+            ));
+        }
+        gauges.push((
+            "nd_patterns_planted_signatures".to_string(),
+            out.planted.len() as u64,
         ));
     }
     // Clone out under a brief lock; rendering happens lock-free.
@@ -417,7 +442,7 @@ fn handle_reload(
             );
         };
         return match retrain_from_run(&shared.registry, spec, &run_dir) {
-            Ok((report, events)) => {
+            Ok((report, events, patterns)) => {
                 shared.apply_swaps(&events);
                 let swapped: Vec<Value> = events
                     .iter()
@@ -446,8 +471,14 @@ fn handle_reload(
                         "total_ms": report.total_ms,
                         "stages": stages,
                     },
+                    "patterns": {
+                        "cataloged": patterns.catalog.patterns.len(),
+                        "planted": patterns.planted.len(),
+                    },
                 });
                 *shared.last_run.lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
+                *shared.patterns.lock().unwrap_or_else(PoisonError::into_inner) =
+                    Some(Arc::new(patterns));
                 (200, Vec::new(), body)
             }
             Err(e) => (500, Vec::new(), json!({"error": e.to_string()})),
@@ -466,6 +497,100 @@ fn handle_reload(
         }
         Err(e) => (500, Vec::new(), json!({"error": e.to_string()})),
     }
+}
+
+/// Extracts a `key=value` query parameter from a raw query string.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+/// Default number of patterns returned when `?limit=` is absent.
+const PATTERNS_DEFAULT_LIMIT: usize = 20;
+
+/// Co-occurrence pairs returned alongside the patterns.
+const PATTERNS_PAIR_LIMIT: usize = 10;
+
+fn handle_patterns(
+    shared: &Arc<Shared>,
+    request: &Request,
+) -> (u16, Vec<(&'static str, String)>, Value) {
+    let snapshot = shared.patterns.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    let Some(out) = snapshot else {
+        return (
+            404,
+            Vec::new(),
+            json!({"error": "no pattern catalog loaded; POST /admin/reload with a run_dir to mine one"}),
+        );
+    };
+    let query = request.path.split('?').nth(1).unwrap_or("");
+    let category = match query_param(query, "category") {
+        Some(raw) => match PatternCategory::parse(raw) {
+            Some(c) => Some(c),
+            None => {
+                return (
+                    400,
+                    Vec::new(),
+                    json!({"error": format!("unknown category: {raw}")}),
+                )
+            }
+        },
+        None => None,
+    };
+    let limit = query_param(query, "limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(PATTERNS_DEFAULT_LIMIT);
+
+    let catalog = &out.catalog;
+    let patterns: Vec<Value> = catalog
+        .patterns
+        .iter()
+        .filter(|p| category.is_none_or(|c| p.category == c))
+        .take(limit)
+        .map(|p| {
+            json!({
+                "id": format!("{:016x}", p.id),
+                "pattern": p.render(),
+                "category": p.category.label(),
+                "users": p.user_count,
+                "support": p.support,
+                "score": p.score,
+            })
+        })
+        .collect();
+    let categories: Value = catalog
+        .category_counts()
+        .iter()
+        .map(|(c, n)| (c.label().to_string(), json!(n)))
+        .collect::<serde_json::Map<_, _>>()
+        .into();
+    let pairs: Vec<Value> = catalog
+        .pairs
+        .iter()
+        .take(PATTERNS_PAIR_LIMIT)
+        .map(|p| {
+            json!({
+                "a": symbol_label(p.a),
+                "b": symbol_label(p.b),
+                "users": p.count,
+                "jaccard": p.jaccard,
+            })
+        })
+        .collect();
+    (
+        200,
+        Vec::new(),
+        json!({
+            "n_users": catalog.n_users,
+            "total_patterns": catalog.patterns.len(),
+            "returned": patterns.len(),
+            "categories": categories,
+            "patterns": patterns,
+            "top_pairs": pairs,
+        }),
+    )
 }
 
 /// A ready-to-serialize response: status, extra headers, JSON body.

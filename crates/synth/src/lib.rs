@@ -41,6 +41,7 @@ pub mod news_gen;
 pub mod serial;
 pub mod time;
 pub mod topics;
+pub mod trajectories;
 pub mod tweet_gen;
 pub mod users;
 pub mod world;
@@ -50,5 +51,8 @@ pub use events::GroundTruthEvent;
 pub use serial::{decode_world, encode_world};
 pub use time::day_of_week;
 pub use topics::{topic_inventory, TopicKind, TopicSpec};
+pub use trajectories::{
+    generate_trajectories, PlantedSignature, TrajectoryConfig, TrajectorySet,
+};
 pub use users::User;
 pub use world::{NewsArticle, Tweet, World, WorldConfig};

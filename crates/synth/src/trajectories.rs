@@ -1,0 +1,439 @@
+//! Ground-truth user trajectories for the pattern-mining workload.
+//!
+//! Every user belongs to a behavioral cohort, and each non-casual
+//! cohort carries a **planted signature** — a short, contiguous event
+//! motif injected into the user's stream at a seeded time:
+//!
+//! * **churn** — the user goes quiet for good after a failure burst:
+//!   `Login → ApiError → ApiError → Silence`, planted at the moment
+//!   the user's activity stops.
+//! * **funnel (early/late)** — a strictly deepening engagement ladder
+//!   `View:t → Like:t → Share:t → Reply:t` on one topic. The topic
+//!   *drifts* at [`TrajectorySet::drift_at`]: early-half funnel users
+//!   ladder on [`TrajectoryConfig::funnel_topic_early`], late-half
+//!   users on [`TrajectoryConfig::funnel_topic_late`] — mining a
+//!   window on either side of the drift point recovers a different
+//!   catalog, which is the distribution-shift harness.
+//! * **engagement** — a read-read-amplify arc
+//!   `Login → View:e → View:e → Share:e`.
+//! * **error chain** — repeated failures without churning:
+//!   `Login → ApiError → ApiError → Login → ApiError`.
+//!
+//! Background noise draws only from `Login`/`View`/`Like` — the
+//! amplification, error, and silence events appear *exclusively* in
+//! plants, so a planted signature's support equals its cohort size
+//! **exactly** and recovery tests can assert on precise user counts
+//! (by [`nd_patterns::pattern_id`], like topics and events assert on
+//! planted ground truth elsewhere in this crate).
+//!
+//! Cohorts are assigned by index range (exact counts, no binomial
+//! wobble); all timing flows from per-user [`SplitMix64`] streams, so
+//! the whole set is a pure function of [`TrajectoryConfig::seed`].
+
+use crate::news_gen::sample_poisson;
+use crate::time::{DAY, HOUR};
+use nd_linalg::rng::SplitMix64;
+use nd_patterns::{pattern_id, PatternEvent, SequenceConfig, SequenceDb};
+
+/// Knobs for trajectory generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryConfig {
+    /// Mean background events per user per active day.
+    pub base_events_per_day: f64,
+    /// Fraction of users who churn.
+    pub churn_fraction: f64,
+    /// Fraction of users who run the engagement funnel (split evenly
+    /// into an early-topic half and a late-topic half).
+    pub funnel_fraction: f64,
+    /// Fraction of users with the read-read-amplify arc.
+    pub engagement_fraction: f64,
+    /// Fraction of users with the non-churning error chain.
+    pub error_fraction: f64,
+    /// Day offset of the concept-drift point; `None` = mid-window.
+    pub drift_day: Option<u64>,
+    /// Funnel topic before the drift point.
+    pub funnel_topic_early: u16,
+    /// Funnel topic from the drift point on.
+    pub funnel_topic_late: u16,
+    /// Topic of the engagement arc.
+    pub engagement_topic: u16,
+    /// Distinct topics appearing in background noise.
+    pub n_topics: u16,
+    /// RNG seed (independent of the world seed unless wired so).
+    pub seed: u64,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            base_events_per_day: 0.4,
+            churn_fraction: 0.15,
+            funnel_fraction: 0.2,
+            engagement_fraction: 0.15,
+            error_fraction: 0.05,
+            drift_day: None,
+            funnel_topic_early: 0,
+            funnel_topic_late: 1,
+            engagement_topic: 2,
+            n_topics: 8,
+            seed: 77,
+        }
+    }
+}
+
+/// One planted motif and the ground truth needed to assert recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedSignature {
+    /// Stable name ("churn", "funnel_early", …).
+    pub name: &'static str,
+    /// `nd_patterns::pattern_id` of the motif's symbol sequence —
+    /// what recovery tests look up in the mined catalog.
+    pub id: u64,
+    /// The motif events, in order.
+    pub events: Vec<PatternEvent>,
+    /// Exact number of users carrying the motif.
+    pub n_users: usize,
+    /// Half-open time range containing every plant of this motif.
+    pub window: (u64, u64),
+}
+
+/// The generated trajectory corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectorySet {
+    /// Window start (unix seconds).
+    pub start: u64,
+    /// Window end (exclusive).
+    pub end: u64,
+    /// The concept-drift instant: funnel topics switch here.
+    pub drift_at: u64,
+    /// Per-user timestamped event streams, sorted by time.
+    pub trajectories: Vec<Vec<(u64, PatternEvent)>>,
+    /// Ground truth for recovery assertions.
+    pub planted: Vec<PlantedSignature>,
+}
+
+impl TrajectorySet {
+    /// Compresses every user's events inside `[window.0, window.1)`
+    /// into a mining-ready database (one sequence per user; users
+    /// silent in the window contribute empty sequences and still
+    /// count toward the support base).
+    pub fn sequence_db(&self, window: (u64, u64), cfg: &SequenceConfig) -> SequenceDb {
+        let streams: Vec<Vec<u32>> = self
+            .trajectories
+            .iter()
+            .map(|tr| {
+                tr.iter()
+                    .filter(|(ts, _)| *ts >= window.0 && *ts < window.1)
+                    .map(|(_, e)| e.symbol())
+                    .collect()
+            })
+            .collect();
+        SequenceDb::from_streams(&streams, cfg)
+    }
+
+    /// [`TrajectorySet::sequence_db`] over the whole window.
+    pub fn full_db(&self, cfg: &SequenceConfig) -> SequenceDb {
+        self.sequence_db((self.start, self.end), cfg)
+    }
+
+    /// The planted signature with the given name, if any.
+    pub fn signature(&self, name: &str) -> Option<&PlantedSignature> {
+        self.planted.iter().find(|p| p.name == name)
+    }
+}
+
+/// Cohort of one user, decided by index range.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Cohort {
+    Churn,
+    FunnelEarly,
+    FunnelLate,
+    Engagement,
+    ErrorChain,
+    Casual,
+}
+
+/// Seconds between consecutive events of one plant: tight enough that
+/// run-collapsing compression never splits a motif, and offset from
+/// the hour-aligned noise grid so plants interleave deterministically.
+const PLANT_STEP: u64 = 60;
+
+/// Plants stay at least this far inside their assigned half-window.
+const PLANT_MARGIN: u64 = 2 * HOUR;
+
+/// Generates the trajectory corpus for `n_users` users over `days`
+/// days starting at `start` (unix seconds).
+pub fn generate_trajectories(
+    n_users: usize,
+    start: u64,
+    days: u64,
+    cfg: &TrajectoryConfig,
+) -> TrajectorySet {
+    let days = days.max(1);
+    let end = start + days * DAY;
+    let drift_day = cfg.drift_day.unwrap_or(days / 2).min(days);
+    let drift_at = start + drift_day * DAY;
+
+    let n_churn = (n_users as f64 * cfg.churn_fraction) as usize;
+    let n_funnel = (n_users as f64 * cfg.funnel_fraction) as usize;
+    let n_funnel_early = n_funnel.div_ceil(2);
+    let n_engage = (n_users as f64 * cfg.engagement_fraction) as usize;
+    let n_error = (n_users as f64 * cfg.error_fraction) as usize;
+    let cohort_of = |uid: usize| -> Cohort {
+        let mut edge = n_churn;
+        if uid < edge {
+            return Cohort::Churn;
+        }
+        if uid < edge + n_funnel_early {
+            return Cohort::FunnelEarly;
+        }
+        edge += n_funnel;
+        if uid < edge {
+            return Cohort::FunnelLate;
+        }
+        edge += n_engage;
+        if uid < edge {
+            return Cohort::Engagement;
+        }
+        edge += n_error;
+        if uid < edge {
+            return Cohort::ErrorChain;
+        }
+        Cohort::Casual
+    };
+
+    let churn_motif = vec![
+        PatternEvent::Login,
+        PatternEvent::ApiError,
+        PatternEvent::ApiError,
+        PatternEvent::Silence,
+    ];
+    let funnel_motif = |t: u16| {
+        vec![
+            PatternEvent::View(t),
+            PatternEvent::Like(t),
+            PatternEvent::Share(t),
+            PatternEvent::Reply(t),
+        ]
+    };
+    let funnel_motif_early = funnel_motif(cfg.funnel_topic_early);
+    let funnel_motif_late = funnel_motif(cfg.funnel_topic_late);
+    let engage_motif = vec![
+        PatternEvent::Login,
+        PatternEvent::View(cfg.engagement_topic),
+        PatternEvent::View(cfg.engagement_topic),
+        PatternEvent::Share(cfg.engagement_topic),
+    ];
+    let error_motif = vec![
+        PatternEvent::Login,
+        PatternEvent::ApiError,
+        PatternEvent::ApiError,
+        PatternEvent::Login,
+        PatternEvent::ApiError,
+    ];
+
+    let n_topics = cfg.n_topics.max(1);
+    let mut trajectories = Vec::with_capacity(n_users);
+    for uid in 0..n_users {
+        let mut rng =
+            SplitMix64::new(cfg.seed ^ (uid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let cohort = cohort_of(uid);
+
+        // Churn users stop being active at a seeded cutoff; everyone
+        // else is active over the whole window.
+        let span = end - start;
+        let active_until = if cohort == Cohort::Churn {
+            start + (rng.next_range(0.3, 0.7) * span as f64) as u64
+        } else {
+            end
+        };
+
+        // Background noise on an hour-aligned grid: Login / View /
+        // Like only, so plants own every Share/Reply/ApiError/Silence.
+        let active_hours = ((active_until - start) / HOUR).max(1);
+        let active_days = (active_until - start) as f64 / DAY as f64;
+        let n_noise = sample_poisson(cfg.base_events_per_day * active_days, &mut rng);
+        let mut events: Vec<(u64, PatternEvent)> = Vec::with_capacity(n_noise + 5);
+        for _ in 0..n_noise {
+            let ts = start + rng.next_u64() % active_hours * HOUR;
+            let topic = rng.next_usize(n_topics as usize) as u16;
+            let ev = match rng.next_u64() % 10 {
+                0..=2 => PatternEvent::Login,
+                3..=7 => PatternEvent::View(topic),
+                _ => PatternEvent::Like(topic),
+            };
+            events.push((ts, ev));
+        }
+
+        // The cohort's plant, placed inside its legal window.
+        let plant: Option<(&[PatternEvent], u64)> = match cohort {
+            Cohort::Churn => Some((&churn_motif, active_until)),
+            Cohort::FunnelEarly => {
+                Some((&funnel_motif_early, plant_time(start, drift_at, &mut rng)))
+            }
+            Cohort::FunnelLate => Some((&funnel_motif_late, plant_time(drift_at, end, &mut rng))),
+            Cohort::Engagement => Some((&engage_motif, plant_time(start, end, &mut rng))),
+            Cohort::ErrorChain => Some((&error_motif, plant_time(start, end, &mut rng))),
+            Cohort::Casual => None,
+        };
+        if let Some((motif, at)) = plant {
+            for (k, &e) in motif.iter().enumerate() {
+                events.push((at + 1 + k as u64 * PLANT_STEP, e));
+            }
+        }
+
+        events.sort_by_key(|&(ts, _)| ts);
+        trajectories.push(events);
+    }
+
+    let planted = vec![
+        PlantedSignature {
+            name: "churn",
+            id: id_of(&churn_motif),
+            events: churn_motif,
+            n_users: n_churn,
+            window: (start, end),
+        },
+        PlantedSignature {
+            name: "funnel_early",
+            id: id_of(&funnel_motif_early),
+            events: funnel_motif_early,
+            n_users: n_funnel_early,
+            window: (start, drift_at),
+        },
+        PlantedSignature {
+            name: "funnel_late",
+            id: id_of(&funnel_motif_late),
+            events: funnel_motif_late,
+            n_users: n_funnel - n_funnel_early,
+            window: (drift_at, end),
+        },
+        PlantedSignature {
+            name: "engagement",
+            id: id_of(&engage_motif),
+            events: engage_motif,
+            n_users: n_engage,
+            window: (start, end),
+        },
+        PlantedSignature {
+            name: "error_chain",
+            id: id_of(&error_motif),
+            events: error_motif,
+            n_users: n_error,
+            window: (start, end),
+        },
+    ];
+
+    TrajectorySet { start, end, drift_at, trajectories, planted }
+}
+
+/// A plant instant inside `[lo, hi)`, at least [`PLANT_MARGIN`] from
+/// both edges when the window allows it.
+fn plant_time(lo: u64, hi: u64, rng: &mut SplitMix64) -> u64 {
+    let (lo, hi) = if hi > lo { (lo, hi) } else { (lo, lo + 1) };
+    let (a, b) = if hi - lo > 2 * PLANT_MARGIN + 1 {
+        (lo + PLANT_MARGIN, hi - PLANT_MARGIN)
+    } else {
+        (lo, hi)
+    };
+    a + rng.next_u64() % (b - a)
+}
+
+/// Pattern id of a motif's symbol sequence.
+fn id_of(events: &[PatternEvent]) -> u64 {
+    let symbols: Vec<u32> = events.iter().map(|e| e.symbol()).collect();
+    pattern_id(&symbols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MAY_2019;
+    use nd_patterns::{mine, MiningConfig, SequenceConfig};
+
+    fn small_set() -> TrajectorySet {
+        generate_trajectories(400, MAY_2019, 60, &TrajectoryConfig::default())
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_cohort_counts_exact() {
+        let a = small_set();
+        let b = small_set();
+        assert_eq!(a, b);
+        assert_eq!(a.trajectories.len(), 400);
+        assert_eq!(a.signature("churn").unwrap().n_users, 60);
+        assert_eq!(a.signature("funnel_early").unwrap().n_users, 40);
+        assert_eq!(a.signature("funnel_late").unwrap().n_users, 40);
+        assert_eq!(a.signature("engagement").unwrap().n_users, 60);
+        assert_eq!(a.signature("error_chain").unwrap().n_users, 20);
+    }
+
+    #[test]
+    fn noise_never_emits_plant_only_events() {
+        let set = small_set();
+        // Casual users (tail of the index range) must be pure noise.
+        for tr in &set.trajectories[250..] {
+            for (_, e) in tr {
+                assert!(
+                    matches!(
+                        e,
+                        PatternEvent::Login | PatternEvent::View(_) | PatternEvent::Like(_)
+                    ),
+                    "casual user emitted {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn events_are_time_sorted_and_inside_the_window() {
+        let set = small_set();
+        for tr in &set.trajectories {
+            for pair in tr.windows(2) {
+                assert!(pair[0].0 <= pair[1].0);
+            }
+            for &(ts, _) in tr {
+                assert!(ts >= set.start && ts < set.end + DAY, "plant tail near end");
+            }
+        }
+    }
+
+    #[test]
+    fn planted_motifs_survive_compression_with_exact_support() {
+        let set = small_set();
+        let db = set.full_db(&SequenceConfig::default());
+        let mined = mine(
+            &db,
+            &MiningConfig { min_support: 0.02, min_users: 4, min_length: 2, max_length: 5 },
+        );
+        for name in ["churn", "engagement", "error_chain"] {
+            let sig = set.signature(name).unwrap();
+            let symbols: Vec<u32> = sig.events.iter().map(|e| e.symbol()).collect();
+            let found = mined
+                .iter()
+                .find(|m| m.sequence == symbols)
+                .unwrap_or_else(|| panic!("{name} motif not mined"));
+            assert_eq!(found.support as usize, sig.n_users, "{name} support must be exact");
+        }
+    }
+
+    #[test]
+    fn drift_moves_the_funnel_topic_across_windows() {
+        let set = small_set();
+        let scfg = SequenceConfig::default();
+        let mcfg =
+            MiningConfig { min_support: 0.02, min_users: 4, min_length: 4, max_length: 4 };
+        let early = set.signature("funnel_early").unwrap();
+        let late = set.signature("funnel_late").unwrap();
+        let early_syms: Vec<u32> = early.events.iter().map(|e| e.symbol()).collect();
+        let late_syms: Vec<u32> = late.events.iter().map(|e| e.symbol()).collect();
+
+        let before = mine(&set.sequence_db((set.start, set.drift_at), &scfg), &mcfg);
+        assert!(before.iter().any(|m| m.sequence == early_syms));
+        assert!(!before.iter().any(|m| m.sequence == late_syms));
+
+        let after = mine(&set.sequence_db((set.drift_at, set.end), &scfg), &mcfg);
+        assert!(after.iter().any(|m| m.sequence == late_syms));
+        assert!(!after.iter().any(|m| m.sequence == early_syms));
+    }
+}

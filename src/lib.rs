@@ -48,6 +48,10 @@ pub use nd_embed as embed;
 /// Neural networks (layers, losses, optimizers, training, metrics).
 pub use nd_neural as neural;
 
+/// Temporal audience-pattern mining (PrefixSpan, co-occurrence,
+/// categorized pattern catalogs).
+pub use nd_patterns as patterns;
+
 /// Embedded document store (collections, filters, indexes, WAL).
 pub use nd_store as store;
 

@@ -370,3 +370,43 @@ fn neural_layers_are_thread_count_invariant() {
         v
     });
 }
+
+/// The pattern-mining subsystem returns integer supports and sorts on
+/// total orders, so the *entire serialized catalog* — patterns, ranks,
+/// co-occurrence pairs — must be byte-identical at any thread count.
+/// The corpus is sized so both the PrefixSpan root fan-out and the
+/// co-occurrence chunk merge actually cross nd-par's serial cutoff.
+#[test]
+fn pattern_mining_is_thread_count_invariant() {
+    use nd_patterns::{cooccurrence, mine, MiningConfig, PatternCatalog, SequenceConfig};
+    use nd_store::artifact::ByteWriter;
+    use nd_synth::{generate_trajectories, TrajectoryConfig};
+
+    let _guard = ENV_LOCK.lock().unwrap();
+    let set = generate_trajectories(5_000, 0, 7, &TrajectoryConfig::default());
+    let db = set.full_db(&SequenceConfig::default());
+    let mining = MiningConfig::default();
+    let catalog_bytes = || {
+        let mined = mine(&db, &mining);
+        let pairs = cooccurrence(&db, mining.threshold(db.len()) as usize);
+        let catalog = PatternCatalog::build(db.len(), mined, pairs, 512);
+        assert!(!catalog.patterns.is_empty(), "corpus must mine a non-trivial catalog");
+        let mut w = ByteWriter::new();
+        catalog.encode(&mut w);
+        w.into_bytes()
+    };
+    std::env::set_var("NEWSDIFF_THREADS", "1");
+    let reference = catalog_bytes();
+    for threads in ["2", "8"] {
+        std::env::set_var("NEWSDIFF_THREADS", threads);
+        let run = catalog_bytes();
+        assert!(
+            run == reference,
+            "pattern catalog bytes differ between 1 and {threads} threads \
+             ({} vs {} bytes)",
+            reference.len(),
+            run.len()
+        );
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+}

@@ -91,6 +91,30 @@ fn correlation_threshold_change_recomputes_exactly_correlation_and_features() {
 }
 
 #[test]
+fn pattern_min_support_change_recomputes_exactly_the_patterns_stage() {
+    let _guard = LOCK.lock().unwrap();
+    baseline_digest();
+    let mut cfg = config();
+    cfg.patterns.mining.min_support = 0.08; // small()'s default is 0.05
+    let (_, report) = Pipeline::new(cfg.clone()).run_with_report().expect("dirty run");
+    for stage in UPSTREAM {
+        assert_eq!(status_of(&report, stage), CacheStatus::Hit, "{stage} must replay");
+    }
+    for stage in ["trending", "correlation", "features"] {
+        assert_eq!(
+            status_of(&report, stage),
+            CacheStatus::Hit,
+            "a mining knob must not dirty {stage}"
+        );
+    }
+    assert_eq!(status_of(&report, "patterns"), CacheStatus::Miss, "patterns must recompute");
+    assert_eq!(report.executed(), 1, "only the patterns stage executes: {report:?}");
+    // The recomputation was itself cached: same config now fully hits.
+    let (_, again) = Pipeline::new(cfg).run_with_report().expect("re-run");
+    assert_eq!(again.executed(), 0);
+}
+
+#[test]
 fn corrupted_artifact_recomputes_and_heals_instead_of_erroring() {
     let _guard = LOCK.lock().unwrap();
     let cold = baseline_digest();
@@ -148,7 +172,9 @@ fn force_from_and_until_steer_the_executor() {
     let (artifacts, report) = Pipeline::new(cfg).execute().expect("until run");
     assert!(artifacts.contains("collect") && artifacts.contains("preprocess"));
     assert!(!artifacts.contains("topics") && !artifacts.contains("features"));
-    for stage in ["topics", "events", "embeddings", "trending", "correlation", "features"] {
+    for stage in
+        ["topics", "events", "embeddings", "trending", "correlation", "features", "patterns"]
+    {
         assert_eq!(status_of(&report, stage), CacheStatus::Skipped);
     }
 

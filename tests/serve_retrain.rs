@@ -86,12 +86,16 @@ fn reload_with_run_dir_retrains_and_swaps_from_the_artifact_cache() {
     assert_eq!(swapped[0]["from"].as_u64(), Some(1));
     assert_eq!(swapped[0]["to"].as_u64(), Some(2));
 
-    // The pipeline section reports all eight stages; the run went
+    // The pipeline section reports all nine stages; the run went
     // through the pre-populated cache, so nothing re-executed.
     let pipeline = &body["pipeline"];
-    assert_eq!(pipeline["stages"].as_array().map(Vec::len), Some(8));
+    assert_eq!(pipeline["stages"].as_array().map(Vec::len), Some(9));
     assert_eq!(pipeline["executed"].as_u64(), Some(0), "warm cache must replay every stage");
-    assert_eq!(pipeline["replayed"].as_u64(), Some(8));
+    assert_eq!(pipeline["replayed"].as_u64(), Some(9));
+
+    // The reload reports the mined pattern catalog it loaded.
+    assert!(body["patterns"]["cataloged"].as_u64().unwrap_or(0) > 0, "{body}");
+    assert_eq!(body["patterns"]["planted"].as_u64(), Some(5));
 
     // The per-stage report is now live on /metrics.
     let metrics = client.get("/metrics").expect("metrics");
@@ -102,6 +106,29 @@ fn reload_with_run_dir_retrains_and_swaps_from_the_artifact_cache() {
         assert!(text.contains(gauge), "missing {gauge} in:\n{text}");
     }
     assert!(text.contains("nd_pipeline_stage_cache_hit{stage=\"features\"} 1"));
+    assert!(text.contains("nd_pipeline_stage_cache_hit{stage=\"patterns\"} 1"));
+    assert!(text.contains("nd_patterns_catalog_size"), "{text}");
+    assert!(text.contains("nd_patterns_catalog_patterns{category=\"churn\"}"), "{text}");
+
+    // The mined catalog is now queryable.
+    let patterns = client.get("/patterns?limit=5").expect("patterns");
+    assert_eq!(patterns.status, 200);
+    let pbody: serde_json::Value = serde_json::from_slice(&patterns.body).expect("patterns json");
+    assert!(pbody["total_patterns"].as_u64().unwrap_or(0) > 0, "{pbody}");
+    assert!(pbody["returned"].as_u64().unwrap_or(0) <= 5);
+    let first = &pbody["patterns"][0];
+    assert!(first["id"].as_str().is_some(), "{pbody}");
+    assert!(first["pattern"].as_str().is_some());
+
+    // Category filtering is validated and applied.
+    let churn = client.get("/patterns?category=churn&limit=3").expect("churn patterns");
+    assert_eq!(churn.status, 200);
+    let cbody: serde_json::Value = serde_json::from_slice(&churn.body).expect("churn json");
+    for p in cbody["patterns"].as_array().expect("patterns array") {
+        assert_eq!(p["category"].as_str(), Some("churn"), "{cbody}");
+    }
+    let bogus = client.get("/patterns?category=bogus").expect("bogus category");
+    assert_eq!(bogus.status, 400);
 
     // A plain reload (no run_dir) still answers and finds nothing new.
     let res = client.post_json("/admin/reload", &json!({})).expect("plain reload");
@@ -127,6 +154,13 @@ fn reload_with_run_dir_requires_a_retrain_spec() {
         .post_json("/admin/reload", &json!({"run_dir": "/nonexistent"}))
         .expect("reload");
     assert_eq!(res.status, 400);
+
+    // No retrain has run, so there is no catalog to serve yet — and
+    // the route still rejects wrong methods rather than 404ing them.
+    let empty = client.get("/patterns").expect("patterns without catalog");
+    assert_eq!(empty.status, 404);
+    let wrong_method = client.post_json("/patterns", &json!({})).expect("post patterns");
+    assert_eq!(wrong_method.status, 405);
 
     server.shutdown();
 }
