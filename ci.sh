@@ -17,8 +17,15 @@ NEWSDIFF_THREADS=4 cargo test -q --workspace
 echo "==> clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> nd-lint (workspace invariants: determinism, panic-safety, unsafe audit, lock discipline)"
-cargo run -q --release -p nd-lint -- --deny --json > lint_report.json
+echo "==> nd-lint (workspace invariants: determinism, panic-safety, lock order, error flow)"
+# Cold run: fresh cache, machine-readable JSON + SARIF reports.
+rm -f target/nd-lint.cache
+cargo run -q --release -p nd-lint -- --deny --json --sarif lint_report.sarif > lint_report.json
+
+echo "==> nd-lint warm incremental run (must be byte-identical to the cold report)"
+cargo run -q --release -p nd-lint -- --deny --json > lint_report.warm.json
+cmp lint_report.json lint_report.warm.json
+rm -f lint_report.warm.json
 
 echo "==> determinism suite"
 NEWSDIFF_THREADS=4 cargo test -q --test determinism

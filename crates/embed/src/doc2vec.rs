@@ -131,6 +131,7 @@ impl Doc2Vec {
         let mut out_vecs: Vec<f64> = vec![0.0; v * dim];
 
         // Unigram^0.75 table.
+        // nd-lint: allow(fp-reduction-order) — serial sum over the sorted vocab; order fixed by construction.
         let pow_sum: f64 = vocab.iter().map(|&(_, c)| (c as f64).powf(0.75)).sum();
         let table_size = 1 << 16;
         let mut table = Vec::with_capacity(table_size);

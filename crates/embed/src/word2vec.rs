@@ -202,6 +202,7 @@ impl Word2Vec {
         let total_tokens: usize = vocab.iter().map(|&(_, c)| c).sum();
 
         // --- Unigram^0.75 table for negative sampling.
+        // nd-lint: allow(fp-reduction-order) — serial sum over the sorted vocab; order fixed by construction.
         let pow_sum: f64 = vocab.iter().map(|&(_, c)| (c as f64).powf(0.75)).sum();
         let mut table = Vec::with_capacity(UNIGRAM_TABLE_SIZE);
         {

@@ -489,12 +489,14 @@ impl Mat {
         if self.data.is_empty() {
             0.0
         } else {
+            // nd-lint: allow(fp-reduction-order) — serial sum in storage order; never parallelized.
             self.sum() / self.data.len() as f64
         }
     }
 
     /// Frobenius norm `sqrt(sum of squared entries)`.
     pub fn frobenius_norm(&self) -> f64 {
+        // nd-lint: allow(fp-reduction-order) — serial sum in storage order; never parallelized.
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
     }
 
@@ -623,6 +625,7 @@ impl Mat {
         let cols = self.cols;
         for i in 0..self.rows {
             let row = &mut self.data[i * cols..(i + 1) * cols];
+            // nd-lint: allow(fp-reduction-order) — serial sum over one row in storage order.
             let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt();
             if norm > 0.0 {
                 for v in row {

@@ -89,6 +89,7 @@ impl SplitMix64 {
     /// Panics if `weights` is empty.
     pub fn sample_weighted(&mut self, weights: &[f64]) -> usize {
         assert!(!weights.is_empty(), "sample_weighted needs at least one weight");
+        // nd-lint: allow(fp-reduction-order) — serial sum in the caller's slice order.
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
             return self.next_usize(weights.len());

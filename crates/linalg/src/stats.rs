@@ -10,6 +10,7 @@ pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         0.0
     } else {
+        // nd-lint: allow(fp-reduction-order) — serial sum in slice order; never parallelized.
         xs.iter().sum::<f64>() / xs.len() as f64
     }
 }
@@ -20,6 +21,7 @@ pub fn variance(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(xs);
+    // nd-lint: allow(fp-reduction-order) — serial sum in slice order; never parallelized.
     xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
 }
 

@@ -222,6 +222,7 @@ fn jacobi_eigen_symmetric(a: &Mat, max_sweeps: usize) -> (Vec<f64>, Mat) {
                 off += d.get(i, j) * d.get(i, j);
             }
         }
+        // nd-lint: allow(fp-reduction-order) — serial sum over diagonal indices in order.
         let diag: f64 = (0..n).map(|i| d.get(i, i) * d.get(i, i)).sum();
         if off < 1e-24 || off <= diag * 1e-28 {
             break;

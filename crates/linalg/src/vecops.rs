@@ -73,6 +73,7 @@ pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
 /// Euclidean distance.
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
+    // nd-lint: allow(fp-reduction-order) — serial zip in slice order; never parallelized.
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
 }
 
@@ -109,6 +110,7 @@ pub fn softmax(z: &[f64]) -> Vec<f64> {
     }
     let max = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let exps: Vec<f64> = z.iter().map(|&v| (v - max).exp()).collect();
+    // nd-lint: allow(fp-reduction-order) — serial sum in slice order; never parallelized.
     let sum: f64 = exps.iter().sum();
     exps.into_iter().map(|e| e / sum).collect()
 }

@@ -1,11 +1,13 @@
-//! CLI entry point: `cargo run -p nd-lint -- [--deny] [--json] [--root DIR]`.
+//! CLI entry point: `cargo run -p nd-lint -- [--deny] [--json] …`.
 //!
 //! Exit status: `0` when every finding is baselined (or `--deny` is
-//! absent), `1` when active findings remain under `--deny`, `2` on
-//! usage or I/O errors. Human output goes to stderr so `--json` on
-//! stdout stays machine-clean for `> lint_report.json`.
+//! absent), `1` when active findings — or, under `--deny`, stale
+//! baseline entries — remain, `2` on usage or I/O errors. Human output
+//! goes to stderr so `--json` on stdout stays machine-clean for
+//! `> lint_report.json`.
 
-use nd_lint::{analyze_workspace, Baseline, RULE_NAMES};
+use nd_lint::report::prune_baseline;
+use nd_lint::{analyze_workspace_with, AnalyzeOptions, Baseline, RULE_NAMES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -14,16 +16,28 @@ struct Args {
     json: bool,
     root: PathBuf,
     allow: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    no_cache: bool,
+    changed: bool,
+    prune_baseline: bool,
+    sarif: Option<PathBuf>,
 }
 
 fn usage() -> String {
     format!(
         "nd-lint: workspace invariant analyzer\n\n\
-         USAGE: nd-lint [--deny] [--json] [--root DIR] [--allow FILE]\n\n\
-         \x20 --deny        exit non-zero when non-baselined findings exist\n\
-         \x20 --json        print the machine-readable report to stdout\n\
-         \x20 --root DIR    workspace root (default: current directory)\n\
-         \x20 --allow FILE  baseline file (default: ROOT/lint.allow)\n\n\
+         USAGE: nd-lint [--deny] [--json] [--root DIR] [--allow FILE]\n\
+         \x20               [--cache FILE | --no-cache] [--changed]\n\
+         \x20               [--prune-baseline] [--sarif FILE]\n\n\
+         \x20 --deny             exit non-zero on active findings or stale baseline entries\n\
+         \x20 --json             print the machine-readable report to stdout\n\
+         \x20 --root DIR         workspace root (default: current directory)\n\
+         \x20 --allow FILE       baseline file (default: ROOT/lint.allow)\n\
+         \x20 --cache FILE       incremental cache (default: ROOT/target/nd-lint.cache)\n\
+         \x20 --no-cache         analyze everything fresh, touch no cache file\n\
+         \x20 --changed          lint only git-changed files (falls back to full workspace)\n\
+         \x20 --prune-baseline   rewrite the baseline with stale entries removed\n\
+         \x20 --sarif FILE       also write a SARIF 2.1.0 report\n\n\
          rules: {}\n\
          suppress one site: `// nd-lint: allow(rule-name)` on the line or the line above",
         RULE_NAMES.join(", ")
@@ -31,18 +45,36 @@ fn usage() -> String {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { deny: false, json: false, root: PathBuf::from("."), allow: None };
+    let mut args = Args {
+        deny: false,
+        json: false,
+        root: PathBuf::from("."),
+        allow: None,
+        cache: None,
+        no_cache: false,
+        changed: false,
+        prune_baseline: false,
+        sarif: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deny" => args.deny = true,
             "--json" => args.json = true,
+            "--changed" => args.changed = true,
+            "--prune-baseline" => args.prune_baseline = true,
+            "--no-cache" => args.no_cache = true,
             "--root" => {
                 args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
             }
             "--allow" => {
                 args.allow = Some(PathBuf::from(it.next().ok_or("--allow needs a file")?));
+            }
+            "--cache" => {
+                args.cache = Some(PathBuf::from(it.next().ok_or("--cache needs a file")?));
+            }
+            "--sarif" => {
+                args.sarif = Some(PathBuf::from(it.next().ok_or("--sarif needs a file")?));
             }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument `{other}`\n\n{}", usage())),
@@ -60,7 +92,20 @@ fn main() -> ExitCode {
         }
     };
 
-    let (findings, files_scanned) = match analyze_workspace(&args.root) {
+    let opts = AnalyzeOptions {
+        cache_path: if args.no_cache {
+            None
+        } else {
+            Some(
+                args.cache
+                    .clone()
+                    .unwrap_or_else(|| args.root.join("target/nd-lint.cache")),
+            )
+        },
+        changed_only: args.changed,
+    };
+
+    let (findings, stats) = match analyze_workspace_with(&args.root, &opts) {
         Ok(result) => result,
         Err(e) => {
             eprintln!("nd-lint: failed to scan {}: {e}", args.root.display());
@@ -68,43 +113,89 @@ fn main() -> ExitCode {
         }
     };
 
+    // A parser coverage gap means the flow tier silently skipped
+    // tokens somewhere — that is an analyzer bug, never acceptable.
+    for (file, consumed, total) in &stats.coverage_gaps {
+        eprintln!(
+            "nd-lint: error: parser covered {consumed}/{total} significant tokens of {file}"
+        );
+    }
+    if !stats.coverage_gaps.is_empty() {
+        return ExitCode::from(2);
+    }
+
     let allow_path = args.allow.clone().unwrap_or_else(|| args.root.join("lint.allow"));
-    let baseline = match std::fs::read_to_string(&allow_path) {
-        Ok(text) => Baseline::parse(&text),
-        Err(_) => Baseline::default(), // no baseline file: nothing grandfathered
-    };
+    let allow_text = std::fs::read_to_string(&allow_path).unwrap_or_default();
+    let baseline = Baseline::parse(&allow_text);
     for problem in &baseline.problems {
         eprintln!("nd-lint: warning: {problem}");
     }
-    for stale in baseline.stale(&findings) {
+
+    // `--changed` sees a partial file list, so an entry matching no
+    // finding may simply be out of scope this run: never prune or
+    // hard-error on staleness from a partial view.
+    let stale = if args.changed { Vec::new() } else { baseline.stale(&findings) };
+    if args.prune_baseline && !args.changed {
+        let (new_text, pruned) = prune_baseline(&allow_text, &findings);
+        if pruned > 0 {
+            if let Err(e) = std::fs::write(&allow_path, &new_text) {
+                eprintln!("nd-lint: failed to rewrite {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        }
         eprintln!(
-            "nd-lint: warning: stale baseline entry `{} {}{}` matches nothing — delete it",
-            stale.rule,
-            stale.file,
-            stale.line.map(|l| format!(":{l}")).unwrap_or_default()
+            "nd-lint: pruned {pruned} stale baseline entr{} from {}",
+            if pruned == 1 { "y" } else { "ies" },
+            allow_path.display()
         );
+    } else {
+        for s in &stale {
+            eprintln!(
+                "nd-lint: {}: stale baseline entry `{} {}{}` matches nothing — run --prune-baseline",
+                if args.deny { "error" } else { "warning" },
+                s.rule,
+                s.file,
+                s.line.map(|l| format!(":{l}")).unwrap_or_default()
+            );
+        }
     }
 
-    let tagged: Vec<_> = findings.into_iter().map(|f| (f.clone(), baseline.covers(&f))).collect();
+    let tagged: Vec<_> =
+        findings.into_iter().map(|f| (f.clone(), baseline.covers(&f))).collect();
     let active: Vec<_> = tagged.iter().filter(|(_, baselined)| !baselined).collect();
 
     for (f, _) in &active {
         eprintln!("{f}");
     }
     eprintln!(
-        "nd-lint: {} file(s), {} finding(s), {} baselined, {} active",
-        files_scanned,
+        "nd-lint: {} file(s) ({} reparsed, {} cached), {} finding(s), {} baselined, {} active",
+        stats.files_scanned,
+        stats.reparsed,
+        stats.cached,
         tagged.len(),
         tagged.len() - active.len(),
         active.len()
     );
 
     if args.json {
-        print!("{}", nd_lint::report::render_json(&tagged, files_scanned));
+        print!("{}", nd_lint::report::render_json(&tagged, stats.files_scanned));
+    }
+    if let Some(sarif_path) = &args.sarif {
+        if let Err(e) =
+            std::fs::write(sarif_path, nd_lint::sarif::render_sarif(&tagged))
+        {
+            eprintln!("nd-lint: failed to write {}: {e}", sarif_path.display());
+            return ExitCode::from(2);
+        }
     }
 
+    let stale_fails = args.deny && !args.prune_baseline && !stale.is_empty();
     if args.deny && !active.is_empty() {
         eprintln!("nd-lint: failing (--deny): fix the findings above, suppress a verified-safe site with `// nd-lint: allow(rule)`, or baseline it in lint.allow");
+        return ExitCode::from(1);
+    }
+    if stale_fails {
+        eprintln!("nd-lint: failing (--deny): stale baseline entries — run `nd-lint --prune-baseline`");
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS

@@ -84,6 +84,38 @@ impl Baseline {
     }
 }
 
+/// Rewrites baseline text with stale entries removed (`--prune-baseline`).
+/// Comment-only and blank lines survive verbatim; an entry line
+/// survives iff it still covers a current finding (its inline comment
+/// rides along). Returns the new text and the pruned entry count.
+pub fn prune_baseline(text: &str, findings: &[Finding]) -> (String, usize) {
+    let mut out = String::with_capacity(text.len());
+    let mut pruned = 0usize;
+    for raw in text.lines() {
+        let entry = raw.split('#').next().unwrap_or("").trim();
+        if entry.is_empty() {
+            out.push_str(raw);
+            out.push('\n');
+            continue;
+        }
+        // Re-parse this one line through the normal parser so the
+        // live/stale decision matches `Baseline::covers` exactly.
+        let one = Baseline::parse(raw);
+        let live = one.entries.first().is_some_and(|e| {
+            findings.iter().any(|f| {
+                e.rule == f.rule && e.file == f.file && e.line.is_none_or(|l| l == f.line)
+            })
+        });
+        if live {
+            out.push_str(raw);
+            out.push('\n');
+        } else {
+            pruned += 1;
+        }
+    }
+    (out, pruned)
+}
+
 /// Minimal JSON string escaping (the only JSON we emit is flat).
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -166,6 +198,23 @@ mod tests {
         assert_eq!(stale.len(), 1);
         let live = b.stale(&[finding("panic-path", "crates/serve/src/server.rs", 42)]);
         assert!(live.is_empty());
+    }
+
+    #[test]
+    fn prune_drops_stale_keeps_live_and_comments() {
+        let text = "# debt ledger\n\
+                    panic-path crates/serve/src/server.rs:42  # justified\n\
+                    nondet-time crates/neural/src/train.rs\n\
+                    \n\
+                    hot-loop-alloc crates/topics/src/nmf.rs:7\n";
+        let live = [finding("panic-path", "crates/serve/src/server.rs", 42)];
+        let (pruned, n) = prune_baseline(text, &live);
+        assert_eq!(n, 2);
+        assert!(pruned.contains("# debt ledger"));
+        assert!(pruned.contains("panic-path crates/serve/src/server.rs:42  # justified"));
+        assert!(!pruned.contains("nondet-time"));
+        assert!(!pruned.contains("hot-loop-alloc"));
+        assert!(pruned.contains("\n\n"), "blank line survives");
     }
 
     #[test]

@@ -15,9 +15,14 @@
 //! | `stray-spawn`     | everywhere but nd-par/nd-serve| `thread::spawn` & friends |
 //! | `panic-path`      | nd-serve, nd-core checkpoints | `unwrap`/`expect`/`panic!`/`x[0]` |
 //! | `unsafe-comment`  | whole workspace               | `unsafe` without `// SAFETY:` |
-//! | `lock-across-io`  | nd-serve                      | guard live across blocking I/O |
 //! | `hot-loop-alloc`  | NMF / Word2Vec / layer / PrefixSpan files | `Vec::new` / `vec![` / `with_capacity` outside `*Scratch` impls |
 //! | `stage-io`        | nd-core                       | raw `std::fs` / `File` / `OpenOptions` instead of nd-store |
+//!
+//! The flow-sensitive tier (`lock-order`, `result-dropped`,
+//! `fp-reduction-order`, `unbounded-growth`) lives in [`crate::flow`]
+//! on top of the AST/CFG modules; `lock-order` supersedes the old
+//! token-level `lock-across-io` heuristic with path-sensitive guard
+//! liveness and a workspace-global acquisition graph.
 //!
 //! Code under `#[cfg(test)]` / `#[test]` is skipped: tests are allowed
 //! to unwrap, spawn, and time things.
@@ -51,9 +56,12 @@ pub const RULE_NAMES: &[&str] = &[
     "stray-spawn",
     "panic-path",
     "unsafe-comment",
-    "lock-across-io",
     "hot-loop-alloc",
     "stage-io",
+    "lock-order",
+    "result-dropped",
+    "fp-reduction-order",
+    "unbounded-growth",
 ];
 
 /// One rule violation.
@@ -85,8 +93,14 @@ pub struct FileScope {
     pub spawn_check: bool,
     /// `panic-path` applies (serve request path, checkpoint I/O).
     pub panic_path: bool,
-    /// `lock-across-io` applies.
+    /// `lock-order`'s I/O-under-guard check applies (serve path).
     pub lock_check: bool,
+    /// `result-dropped` applies (serve request path, store I/O).
+    pub error_flow: bool,
+    /// `fp-reduction-order` applies (kernel crates).
+    pub fp_order: bool,
+    /// `unbounded-growth` applies (serve path).
+    pub growth: bool,
     /// `hot-loop-alloc` applies (training hot-path files).
     pub hot_loop: bool,
     /// `stage-io` applies (nd-core pipeline/stage code).
@@ -107,6 +121,9 @@ pub fn scope_for(rel: &str) -> FileScope {
         panic_path: in_src
             && (crate_name == "serve" || rel == "crates/core/src/checkpoint.rs"),
         lock_check: in_src && crate_name == "serve",
+        error_flow: in_src && (crate_name == "serve" || crate_name == "store"),
+        fp_order: in_src && KERNEL_CRATES.contains(&crate_name),
+        growth: in_src && crate_name == "serve",
         hot_loop: HOT_LOOP_FILES.contains(&rel.as_str()),
         stage_io: in_src && crate_name == "core",
     }
@@ -147,9 +164,6 @@ pub fn analyze(rel: &str, src: &str) -> Vec<Finding> {
         rule_panic_path(rel, &sig, &mut findings);
     }
     rule_unsafe_comment(rel, &sig, &comments, &mut findings);
-    if scope.lock_check {
-        rule_lock_across_io(rel, &sig, &mut findings);
-    }
     if scope.hot_loop {
         rule_hot_loop_alloc(rel, &sig, &mut findings);
     }
@@ -170,7 +184,7 @@ fn suppressed(comments: &[(u32, &str)], f: &Finding) -> bool {
     })
 }
 
-fn comment_allows(comment: &str, rule: &str) -> bool {
+pub(crate) fn comment_allows(comment: &str, rule: &str) -> bool {
     let Some(idx) = comment.find("nd-lint:") else { return false };
     let rest = &comment[idx + "nd-lint:".len()..];
     let Some(open) = rest.find("allow(") else { return false };
@@ -528,8 +542,9 @@ fn rule_unsafe_comment(
 // ---------------------------------------------------------------- L —
 
 /// Blocking calls a lock guard must not be held across. `open` is
-/// matched only as a path segment (`Database::open`).
-const IO_CALLS: &[&str] = &[
+/// matched only as a path segment (`Database::open`). Shared with the
+/// flow tier's `lock-order` rule.
+pub(crate) const IO_CALLS: &[&str] = &[
     "write_response",
     "write_all",
     "write_fmt",
@@ -548,145 +563,6 @@ const IO_CALLS: &[&str] = &[
     "send_to",
     "sync_all",
 ];
-
-fn rule_lock_across_io(rel: &str, sig: &[STok], out: &mut Vec<Finding>) {
-    // Pre-compute brace depth at every token.
-    let mut depth_at = Vec::with_capacity(sig.len());
-    let mut depth = 0i32;
-    for t in sig {
-        if t.text == "}" {
-            depth -= 1;
-        }
-        depth_at.push(depth);
-        if t.text == "{" {
-            depth += 1;
-        }
-    }
-
-    for i in 0..sig.len() {
-        if sig[i].text == "let" {
-            // let [mut] NAME = … .lock() … ;
-            let mut j = i + 1;
-            if is(sig, j, "mut") {
-                j += 1;
-            }
-            if sig.get(j).map(|t| t.kind) != Some(TokKind::Ident) {
-                continue; // destructuring patterns: out of scope
-            }
-            let name = sig[j].text.clone();
-            if !is(sig, j + 1, "=") {
-                continue;
-            }
-            // Statement end: first `;` back at this brace depth.
-            let Some(stmt_end) = (j..sig.len())
-                .find(|&k| sig[k].text == ";" && depth_at[k] == depth_at[i])
-            else {
-                continue;
-            };
-            // Only the initializer's own depth counts: a `.lock()`
-            // inside a nested `{ … }` produces a guard that dies at
-            // that inner block, not one bound to this `let`
-            // (`let v = { let g = m.lock(); *g };` is the sanctioned
-            // copy-out-then-release idiom).
-            let top_level: Vec<STok> = (j + 2..stmt_end)
-                .filter(|&k| depth_at[k] == depth_at[i])
-                .map(|k| sig[k].clone())
-                .collect();
-            if !acquires_guard(&top_level) {
-                continue;
-            }
-            // Guard lives until the enclosing block closes or an
-            // explicit drop(name).
-            let scope_end = (stmt_end..sig.len())
-                .find(|&k| depth_at[k] < depth_at[i])
-                .unwrap_or(sig.len());
-            scan_guard_scope(rel, sig, stmt_end + 1, scope_end, Some(&name), sig[i].line, out);
-        } else if sig[i].text == "for" {
-            // for PAT in …lock()… { body } — the temporary guard lives
-            // for the whole loop. Stop at `{`/`;` so `impl X for Y`
-            // never pairs with an unrelated later `in`.
-            let Some(in_idx) = (i + 1..sig.len())
-                .take_while(|&k| {
-                    depth_at[k] > depth_at[i]
-                        || (sig[k].text != "{" && sig[k].text != ";")
-                })
-                .find(|&k| sig[k].text == "in" && depth_at[k] == depth_at[i])
-            else {
-                continue;
-            };
-            let Some(body_open) = (in_idx + 1..sig.len()).find(|&k| {
-                sig[k].text == "{" && depth_at[k] == depth_at[i]
-            }) else {
-                continue;
-            };
-            if body_open <= in_idx + 1 || !acquires_guard(&sig[in_idx + 1..body_open]) {
-                continue;
-            }
-            let body_close = (body_open + 1..sig.len())
-                .find(|&k| depth_at[k] < depth_at[body_open] + 1)
-                .unwrap_or(sig.len());
-            scan_guard_scope(rel, sig, body_open + 1, body_close, None, sig[i].line, out);
-        }
-    }
-}
-
-/// Does this expression acquire a `Mutex`/`RwLock` guard? Matches
-/// `.lock()`, `.read()`, `.write()` — empty argument lists only, so
-/// `stream.write(buf)` (I/O) never matches.
-fn acquires_guard(expr: &[STok]) -> bool {
-    for i in 0..expr.len() {
-        if is(expr, i, ".")
-            && expr
-                .get(i + 1)
-                .is_some_and(|t| matches!(t.text.as_str(), "lock" | "read" | "write"))
-            && is(expr, i + 2, "(")
-            && is(expr, i + 3, ")")
-        {
-            return true;
-        }
-    }
-    false
-}
-
-fn scan_guard_scope(
-    rel: &str,
-    sig: &[STok],
-    start: usize,
-    end: usize,
-    guard_name: Option<&str>,
-    acquired_line: u32,
-    out: &mut Vec<Finding>,
-) {
-    for k in start..end.min(sig.len()) {
-        // Early release: drop(guard).
-        if let Some(name) = guard_name {
-            if sig[k].text == "drop" && is(sig, k + 1, "(") && is(sig, k + 2, name) {
-                return;
-            }
-        }
-        let callish = is(sig, k + 1, "(");
-        if !callish || sig[k].kind != TokKind::Ident {
-            continue;
-        }
-        let txt = sig[k].text.as_str();
-        let is_io = IO_CALLS.contains(&txt)
-            || (txt == "open" && k > 0 && sig[k - 1].text == ":");
-        if is_io {
-            let held = guard_name.unwrap_or("<temporary>");
-            out.push(Finding {
-                rule: "lock-across-io",
-                file: rel.to_string(),
-                line: sig[k].line,
-                message: format!(
-                    "`{txt}()` called while lock guard `{held}` (line {acquired_line}) is \
-                     live: blocking I/O under a lock stalls every other request — drop \
-                     the guard first"
-                ),
-            });
-            return; // one finding per guard is enough
-        }
-    }
-}
 
 // ---------------------------------------------------------------- H —
 
@@ -955,50 +831,6 @@ mod tests {
         assert_eq!(rules_of(&analyze(KERNEL, bad)), ["unsafe-comment"]);
         let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}";
         assert!(analyze(KERNEL, good).is_empty());
-    }
-
-    #[test]
-    fn lock_across_io_let_guard() {
-        let src = r#"
-            fn f(m: &Mutex<State>, s: &mut TcpStream) {
-                let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
-                g.counter += 1;
-                s.write_all(b"hi");
-            }
-        "#;
-        assert_eq!(rules_of(&analyze(SERVE, src)), ["lock-across-io"]);
-    }
-
-    #[test]
-    fn lock_released_before_io_is_clean() {
-        let src = r#"
-            fn f(m: &Mutex<State>, s: &mut TcpStream) {
-                {
-                    let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
-                    g.counter += 1;
-                }
-                s.write_all(b"hi");
-            }
-            fn g(m: &Mutex<State>, s: &mut TcpStream) {
-                let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
-                g.counter += 1;
-                drop(g);
-                s.write_all(b"hi");
-            }
-        "#;
-        assert!(analyze(SERVE, src).is_empty());
-    }
-
-    #[test]
-    fn lock_in_for_head_held_across_join() {
-        let src = r#"
-            fn drain(workers: &Mutex<Vec<JoinHandle<()>>>) {
-                for w in workers.lock().unwrap_or_else(PoisonError::into_inner).drain(..) {
-                    let _ = w.join();
-                }
-            }
-        "#;
-        assert_eq!(rules_of(&analyze(SERVE, src)), ["lock-across-io"]);
     }
 
     const HOT: &str = "crates/topics/src/nmf.rs";

@@ -1,0 +1,99 @@
+//! SARIF 2.1.0 output — the static-analysis interchange format CI
+//! dashboards and code hosts ingest natively. One run, one result per
+//! finding; baselined findings are emitted at `note` level with
+//! `baselineState: "unchanged"` so they stay visible without failing
+//! annotation gates, active findings at `warning`.
+
+use crate::rules::{Finding, RULE_NAMES};
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the findings (`(finding, baselined)` pairs, report order)
+/// as a SARIF 2.1.0 document.
+pub fn render_sarif(findings: &[(Finding, bool)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str(
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n",
+    );
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"nd-lint\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, rule) in RULE_NAMES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n            {{\"id\": \"{}\"}}", esc(rule)));
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, (f, baselined)) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let level = if *baselined { "note" } else { "warning" };
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": \"{}\", \"level\": \"{level}\", \
+             \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]{}}}",
+            esc(f.rule),
+            esc(&f.message),
+            esc(&f.file),
+            f.line.max(1),
+            if *baselined { ", \"baselineState\": \"unchanged\"" } else { "" },
+        ));
+    }
+    out.push_str("\n      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32, msg: &str) -> Finding {
+        Finding { rule, file: file.to_string(), line, message: msg.to_string() }
+    }
+
+    #[test]
+    fn sarif_shape_and_levels() {
+        let fs = vec![
+            (finding("lock-order", "crates/serve/src/a.rs", 3, "cycle a\"b"), false),
+            (finding("hot-loop-alloc", "crates/topics/src/nmf.rs", 9, "alloc"), true),
+        ];
+        let sarif = render_sarif(&fs);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"level\": \"warning\""));
+        assert!(sarif.contains("\"level\": \"note\""));
+        assert!(sarif.contains("\"baselineState\": \"unchanged\""));
+        assert!(sarif.contains("cycle a\\\"b"), "message is escaped");
+        for rule in RULE_NAMES {
+            assert!(sarif.contains(&format!("{{\"id\": \"{rule}\"}}")));
+        }
+    }
+
+    #[test]
+    fn empty_findings_still_valid_document() {
+        let sarif = render_sarif(&[]);
+        assert!(sarif.contains("\"results\": [\n      ]"));
+    }
+}

@@ -4,7 +4,9 @@
 //! fixtures are real Rust source the lexer must survive, but they are
 //! never compiled — `analyze` is purely syntactic.
 
+use nd_lint::flow::{file_flow, global_pass};
 use nd_lint::{analyze, Baseline};
+use std::collections::BTreeMap;
 
 /// A path inside a determinism-scoped kernel crate.
 const KERNEL: &str = "crates/neural/src/fixture.rs";
@@ -15,6 +17,26 @@ const SERVE: &str = "crates/serve/src/fixture.rs";
 fn rules(path: &str, src: &str) -> Vec<&'static str> {
     let mut r: Vec<&'static str> =
         analyze(path, src).into_iter().map(|f| f.rule).collect();
+    r.sort_unstable();
+    r.dedup();
+    r
+}
+
+/// Distinct flow-tier rule names (per-file findings plus the global
+/// pass over this one file's summaries) for `src` analyzed as `path`.
+fn flow_rules(path: &str, src: &str) -> Vec<&'static str> {
+    let ff = file_flow(path, src);
+    assert_eq!(ff.coverage.0, ff.coverage.1, "parser must cover {path} fully");
+    let mut allow = BTreeMap::new();
+    if !ff.allow_comments.is_empty() {
+        allow.insert(path.to_string(), ff.allow_comments.clone());
+    }
+    let mut r: Vec<&'static str> = ff
+        .findings
+        .iter()
+        .map(|f| f.rule)
+        .chain(global_pass(&[&ff], &allow).iter().map(|f| f.rule))
+        .collect();
     r.sort_unstable();
     r.dedup();
     r
@@ -84,11 +106,46 @@ fn stage_io_fixture_pair() {
 }
 
 #[test]
-fn lock_across_io_fixture_pair() {
-    let bad = include_str!("fixtures/lock_across_io_bad.rs");
-    let good = include_str!("fixtures/lock_across_io_good.rs");
-    assert_eq!(rules(SERVE, bad), ["lock-across-io"]);
+fn lock_order_fixture_pair() {
+    let bad = include_str!("fixtures/lock_order_bad.rs");
+    let good = include_str!("fixtures/lock_order_good.rs");
+    // Both facets fire: the a/b acquisition cycle and the guard held
+    // across a blocking write.
+    assert_eq!(flow_rules(SERVE, bad), ["lock-order"]);
+    assert_eq!(flow_rules(SERVE, good), [] as [&str; 0]);
+    // Token tier stays silent on both.
+    assert_eq!(rules(SERVE, bad), [] as [&str; 0]);
     assert_eq!(rules(SERVE, good), [] as [&str; 0]);
+}
+
+#[test]
+fn result_dropped_fixture_pair() {
+    let bad = include_str!("fixtures/result_dropped_bad.rs");
+    let good = include_str!("fixtures/result_dropped_good.rs");
+    assert_eq!(flow_rules(SERVE, bad), ["result-dropped"]);
+    assert_eq!(flow_rules(SERVE, good), [] as [&str; 0]);
+    // Out of scope: kernels may drop Results (they rarely have any).
+    assert_eq!(flow_rules(KERNEL, bad), [] as [&str; 0]);
+}
+
+#[test]
+fn fp_reduction_order_fixture_pair() {
+    let bad = include_str!("fixtures/fp_reduction_order_bad.rs");
+    let good = include_str!("fixtures/fp_reduction_order_good.rs");
+    assert_eq!(flow_rules(KERNEL, bad), ["fp-reduction-order"]);
+    assert_eq!(flow_rules(KERNEL, good), [] as [&str; 0]);
+    // Out of scope: the serving tier never does kernel arithmetic.
+    assert_eq!(flow_rules(SERVE, bad), [] as [&str; 0]);
+}
+
+#[test]
+fn unbounded_growth_fixture_pair() {
+    let bad = include_str!("fixtures/unbounded_growth_bad.rs");
+    let good = include_str!("fixtures/unbounded_growth_good.rs");
+    assert_eq!(flow_rules(SERVE, bad), ["unbounded-growth"]);
+    assert_eq!(flow_rules(SERVE, good), [] as [&str; 0]);
+    // Out of scope: batch-side code may buffer as it likes.
+    assert_eq!(flow_rules(KERNEL, bad), [] as [&str; 0]);
 }
 
 #[test]

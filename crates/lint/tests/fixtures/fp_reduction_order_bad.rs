@@ -1,0 +1,19 @@
+// Fixture: two float accumulations with no fixed reduction order — a
+// bare iterator `.sum()` and a mutable accumulator fed across chunked
+// iteration. Both break bit-identity the day the iteration
+// parallelizes or reorders.
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+pub fn total_loss(batches: &[Vec<f64>]) -> f64 {
+    let mut loss = 0.0f64;
+    for chunk in batches.chunks(4) {
+        loss += score(chunk);
+    }
+    loss
+}
+
+fn score(chunk: &[Vec<f64>]) -> f64 {
+    chunk.len() as f64
+}

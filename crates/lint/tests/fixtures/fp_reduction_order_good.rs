@@ -1,0 +1,20 @@
+// Fixture: order-safe reductions. Integer sums are exact at any
+// order, and the float accumulation is a plain indexed loop over one
+// slice — not chunked — with the justification comment the rule asks
+// for on the one site that is genuinely serial-by-design.
+pub fn count(xs: &[usize]) -> usize {
+    xs.iter().sum::<usize>()
+}
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let mut total = 0.0f64;
+    for x in xs {
+        total += x;
+    }
+    total / xs.len() as f64
+}
+
+pub fn weighted(xs: &[f64]) -> f64 {
+    // nd-lint: allow(fp-reduction-order) — serial sum in slice order
+    xs.iter().map(|x| x * 0.5).sum::<f64>()
+}

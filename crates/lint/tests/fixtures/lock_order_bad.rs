@@ -1,0 +1,31 @@
+// Fixture: two lock-order violations. `ab`/`ba` acquire the same two
+// mutexes in opposite orders (a cycle in the acquisition graph — two
+// threads can deadlock), and `report` keeps a guard live across a
+// blocking socket write.
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Mutex, PoisonError};
+
+pub struct Shared {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Shared {
+    pub fn ab(&self) -> u64 {
+        let g = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let h = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        *g + *h
+    }
+
+    pub fn ba(&self) -> u64 {
+        let h = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        let g = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        *g + *h
+    }
+}
+
+pub fn report(counter: &Mutex<u64>, stream: &mut TcpStream) -> std::io::Result<()> {
+    let guard = counter.lock().unwrap_or_else(PoisonError::into_inner);
+    stream.write_all(format!("{}", *guard).as_bytes())
+}

@@ -1,0 +1,33 @@
+// Fixture: same shape, no violation. Both functions acquire in the
+// same a-then-b order (the acquisition graph is acyclic), and the I/O
+// happens after the guard is released by an inner scope.
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Mutex, PoisonError};
+
+pub struct Shared {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Shared {
+    pub fn sum(&self) -> u64 {
+        let g = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let h = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        *g + *h
+    }
+
+    pub fn diff(&self) -> u64 {
+        let g = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let h = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        *g - *h
+    }
+}
+
+pub fn report(counter: &Mutex<u64>, stream: &mut TcpStream) -> std::io::Result<()> {
+    let value = {
+        let guard = counter.lock().unwrap_or_else(PoisonError::into_inner);
+        *guard
+    };
+    stream.write_all(format!("{value}").as_bytes())
+}

@@ -1,0 +1,20 @@
+// Fixture: three ways of losing an error. A `let _ =` on a fallible
+// send, an `Err(_) => {}` match arm, and a statement that tails off
+// in `.ok()`.
+use std::sync::mpsc::Sender;
+
+pub fn publish(tx: &Sender<u64>, value: u64) {
+    let _ = tx.send(value);
+}
+
+pub fn apply(result: Result<u64, String>) -> u64 {
+    match result {
+        Ok(v) => v,
+        Err(_) => {}
+    }
+}
+
+pub fn persist(tx: &Sender<u64>, value: u64, count: &mut u64) {
+    tx.send(value).ok();
+    *count += 1;
+}

@@ -1,0 +1,30 @@
+// Fixture: the same operations with every error observed — counted,
+// matched on a specific kind, or propagated with `?`.
+use std::sync::mpsc::Sender;
+
+pub fn publish(tx: &Sender<u64>, value: u64, dropped: &mut u64) {
+    if tx.send(value).is_err() {
+        *dropped += 1;
+    }
+}
+
+pub fn apply(result: Result<u64, std::io::Error>) -> u64 {
+    match result {
+        Ok(v) => v,
+        // Discriminated by kind: the EINTR-retry idiom, not a swallow.
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => 0,
+        Err(e) => {
+            log(&e);
+            0
+        }
+    }
+}
+
+pub fn persist(tx: &Sender<u64>, value: u64) -> Result<(), std::sync::mpsc::SendError<u64>> {
+    tx.send(value)?;
+    Ok(())
+}
+
+fn log(e: &std::io::Error) {
+    let _ = e;
+}

@@ -1,0 +1,13 @@
+// Fixture: a drain loop that buffers every received item forever —
+// no length check, no eviction, iteration count unbounded.
+use std::sync::mpsc::Receiver;
+
+pub fn pump(rx: &Receiver<u64>) -> Vec<u64> {
+    let mut backlog = Vec::new();
+    loop {
+        let Ok(item) = rx.recv() else {
+            return backlog;
+        };
+        backlog.push(item);
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: the same drain loop with an observable bound — old items
+// are evicted once the backlog reaches capacity.
+use std::sync::mpsc::Receiver;
+
+const MAX_BACKLOG: usize = 1024;
+
+pub fn pump(rx: &Receiver<u64>) -> Vec<u64> {
+    let mut backlog = Vec::new();
+    loop {
+        let Ok(item) = rx.recv() else {
+            return backlog;
+        };
+        if backlog.len() == MAX_BACKLOG {
+            backlog.remove(0);
+        }
+        backlog.push(item);
+    }
+}

@@ -78,6 +78,7 @@ impl ConfusionMatrix {
         }
         (0..self.k)
             .map(|c| (self.tp(c) + self.tn(c)) as f64 / total as f64)
+            // nd-lint: allow(fp-reduction-order) — serial sum over class indices 0..k.
             .sum::<f64>()
             / self.k as f64
     }
@@ -117,6 +118,7 @@ impl ConfusionMatrix {
         if self.k == 0 {
             return 0.0;
         }
+        // nd-lint: allow(fp-reduction-order) — serial sum over class indices 0..k.
         (0..self.k).map(|c| self.f1(c)).sum::<f64>() / self.k as f64
     }
 }

@@ -77,6 +77,7 @@ impl TrainReport {
         if self.epoch_ms.is_empty() {
             0.0
         } else {
+            // nd-lint: allow(fp-reduction-order) — serial sum over recorded epoch times, in order.
             self.epoch_ms.iter().sum::<f64>() / self.epoch_ms.len() as f64
         }
     }
@@ -137,6 +138,7 @@ impl Trainer {
             let mut batches = 0usize;
             for chunk in order.chunks(bs) {
                 let (bx, by) = gather(x, y, chunk);
+                // nd-lint: allow(fp-reduction-order) — serial loop over chunks of the seeded permutation; order identical at any thread count.
                 epoch_loss += network.train_batch(&bx, &by, optimizer);
                 batches += 1;
             }

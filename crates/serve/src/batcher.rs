@@ -159,6 +159,7 @@ impl Batcher {
             guard.drain(..).collect()
         };
         for worker in workers {
+            // nd-lint: allow(result-dropped) — join only errs if the worker panicked; drain is teardown
             let _ = worker.join();
         }
     }
@@ -243,6 +244,7 @@ fn run_batch(inner: &Inner, batch: Vec<Job>) {
             .collect();
         cursor += job.rows.len();
         // A receiver that hung up just discards its rows.
+        // nd-lint: allow(result-dropped) — send errs only when the receiver is gone; nothing to deliver to
         let _ = job.tx.send(scores);
     }
 }

@@ -8,6 +8,10 @@ use serde_json::Value;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
+/// Cap on response headers: a misbehaving server must not make the
+/// client buffer header lines without limit.
+const MAX_RESPONSE_HEADERS: usize = 128;
+
 /// A parsed response.
 #[derive(Debug)]
 pub struct Response {
@@ -111,6 +115,9 @@ impl Client {
                 break;
             }
             let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+            if headers.len() >= MAX_RESPONSE_HEADERS {
+                return Err(bad("too many headers"));
+            }
             headers.push((name.trim().to_string(), value.trim().to_string()));
         }
         let content_length = headers

@@ -162,6 +162,10 @@ pub fn read_request(
             Line::Blank => break,
             Line::Data(l) => match l.split_once(':') {
                 Some((name, value)) => {
+                    // Every header line is charged against the MAX_HEAD_BYTES
+                    // budget in read_line, which turns an oversized head into
+                    // `Line::Bad` above.
+                    // nd-lint: allow(unbounded-growth) — bounded by the head-bytes budget
                     headers.push((name.trim().to_string(), value.trim().to_string()))
                 }
                 None => return Ok(ReadOutcome::Malformed),

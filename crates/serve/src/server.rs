@@ -168,9 +168,11 @@ impl Server {
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(acceptor) = self.acceptor.take() {
+            // nd-lint: allow(result-dropped) — join only errs if the thread panicked; shutdown proceeds either way
             let _ = acceptor.join();
         }
         if let Some(refresher) = self.refresher.take() {
+            // nd-lint: allow(result-dropped) — join only errs if the thread panicked; shutdown proceeds either way
             let _ = refresher.join();
         }
         // Connection handlers see the flag within one read timeout;
@@ -233,6 +235,7 @@ fn refresh_loop(shared: &Arc<Shared>, interval: Duration) {
 }
 
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    // nd-lint: allow(result-dropped) — nodelay is an advisory latency tweak; serving works without it
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
         return;
@@ -248,6 +251,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             }
             Ok(ReadOutcome::Closed) => return,
             Ok(ReadOutcome::TooLarge) => {
+                // nd-lint: allow(result-dropped) — best-effort error reply; the connection closes right after
                 let _ = respond_json(
                     &mut writer,
                     413,
@@ -258,6 +262,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 return;
             }
             Ok(ReadOutcome::Malformed) => {
+                // nd-lint: allow(result-dropped) — best-effort error reply; the connection closes right after
                 let _ = respond_json(
                     &mut writer,
                     400,

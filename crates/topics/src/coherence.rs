@@ -127,6 +127,7 @@ pub fn mean_umass(docs: &[Vec<String>], topics: &[crate::model::Topic]) -> f64 {
     if topics.is_empty() {
         return 0.0;
     }
+    // nd-lint: allow(fp-reduction-order) — serial sum over topics in model order.
     topics.iter().map(|t| stats.umass(&t.keywords)).sum::<f64>() / topics.len() as f64
 }
 

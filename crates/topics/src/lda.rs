@@ -108,6 +108,7 @@ impl Lda {
         // Posterior means.
         let mut doc_topic = Mat::zeros(n_docs, k);
         for d in 0..n_docs {
+            // nd-lint: allow(fp-reduction-order) — serial sum over topic indices 0..k.
             let total: f64 = (0..k).map(|t| n_dt[d * k + t]).sum::<f64>() + k as f64 * alpha;
             for t in 0..k {
                 doc_topic.set(d, t, (n_dt[d * k + t] + alpha) / total);

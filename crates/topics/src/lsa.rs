@@ -77,6 +77,7 @@ impl Lsa {
         }
 
         // Objective: residual Frobenius error ||A||² - Σ σ².
+        // nd-lint: allow(fp-reduction-order) — serial sum over singular values in order.
         let tail = (a.frobenius_norm_sq() - svd.s.iter().map(|s| s * s).sum::<f64>()).max(0.0);
         TopicModel {
             doc_topic,

@@ -217,6 +217,7 @@ fn objective_value(a: &CsrMatrix, w: &Mat, h: &Mat, a_fro2: f64, s: &mut NmfScra
                 for (j, v) in a.row(i).iter() {
                     // Strided column view of H: no per-entry allocation.
                     let wh: f64 =
+                        // nd-lint: allow(fp-reduction-order) — serial zip over one row; order fixed.
                         wrow.iter().zip(h.col_view(j).iter()).map(|(&wv, hv)| wv * hv).sum();
                     c += v * wh;
                 }

@@ -172,6 +172,7 @@ impl Plsi {
 fn normalize_rows_l1(m: &mut Mat) {
     for i in 0..m.rows() {
         let row = m.row_mut(i);
+        // nd-lint: allow(fp-reduction-order) — serial sum over one row in storage order.
         let s: f64 = row.iter().sum();
         if s > 0.0 {
             for v in row {
