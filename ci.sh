@@ -36,6 +36,12 @@ NEWSDIFF_THREADS=4 cargo test -q --test serve_roundtrip
 echo "==> serving load smoke (zero 5xx outside the overload drill)"
 cargo run --release --example serve_demo -- --smoke
 
+echo "==> serving SLO suite (loris cutoff, header flood, dynamic Retry-After, shard bit-identity)"
+NEWSDIFF_THREADS=4 cargo test -q --release --test serve_slo
+
+echo "==> sharded load-generator smoke (closed/open/burst/loris profiles healthy)"
+cargo run --release --example loadgen -- --smoke
+
 echo "==> pattern-mining smoke (planted signatures recovered exactly, drift shifts the catalog)"
 cargo run --release --example patterns_demo -- --smoke
 
@@ -61,6 +67,14 @@ if [[ -f BENCH_pipeline.json ]]; then
         echo "WARNING: bench-compare failed on BENCH_pipeline.json (advisory only; re-run 'ND_BENCH_JSON=BENCH_pipeline.json cargo bench -p nd-bench --bench pipeline' on a quiet machine)"
 else
     echo "BENCH_pipeline.json not found; skipping (generate with ND_BENCH_JSON=BENCH_pipeline.json cargo bench -p nd-bench --bench pipeline)"
+fi
+
+echo "==> serving SLO gate (advisory: 4-shard cold-probe must not regress past single-shard)"
+if [[ -f BENCH_slo.json ]]; then
+    cargo run -q --release -p nd-bench --bin bench-compare -- BENCH_slo.json ||
+        echo "WARNING: bench-compare failed on BENCH_slo.json (advisory only; re-run 'ND_BENCH_JSON=\$PWD/BENCH_slo.json cargo bench -p nd-bench --bench slo' on a quiet machine)"
+else
+    echo "BENCH_slo.json not found; skipping (generate with ND_BENCH_JSON=\$PWD/BENCH_slo.json cargo bench -p nd-bench --bench slo)"
 fi
 
 echo "==> ci.sh: all green"

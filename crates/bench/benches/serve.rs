@@ -146,9 +146,56 @@ fn bench_http_roundtrip(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Per-connection buffer reuse: a keep-alive connection parses every
+/// request after its first into recycled `ConnBufs` allocations, while
+/// a fresh connection pays the TCP handshake plus cold buffers each
+/// time. The gap between the two is the per-request setup cost that
+/// reuse eliminates.
+fn bench_keepalive_reuse(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("ndbench-keep-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let mut db = Database::open(&dir).unwrap();
+        save_checkpoint(&mut db, "likes", &build_mlp(DIM, 42)).unwrap();
+    }
+    let registry =
+        Registry::load(&dir, vec![ModelSpec::new("likes", DIM, || build_mlp(DIM, 0))], 2)
+            .unwrap();
+    // Default cache on and one identical row per request: after warm-up
+    // every request is a cache hit, so HTTP read/parse/write dominates
+    // and the buffer-reuse effect is visible.
+    let server = Server::start(ServeConfig::default(), registry).unwrap();
+    let addr = server.addr();
+    let row = feature_rows(1, 9).remove(0);
+    let body = json!({"features": row});
+
+    let mut group = c.benchmark_group("serve_http_keepalive_reuse");
+    let mut client = Client::connect(addr).unwrap();
+    client.post_json("/predict", &body).unwrap();
+    group.bench_function("keepalive", |b| {
+        b.iter(|| {
+            let response = client.post_json("/predict", &body).unwrap();
+            assert_eq!(response.status, 200);
+            black_box(response.body.len())
+        })
+    });
+    drop(client);
+    group.bench_function("fresh_conn", |b| {
+        b.iter(|| {
+            let mut fresh = Client::connect(addr).unwrap();
+            let response = fresh.post_json("/predict", &body).unwrap();
+            assert_eq!(response.status, 200);
+            black_box(response.body.len())
+        })
+    });
+    group.finish();
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 criterion_group!(
     name = serve;
     config = Criterion::default().sample_size(10);
-    targets = bench_microbatch, bench_http_roundtrip
+    targets = bench_microbatch, bench_http_roundtrip, bench_keepalive_reuse
 );
 criterion_main!(serve);

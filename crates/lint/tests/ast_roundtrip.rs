@@ -40,6 +40,23 @@ fn parser_covers_every_token_of_every_workspace_file() {
 }
 
 #[test]
+fn sharded_serving_modules_are_in_lint_scope() {
+    // The serving layer's newest modules hold the admission-control
+    // and load-generation logic whose panic-path / unbounded-growth
+    // guarantees the design leans on; pin them into the scan so a
+    // future scope change can't silently exempt them.
+    let files = workspace_sources(workspace_root()).expect("workspace scan");
+    for needle in
+        ["crates/serve/src/shard.rs", "crates/serve/src/loadgen.rs", "crates/serve/src/hist.rs"]
+    {
+        assert!(
+            files.iter().any(|p| p.ends_with(needle)),
+            "{needle} missing from nd-lint scope"
+        );
+    }
+}
+
+#[test]
 fn every_function_gets_a_cfg() {
     // Weaker structural check: parsing + CFG construction never panics
     // and yields at least one function per non-trivial file.

@@ -19,6 +19,7 @@ use crate::registry::ModelHandle;
 use crate::ServeError;
 use nd_linalg::Mat;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -84,6 +85,7 @@ struct Inner {
     cond: Condvar,
     config: BatchConfig,
     metrics: Arc<Metrics>,
+    completed: AtomicU64,
 }
 
 impl Batcher {
@@ -95,6 +97,7 @@ impl Batcher {
             cond: Condvar::new(),
             config,
             metrics,
+            completed: AtomicU64::new(0),
         });
         let workers = (0..inner.config.workers.max(1))
             .map(|i| {
@@ -141,6 +144,13 @@ impl Batcher {
         self.inner.state.lock().unwrap_or_else(PoisonError::into_inner).queued_rows
     }
 
+    /// Rows whose forward pass has finished since startup. Monotone;
+    /// the shard layer differences it over time to estimate drain
+    /// rate for `Retry-After`.
+    pub fn completed_rows(&self) -> u64 {
+        self.inner.completed.load(Ordering::Relaxed)
+    }
+
     /// Closes admission, runs every queued job to completion, and
     /// joins the workers. Nothing already accepted is dropped.
     /// Idempotent: later calls are no-ops.
@@ -176,20 +186,30 @@ fn worker_loop(inner: &Inner) {
             if state.queue.is_empty() {
                 return; // drained and closed
             }
-            // Micro-batch window: give stragglers `max_wait` to pile
-            // in, unless the pass is already full or we are draining.
+            // Micro-batch window: give stragglers up to `max_wait` to
+            // pile in, unless the pass is already full or we are
+            // draining. The window is adaptive: it waits in short
+            // slices and exits as soon as a slice passes with no new
+            // rows — paying the full `max_wait` on every pass would
+            // serialize idle time behind each forward pass and cap
+            // throughput at `max_batch / max_wait` even with work
+            // already queued.
             let deadline = Instant::now() + inner.config.max_wait;
+            let slice = (inner.config.max_wait / 8).max(Duration::from_micros(50));
             while state.open && state.queued_rows < inner.config.max_batch {
                 let now = Instant::now();
                 if now >= deadline {
                     break;
                 }
-                let (next, timeout) = inner
+                let before = state.queued_rows;
+                let (next, _timeout) = inner
                     .cond
-                    .wait_timeout(state, deadline - now)
+                    .wait_timeout(state, slice.min(deadline - now))
                     .unwrap_or_else(PoisonError::into_inner);
                 state = next;
-                if timeout.timed_out() || state.queue.is_empty() {
+                if state.queue.is_empty() || state.queued_rows == before {
+                    // Another worker emptied the queue, or arrivals
+                    // have stopped — run with what we have.
                     break;
                 }
             }
@@ -237,6 +257,7 @@ fn run_batch(inner: &Inner, batch: Vec<Job>) {
     // must not take the worker thread down with it.
     let Ok(input) = Mat::from_rows(&all_rows) else { return };
     let output = handle.network.predict_batch(&input);
+    inner.completed.fetch_add(n_rows as u64, Ordering::Relaxed);
     let mut cursor = 0;
     for job in batch {
         let scores: Vec<Vec<f64>> = (cursor..cursor + job.rows.len())

@@ -12,9 +12,14 @@
 //! Layout, front to back:
 //!
 //! - [`http`] — minimal HTTP/1.1 framing (request parsing, response
-//!   writing, keep-alive, read-timeout polling).
-//! - [`server`] — the listener: routing, validation, graceful
-//!   shutdown, the background checkpoint refresher.
+//!   writing, keep-alive, read-timeout polling, per-connection buffer
+//!   reuse, slow-loris head deadlines).
+//! - [`server`] — the listener: shard-affine connection pools,
+//!   routing, validation, graceful shutdown, the background
+//!   checkpoint refresher.
+//! - [`shard`] — consistent-hash partitioning of models across
+//!   independent worker groups, each with its own batcher, cache, and
+//!   admission queue; drain-rate-derived `Retry-After`.
 //! - [`cache`] — LRU over exact feature-vector bit patterns; repeat
 //!   queries for trending topics skip the network entirely.
 //! - [`batcher`] — micro-batching: concurrent requests coalesce into
@@ -22,10 +27,14 @@
 //! - [`registry`] — versioned models behind swappable [`std::sync::Arc`]
 //!   handles; hot swap never tears an in-flight request.
 //! - [`metrics`] — lock-free counters/histograms for `GET /metrics`.
+//! - [`hist`] — log-linear latency histograms behind the p50/p99/p999
+//!   quantile series, mergeable across shards.
 //! - [`retrain`] — reload-with-retrain: re-run the staged pipeline
 //!   from a cached run directory, refit the served models, hot-swap.
 //! - [`client`] — a small blocking client used by the tests, the
 //!   demo, and the load generator.
+//! - [`loadgen`] — deterministic closed/open-loop load generation and
+//!   adversarial probes for the SLO harness.
 //!
 //! # Endpoints
 //!
@@ -43,19 +52,25 @@
 pub mod batcher;
 pub mod cache;
 pub mod client;
+pub mod hist;
 pub mod http;
+pub mod loadgen;
 pub mod metrics;
 pub mod registry;
 pub mod retrain;
 pub mod server;
+pub mod shard;
 
 pub use batcher::{BatchConfig, Batcher, SubmitError};
 pub use cache::LruCache;
 pub use client::{Client, Response};
+pub use hist::{HistSnapshot, LatencyHist};
+pub use loadgen::{BurstProfile, LoadSummary, TrafficMix};
 pub use metrics::{Endpoint, Metrics};
 pub use registry::{ModelHandle, ModelSpec, Registry, SwapEvent};
 pub use retrain::{retrain_from_run, RetrainModel, RetrainSpec};
 pub use server::{ServeConfig, Server};
+pub use shard::{Shard, ShardConfig, ShardSet};
 
 /// Errors surfaced while configuring or running the service.
 #[derive(Debug)]

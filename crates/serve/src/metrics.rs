@@ -4,6 +4,7 @@
 //! Everything is `AtomicU64` with relaxed ordering — metrics are
 //! advisory and must never contend with the request path.
 
+use crate::hist::{HistSnapshot, LatencyHist};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -107,7 +108,8 @@ impl Endpoint {
         Endpoint::Other,
     ];
 
-    fn label(self) -> &'static str {
+    /// The `endpoint="…"` label value used on `/metrics`.
+    pub fn label(self) -> &'static str {
         match self {
             Endpoint::Predict => "predict",
             Endpoint::Models => "models",
@@ -156,6 +158,9 @@ pub struct Metrics {
     pub predict_latency_us: Histogram,
     /// Rows per forward pass.
     pub batch_rows: Histogram,
+    /// Per-endpoint latency (µs) on the fine log-linear grid, for the
+    /// p50/p99/p999 quantile series.
+    endpoint_latency: [LatencyHist; 7],
 }
 
 impl Default for Metrics {
@@ -172,6 +177,7 @@ impl Default for Metrics {
             checkpoints_pruned: Counter::default(),
             predict_latency_us: Histogram::new(LATENCY_BOUNDS),
             batch_rows: Histogram::new(BATCH_BOUNDS),
+            endpoint_latency: std::array::from_fn(|_| LatencyHist::new()),
         }
     }
 }
@@ -190,6 +196,16 @@ impl Metrics {
     /// Requests seen on `endpoint`.
     pub fn requests_for(&self, endpoint: Endpoint) -> u64 {
         self.requests[endpoint.index()].get()
+    }
+
+    /// Records one end-to-end latency observation for `endpoint`.
+    pub fn observe_latency(&self, endpoint: Endpoint, us: u64) {
+        self.endpoint_latency[endpoint.index()].observe(us);
+    }
+
+    /// Snapshot of `endpoint`'s latency histogram, for quantiles.
+    pub fn latency_snapshot(&self, endpoint: Endpoint) -> HistSnapshot {
+        self.endpoint_latency[endpoint.index()].snapshot()
     }
 
     /// Renders the exposition text. `gauges` carries point-in-time
@@ -227,11 +243,45 @@ impl Metrics {
         }
         self.predict_latency_us.render(&mut out, "nd_serve_predict_latency_us");
         self.batch_rows.render(&mut out, "nd_serve_batch_rows");
+        for e in Endpoint::ALL {
+            let snap = self.endpoint_latency[e.index()].snapshot();
+            if snap.count == 0 {
+                continue;
+            }
+            render_quantiles(&mut out, "nd_serve_latency_us", &[("endpoint", e.label())], &snap);
+        }
         for (name, value) in gauges {
             let _ = writeln!(out, "{name} {value}");
         }
         out
     }
+}
+
+/// Writes a Prometheus-summary-style quantile series (p50/p99/p999
+/// plus `_sum`/`_count`) for one labelled histogram snapshot.
+pub fn render_quantiles(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    snap: &HistSnapshot,
+) {
+    let mut label_text = String::new();
+    for (k, v) in labels {
+        if !label_text.is_empty() {
+            label_text.push(',');
+        }
+        let _ = write!(label_text, "{k}=\"{v}\"");
+    }
+    let sep = if label_text.is_empty() { "" } else { "," };
+    for (q, qv) in [("0.5", 0.5), ("0.99", 0.99), ("0.999", 0.999)] {
+        let _ = writeln!(
+            out,
+            "{name}{{{label_text}{sep}quantile=\"{q}\"}} {}",
+            snap.quantile(qv)
+        );
+    }
+    let _ = writeln!(out, "{name}_sum{{{label_text}}} {}", snap.sum);
+    let _ = writeln!(out, "{name}_count{{{label_text}}} {}", snap.count);
 }
 
 #[cfg(test)]
@@ -264,6 +314,24 @@ mod tests {
         assert!(out.contains("x_bucket{le=\"100\"} 2"));
         assert!(out.contains("x_bucket{le=\"1000\"} 3"));
         assert!(out.contains("x_bucket{le=\"+Inf\"} 4"));
+    }
+
+    #[test]
+    fn endpoint_quantile_series_rendered() {
+        let m = Metrics::default();
+        for us in [100u64, 200, 300, 400, 50_000] {
+            m.observe_latency(Endpoint::Predict, us);
+        }
+        let text = m.render(&[]);
+        assert!(
+            text.contains("nd_serve_latency_us{endpoint=\"predict\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("nd_serve_latency_us_count{endpoint=\"predict\"} 5"), "{text}");
+        // Endpoints with no traffic emit nothing.
+        assert!(!text.contains("endpoint=\"reload\",quantile"), "{text}");
+        let snap = m.latency_snapshot(Endpoint::Predict);
+        assert!(snap.quantile(0.99) >= 50_000, "p99 covers the outlier");
     }
 
     #[test]

@@ -2,31 +2,47 @@
 //! shutdown, and the background checkpoint refresher.
 //!
 //! Threading layout: one non-blocking acceptor polls the listener and
-//! the shutdown flag; each connection gets its own handler thread
-//! (keep-alive loops there, with a short read timeout so idle
-//! connections also poll the flag); forward passes run on the
-//! [`Batcher`]'s worker pool; an optional refresher thread hot-swaps
-//! newer checkpoints on an interval. Shutdown order is: close the
-//! front door (flag + acceptor join), let in-flight connections finish
-//! writing, then drain the batcher so every admitted row is answered.
+//! the shutdown flag, round-robining accepted connections into
+//! per-shard handler pools ([`ConnPool`]) — a bounded queue plus a
+//! spawn-on-demand thread set capped at
+//! [`crate::shard::ShardConfig::handlers_per_shard`]. Handlers run the
+//! keep-alive loop with one reusable [`ConnBufs`] per connection.
+//! Predictions route by model name through the [`ShardSet`]'s
+//! consistent-hash ring to that model's shard, whose own batcher and
+//! cache serve it — there is no globally locked queue anywhere on the
+//! request path. An optional refresher thread hot-swaps newer
+//! checkpoints on an interval.
+//!
+//! Admission control is layered: a full per-shard connection backlog
+//! sheds new connections with an immediate best-effort 503; a full
+//! per-shard batcher queue sheds `/predict` with 503 plus a
+//! `Retry-After` estimated from that shard's queue depth and recent
+//! drain rate. Accepted work is never dropped.
+//!
+//! Shutdown order: close the front door (flag + acceptor join), close
+//! the pools and join their handlers (queued connections still get a
+//! response, with `Connection: close`), then drain every shard's
+//! batcher in shard order so every admitted row is answered.
 
-use crate::batcher::{BatchConfig, Batcher, SubmitError};
-use crate::cache::LruCache;
-use crate::http::{read_request, write_response, ReadOutcome, Request};
-use crate::metrics::{Endpoint, Metrics};
+use crate::batcher::{BatchConfig, SubmitError};
+use crate::http::{read_request, write_response, write_response_with, ConnBufs, ReadOutcome, ReadParams};
+use crate::metrics::{render_quantiles, Endpoint, Metrics};
 use crate::registry::{ModelHandle, Registry};
 use crate::retrain::{retrain_from_run, RetrainSpec};
+use crate::shard::{Shard, ShardConfig, ShardSet};
+use crate::hist::HistSnapshot;
 use crate::ServeError;
 use nd_core::patterns_module::PatternsOutput;
 use nd_core::pipeline::RunReport;
 use nd_linalg::vecops::argmax;
 use nd_patterns::{symbol_label, PatternCategory};
 use serde_json::{json, Value};
+use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -35,9 +51,11 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Micro-batching parameters.
+    /// Micro-batching parameters. `workers` and the cache capacity
+    /// are totals divided across shards.
     pub batch: BatchConfig,
-    /// Prediction-cache capacity in rows (`0` disables).
+    /// Prediction-cache capacity in rows across all shards (`0`
+    /// disables).
     pub cache_rows: usize,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
@@ -49,6 +67,14 @@ pub struct ServeConfig {
     /// cache, retrains these models, and hot-swaps them (`None` =
     /// plain checkpoint refresh only).
     pub retrain: Option<RetrainSpec>,
+    /// Shard topology: shard count, replication, handler pools.
+    pub shard: ShardConfig,
+    /// How long a partially received request may trickle in before
+    /// the connection is dropped (the slow-loris bound).
+    pub head_deadline: Duration,
+    /// Idle keep-alive connections are closed after this long,
+    /// freeing their pool handler for queued connections.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +86,9 @@ impl Default for ServeConfig {
             max_body_bytes: 1 << 20,
             refresh_interval: None,
             retrain: None,
+            shard: ShardConfig::default(),
+            head_deadline: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -71,14 +100,17 @@ const POLL: Duration = Duration::from_millis(5);
 /// connection can ignore shutdown.
 const READ_TIMEOUT: Duration = Duration::from_millis(25);
 
+/// How long a parked pool handler sleeps between closed-flag checks.
+const PARK_TIMEOUT: Duration = Duration::from_millis(100);
+
 struct Shared {
     registry: Registry,
-    batcher: Batcher,
-    cache: Mutex<LruCache>,
+    shards: ShardSet,
     metrics: Arc<Metrics>,
     shutdown: AtomicBool,
     open_conns: AtomicUsize,
-    max_body: usize,
+    read_params: ReadParams,
+    idle_timeout: Duration,
     retrain: Option<RetrainSpec>,
     /// Per-stage report of the most recent reload-with-retrain,
     /// rendered into `GET /metrics`.
@@ -96,11 +128,156 @@ impl Shared {
     }
 }
 
+/// One shard's connection pool: a bounded queue of accepted streams
+/// plus handler threads spawned on demand up to a cap. Handlers park
+/// on the condvar between connections, so a warm pool serves a new
+/// connection without a thread spawn.
+struct ConnPool {
+    shard_id: usize,
+    queue: Mutex<VecDeque<TcpStream>>,
+    cond: Condvar,
+    capacity: usize,
+    max_handlers: usize,
+    handlers: AtomicUsize,
+    idle: AtomicUsize,
+    closed: AtomicBool,
+    joins: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ConnPool {
+    fn new(shard_id: usize, capacity: usize, max_handlers: usize) -> ConnPool {
+        ConnPool {
+            shard_id,
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+            max_handlers: max_handlers.max(1),
+            handlers: AtomicUsize::new(0),
+            idle: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            joins: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Hands an accepted connection to this pool, or sheds it with a
+    /// best-effort 503 when the backlog is full. Called only from the
+    /// acceptor thread.
+    fn dispatch(self: &Arc<ConnPool>, shared: &Arc<Shared>, stream: TcpStream) {
+        let spawn_needed = {
+            let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            if self.closed.load(Ordering::SeqCst) || queue.len() >= self.capacity {
+                drop(queue);
+                shed_connection(stream);
+                return;
+            }
+            queue.push_back(stream);
+            shared.open_conns.fetch_add(1, Ordering::SeqCst);
+            self.idle.load(Ordering::SeqCst) == 0
+                && self.handlers.load(Ordering::SeqCst) < self.max_handlers
+        };
+        self.cond.notify_one();
+        if spawn_needed {
+            self.spawn_handler(shared);
+        }
+    }
+
+    fn spawn_handler(self: &Arc<ConnPool>, shared: &Arc<Shared>) {
+        let n = self.handlers.fetch_add(1, Ordering::SeqCst);
+        if n >= self.max_handlers {
+            self.handlers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let pool = Arc::clone(self);
+        let shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("nd-serve-s{}h{}", self.shard_id, n))
+            .spawn(move || handler_loop(&shared, &pool));
+        match spawned {
+            Ok(join) => {
+                self.joins.lock().unwrap_or_else(PoisonError::into_inner).push(join)
+            }
+            Err(_) => {
+                // Thread spawn failed; queued connections will be
+                // picked up by existing handlers (or the next
+                // dispatch's spawn attempt).
+                self.handlers.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Stops accepting new connections and wakes every parked handler
+    /// so the queue drains and the threads exit.
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.cond.notify_all();
+    }
+
+    /// Joins all handler threads. Call after [`ConnPool::close`].
+    fn join(&self) {
+        // Take the handles under the lock, join outside it — joining
+        // with the lock held would block a concurrent spawn_handler.
+        let joins: Vec<JoinHandle<()>> = {
+            let mut guard = self.joins.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.drain(..).collect()
+        };
+        for join in joins {
+            // nd-lint: allow(result-dropped) — join only errs if the handler panicked; teardown proceeds
+            let _ = join.join();
+        }
+    }
+}
+
+/// Best-effort 503 for a connection shed at the backlog door. The
+/// write races the client's own send; a client that sees a reset
+/// instead of the reply treats it the same way (retry later).
+fn shed_connection(mut stream: TcpStream) {
+    // nd-lint: allow(result-dropped) — the connection is being dropped either way
+    let _ = write_response(
+        &mut stream,
+        503,
+        "application/json",
+        &[("Retry-After", "1".to_string())],
+        b"{\"error\":\"connection backlog full\"}",
+        false,
+    );
+}
+
+fn handler_loop(shared: &Arc<Shared>, pool: &Arc<ConnPool>) {
+    loop {
+        let next = {
+            let mut queue = pool.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if pool.closed.load(Ordering::SeqCst) {
+                    break None;
+                }
+                pool.idle.fetch_add(1, Ordering::SeqCst);
+                let (guard, _timeout) = pool
+                    .cond
+                    .wait_timeout(queue, PARK_TIMEOUT)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+                pool.idle.fetch_sub(1, Ordering::SeqCst);
+            }
+        };
+        match next {
+            Some(stream) => {
+                handle_connection(shared, stream);
+                shared.open_conns.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => return,
+        }
+    }
+}
+
 /// A running server. Dropping it signals shutdown; call
 /// [`Server::shutdown`] for the full graceful drain.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    pools: Vec<Arc<ConnPool>>,
     acceptor: Option<JoinHandle<()>>,
     refresher: Option<JoinHandle<()>>,
 }
@@ -112,24 +289,39 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(Metrics::default());
+        let shards =
+            ShardSet::start(&config.shard, &config.batch, config.cache_rows, &metrics)?;
         let shared = Arc::new(Shared {
             registry,
-            batcher: Batcher::start(config.batch.clone(), Arc::clone(&metrics))?,
-            cache: Mutex::new(LruCache::new(config.cache_rows)),
+            shards,
             metrics,
             shutdown: AtomicBool::new(false),
             open_conns: AtomicUsize::new(0),
-            max_body: config.max_body_bytes,
+            read_params: ReadParams {
+                max_body: config.max_body_bytes,
+                head_deadline: config.head_deadline,
+            },
+            idle_timeout: config.idle_timeout,
             retrain: config.retrain.clone(),
             last_run: Mutex::new(None),
             patterns: Mutex::new(None),
         });
+        let pools: Vec<Arc<ConnPool>> = (0..shared.shards.len())
+            .map(|id| {
+                Arc::new(ConnPool::new(
+                    id,
+                    config.shard.conn_backlog,
+                    config.shard.handlers_per_shard,
+                ))
+            })
+            .collect();
 
         let acceptor = {
             let shared = Arc::clone(&shared);
+            let pools = pools.clone();
             std::thread::Builder::new()
                 .name("nd-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared))
+                .spawn(move || accept_loop(&listener, &shared, &pools))
                 .map_err(ServeError::Io)?
         };
 
@@ -145,7 +337,7 @@ impl Server {
             None => None,
         };
 
-        Ok(Server { addr, shared, acceptor: Some(acceptor), refresher })
+        Ok(Server { addr, shared, pools, acceptor: Some(acceptor), refresher })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -163,6 +355,16 @@ impl Server {
         &self.shared.registry
     }
 
+    /// Number of serving shards.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The shard id owning `model` (primary, ignoring replication).
+    pub fn shard_for(&self, model: &str) -> usize {
+        self.shared.shards.owner_id(model)
+    }
+
     /// Graceful shutdown: stop accepting, let in-flight connections
     /// finish, answer every admitted prediction, join all threads.
     pub fn shutdown(mut self) {
@@ -175,36 +377,46 @@ impl Server {
             // nd-lint: allow(result-dropped) — join only errs if the thread panicked; shutdown proceeds either way
             let _ = refresher.join();
         }
-        // Connection handlers see the flag within one read timeout;
-        // the deadline only guards against a wedged peer.
+        // Handlers see the flag within one read timeout and answer
+        // queued connections with `Connection: close`; joining the
+        // pools is the wait for in-flight work.
+        for pool in &self.pools {
+            pool.close();
+        }
+        for pool in &self.pools {
+            pool.join();
+        }
+        // Belt and braces: the joins above imply open_conns == 0, but
+        // a wedged peer must not turn drain into a hang.
         let deadline = Instant::now() + Duration::from_secs(10);
         while self.shared.open_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(POLL);
         }
-        self.shared.batcher.drain();
+        self.shared.shards.drain();
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        for pool in &self.pools {
+            pool.close();
+        }
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, pools: &[Arc<ConnPool>]) {
+    let mut rr = 0usize;
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
-                shared.open_conns.fetch_add(1, Ordering::SeqCst);
-                let conn_shared = Arc::clone(shared);
-                let spawned = std::thread::Builder::new()
-                    .name("nd-serve-conn".to_string())
-                    .spawn(move || {
-                        handle_connection(&conn_shared, stream);
-                        conn_shared.open_conns.fetch_sub(1, Ordering::SeqCst);
-                    });
-                if spawned.is_err() {
-                    shared.open_conns.fetch_sub(1, Ordering::SeqCst);
+                // Round-robin across shard pools: connection placement
+                // is load balancing only — predictions still route by
+                // model through the ring, whatever pool reads them.
+                rr = (rr + 1) % pools.len().max(1);
+                match pools.get(rr) {
+                    Some(pool) => pool.dispatch(shared, stream),
+                    None => drop(stream),
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -242,18 +454,25 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     }
     let Ok(mut writer) = stream.try_clone() else { return };
     let mut reader = BufReader::new(stream);
+    // One set of parse buffers and one response-head scratch for the
+    // whole keep-alive session: the steady state allocates nothing.
+    let mut bufs = ConnBufs::new();
+    let mut scratch = String::new();
+    let mut idle_since = Instant::now();
     loop {
-        match read_request(&mut reader, shared.max_body) {
+        match read_request(&mut reader, &mut bufs, &shared.read_params) {
             Ok(ReadOutcome::TimedOut) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst)
+                    || idle_since.elapsed() > shared.idle_timeout
+                {
                     return;
                 }
             }
-            Ok(ReadOutcome::Closed) => return,
             Ok(ReadOutcome::TooLarge) => {
                 // nd-lint: allow(result-dropped) — best-effort error reply; the connection closes right after
                 let _ = respond_json(
                     &mut writer,
+                    &mut scratch,
                     413,
                     &[],
                     &json!({"error": "request too large"}),
@@ -265,6 +484,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 // nd-lint: allow(result-dropped) — best-effort error reply; the connection closes right after
                 let _ = respond_json(
                     &mut writer,
+                    &mut scratch,
                     400,
                     &[],
                     &json!({"error": "malformed request"}),
@@ -272,31 +492,35 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 );
                 return;
             }
-            Ok(ReadOutcome::Request(request)) => {
+            Ok(ReadOutcome::Ready) => {
+                idle_since = Instant::now();
                 // During shutdown the response still goes out, but the
                 // connection closes behind it.
                 let keep_alive =
-                    request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
-                if handle_request(shared, &request, &mut writer, keep_alive).is_err()
+                    bufs.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+                if handle_request(shared, &bufs, &mut writer, &mut scratch, keep_alive)
+                    .is_err()
                     || !keep_alive
                 {
                     return;
                 }
             }
-            Err(_) => return,
+            Ok(ReadOutcome::Closed) | Err(_) => return,
         }
     }
 }
 
 fn respond_json(
     stream: &mut TcpStream,
+    scratch: &mut String,
     status: u16,
     extra_headers: &[(&str, String)],
     body: &Value,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    write_response(
+    write_response_with(
         stream,
+        scratch,
         status,
         "application/json",
         extra_headers,
@@ -307,12 +531,14 @@ fn respond_json(
 
 fn handle_request(
     shared: &Arc<Shared>,
-    request: &Request,
+    request: &ConnBufs,
     writer: &mut TcpStream,
+    scratch: &mut String,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let path = request.path.split('?').next().unwrap_or("");
-    let endpoint = match (request.method.as_str(), path) {
+    let started = Instant::now();
+    let path = request.path().split('?').next().unwrap_or("");
+    let endpoint = match (request.method(), path) {
         ("POST", "/predict") => Endpoint::Predict,
         ("GET", "/models") => Endpoint::Models,
         ("GET", "/healthz") => Endpoint::Healthz,
@@ -325,7 +551,17 @@ fn handle_request(
 
     if endpoint == Endpoint::Metrics {
         let text = render_metrics(shared);
-        return write_response(writer, 200, "text/plain; version=0.0.4", &[], text.as_bytes(), keep_alive);
+        let result = write_response_with(
+            writer,
+            scratch,
+            200,
+            "text/plain; version=0.0.4",
+            &[],
+            text.as_bytes(),
+            keep_alive,
+        );
+        observe_elapsed(shared, endpoint, started);
+        return result;
     }
 
     let (status, extra, body) = match endpoint {
@@ -353,25 +589,53 @@ fn handle_request(
     }
     let extra: Vec<(&str, String)> =
         extra.iter().map(|(n, v)| (*n, v.clone())).collect();
-    respond_json(writer, status, &extra, &body, keep_alive)
+    let result = respond_json(writer, scratch, status, &extra, &body, keep_alive);
+    observe_elapsed(shared, endpoint, started);
+    result
+}
+
+fn elapsed_us(started: Instant) -> u64 {
+    started.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+fn observe_elapsed(shared: &Arc<Shared>, endpoint: Endpoint, started: Instant) {
+    shared.metrics.observe_latency(endpoint, elapsed_us(started));
 }
 
 fn render_metrics(shared: &Arc<Shared>) -> String {
     let mut gauges = vec![
-        ("nd_serve_queue_depth".to_string(), shared.batcher.queue_depth() as u64),
+        ("nd_serve_queue_depth".to_string(), shared.shards.queue_depth() as u64),
         (
             "nd_serve_open_connections".to_string(),
             shared.open_conns.load(Ordering::SeqCst) as u64,
         ),
-        (
-            "nd_serve_cache_entries".to_string(),
-            shared.cache.lock().unwrap_or_else(PoisonError::into_inner).len() as u64,
-        ),
+        ("nd_serve_cache_entries".to_string(), shared.shards.cache_entries() as u64),
+        ("nd_serve_shards".to_string(), shared.shards.len() as u64),
     ];
+    for shard in shared.shards.iter() {
+        let label = format!("{{shard=\"{}\"}}", shard.id);
+        gauges.push((
+            format!("nd_serve_shard_queue_rows{label}"),
+            shard.batcher.queue_depth() as u64,
+        ));
+        gauges.push((
+            format!("nd_serve_shard_rows_completed_total{label}"),
+            shard.batcher.completed_rows(),
+        ));
+        gauges.push((
+            format!("nd_serve_shard_cache_entries{label}"),
+            shard.cache.lock().unwrap_or_else(PoisonError::into_inner).len() as u64,
+        ));
+        gauges.push((format!("nd_serve_shard_retry_after_s{label}"), shard.retry_after_secs()));
+    }
     for handle in shared.registry.list() {
         gauges.push((
             format!("nd_serve_model_version{{model=\"{}\"}}", handle.name),
             handle.version,
+        ));
+        gauges.push((
+            format!("nd_serve_model_shard{{model=\"{}\"}}", handle.name),
+            shared.shards.owner_id(&handle.name) as u64,
         ));
     }
     let patterns = shared.patterns.lock().unwrap_or_else(PoisonError::into_inner).clone();
@@ -409,7 +673,28 @@ fn render_metrics(shared: &Arc<Shared>) -> String {
             ));
         }
     }
-    shared.metrics.render(&gauges)
+    let mut text = shared.metrics.render(&gauges);
+    // Per-shard predict quantiles, then the cross-shard merge. Shards
+    // are visited in fixed id order so the merged series is
+    // deterministic for a given set of per-shard snapshots.
+    let mut merged = HistSnapshot::empty();
+    for shard in shared.shards.iter() {
+        let snap = shard.stats.latency.snapshot();
+        if snap.count > 0 {
+            let id = shard.id.to_string();
+            render_quantiles(
+                &mut text,
+                "nd_serve_shard_predict_latency_us",
+                &[("shard", id.as_str())],
+                &snap,
+            );
+        }
+        merged.merge(&snap);
+    }
+    if merged.count > 0 {
+        render_quantiles(&mut text, "nd_serve_predict_quantiles_us", &[], &merged);
+    }
+    text
 }
 
 fn handle_models(shared: &Arc<Shared>) -> (u16, Vec<(&'static str, String)>, Value) {
@@ -423,6 +708,7 @@ fn handle_models(shared: &Arc<Shared>) -> (u16, Vec<(&'static str, String)>, Val
                 "version": h.version,
                 "input_dim": h.input_dim,
                 "n_params": h.n_params,
+                "shard": shared.shards.owner_id(&h.name),
             })
         })
         .collect();
@@ -431,11 +717,11 @@ fn handle_models(shared: &Arc<Shared>) -> (u16, Vec<(&'static str, String)>, Val
 
 fn handle_reload(
     shared: &Arc<Shared>,
-    request: &Request,
+    request: &ConnBufs,
 ) -> (u16, Vec<(&'static str, String)>, Value) {
     // `{"run_dir": "..."}` selects reload-with-retrain; any other body
     // (including empty) is the plain checkpoint refresh.
-    let run_dir = serde_json::from_slice::<Value>(&request.body)
+    let run_dir = serde_json::from_slice::<Value>(request.body())
         .ok()
         .and_then(|v| v.get("run_dir").and_then(Value::as_str).map(PathBuf::from));
     if let Some(run_dir) = run_dir {
@@ -520,7 +806,7 @@ const PATTERNS_PAIR_LIMIT: usize = 10;
 
 fn handle_patterns(
     shared: &Arc<Shared>,
-    request: &Request,
+    request: &ConnBufs,
 ) -> (u16, Vec<(&'static str, String)>, Value) {
     let snapshot = shared.patterns.lock().unwrap_or_else(PoisonError::into_inner).clone();
     let Some(out) = snapshot else {
@@ -530,7 +816,7 @@ fn handle_patterns(
             json!({"error": "no pattern catalog loaded; POST /admin/reload with a run_dir to mine one"}),
         );
     };
-    let query = request.path.split('?').nth(1).unwrap_or("");
+    let query = request.path().split('?').nth(1).unwrap_or("");
     let category = match query_param(query, "category") {
         Some(raw) => match PatternCategory::parse(raw) {
             Some(c) => Some(c),
@@ -614,10 +900,13 @@ enum RequestError {
     UnknownModel(String),
     /// Multiple models served but no `model` field → 400.
     ModelRequired,
-    /// Admission queue is full → 503 + Retry-After.
+    /// The target shard's admission queue is full → 503 +
+    /// `Retry-After` from that shard's queue depth and drain rate.
     Overloaded {
         /// Rows queued at rejection time (returned to the client).
         queued_rows: usize,
+        /// The shard's Retry-After estimate, in seconds.
+        retry_after_s: u64,
     },
     /// Batcher is draining for shutdown → 503 + Retry-After.
     ShuttingDown,
@@ -628,18 +917,8 @@ enum RequestError {
     Internal(&'static str),
 }
 
-impl From<SubmitError> for RequestError {
-    fn from(e: SubmitError) -> Self {
-        match e {
-            SubmitError::Overloaded { queued_rows } => RequestError::Overloaded { queued_rows },
-            SubmitError::ShuttingDown => RequestError::ShuttingDown,
-        }
-    }
-}
-
 impl RequestError {
     fn response(self) -> Response {
-        let retry = || vec![("Retry-After", "1".to_string())];
         match self {
             RequestError::BadRequest(msg) => (400, Vec::new(), json!({"error": msg})),
             RequestError::UnknownModel(name) => {
@@ -650,10 +929,20 @@ impl RequestError {
                 Vec::new(),
                 json!({"error": "model field is required when serving multiple models"}),
             ),
-            RequestError::Overloaded { queued_rows } => {
-                (503, retry(), json!({"error": "overloaded", "queued_rows": queued_rows}))
-            }
-            RequestError::ShuttingDown => (503, retry(), json!({"error": "shutting down"})),
+            RequestError::Overloaded { queued_rows, retry_after_s } => (
+                503,
+                vec![("Retry-After", retry_after_s.to_string())],
+                json!({
+                    "error": "overloaded",
+                    "queued_rows": queued_rows,
+                    "retry_after_s": retry_after_s,
+                }),
+            ),
+            RequestError::ShuttingDown => (
+                503,
+                vec![("Retry-After", "1".to_string())],
+                json!({"error": "shutting down"}),
+            ),
             RequestError::WorkerFailed => {
                 (500, Vec::new(), json!({"error": "prediction worker failed"}))
             }
@@ -689,13 +978,13 @@ fn parse_rows(body: &Value) -> Result<(Vec<Vec<f64>>, bool), &'static str> {
     }
 }
 
-fn handle_predict(shared: &Arc<Shared>, request: &Request) -> Response {
+fn handle_predict(shared: &Arc<Shared>, request: &ConnBufs) -> Response {
     predict_inner(shared, request).unwrap_or_else(RequestError::response)
 }
 
 fn predict_inner(
     shared: &Arc<Shared>,
-    request: &Request,
+    request: &ConnBufs,
 ) -> Result<Response, RequestError> {
     let started = Instant::now();
 
@@ -720,13 +1009,16 @@ fn predict_inner(
         )));
     }
 
+    // Route to the model's shard: its cache, its batcher, its queue.
+    let shard: Arc<Shard> = shared.shards.route(&handle.name);
+
     // Cache pass. The admitted handle pins the version: a hot swap
     // between here and the forward pass changes nothing for this
     // request.
     let mut scores: Vec<Option<Vec<f64>>> = Vec::with_capacity(rows.len());
     let mut miss_indices = Vec::new();
     {
-        let mut cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut cache = shard.cache.lock().unwrap_or_else(PoisonError::into_inner);
         for (i, row) in rows.iter().enumerate() {
             match cache.get(&handle.name, handle.version, row) {
                 Some(hit) => scores.push(Some(hit)),
@@ -744,9 +1036,16 @@ fn predict_inner(
     if !miss_indices.is_empty() {
         let miss_rows: Vec<Vec<f64>> =
             miss_indices.iter().map(|&i| rows[i].clone()).collect();
-        let receiver = shared.batcher.submit(Arc::clone(&handle), miss_rows)?;
+        let receiver =
+            shard.batcher.submit(Arc::clone(&handle), miss_rows).map_err(|e| match e {
+                SubmitError::Overloaded { queued_rows } => RequestError::Overloaded {
+                    queued_rows,
+                    retry_after_s: shard.retry_after_secs(),
+                },
+                SubmitError::ShuttingDown => RequestError::ShuttingDown,
+            })?;
         let outputs = receiver.recv().map_err(|_| RequestError::WorkerFailed)?;
-        let mut cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut cache = shard.cache.lock().unwrap_or_else(PoisonError::into_inner);
         for (&i, output) in miss_indices.iter().zip(outputs) {
             cache.insert(&handle.name, handle.version, &rows[i], output.clone());
             scores[i] = Some(output);
@@ -754,10 +1053,9 @@ fn predict_inner(
     }
 
     shared.metrics.predictions.add(rows.len() as u64);
-    shared
-        .metrics
-        .predict_latency_us
-        .observe(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    let us = elapsed_us(started);
+    shared.metrics.predict_latency_us.observe(us);
+    shard.stats.latency.observe(us);
 
     let mut results: Vec<(Vec<f64>, usize)> = Vec::with_capacity(scores.len());
     for s in scores {
@@ -830,12 +1128,16 @@ mod tests {
         let list = models.json().unwrap();
         assert_eq!(list["models"][0]["name"].as_str(), Some("likes"));
         assert_eq!(list["models"][0]["version"].as_u64(), Some(1));
+        let owner = list["models"][0]["shard"].as_u64().unwrap();
+        assert!(owner < 4, "owner shard in range: {owner}");
 
         let metrics = client.get("/metrics").unwrap();
         assert_eq!(metrics.status, 200);
         let text = metrics.text();
         assert!(text.contains("nd_serve_requests_total{endpoint=\"healthz\"} 1"), "{text}");
         assert!(text.contains("nd_serve_model_version{model=\"likes\"} 1"));
+        assert!(text.contains("nd_serve_shards 4"), "{text}");
+        assert!(text.contains("nd_serve_shard_queue_rows{shard=\"0\"}"), "{text}");
 
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
@@ -867,6 +1169,11 @@ mod tests {
         assert_eq!(served, offline.row(0).to_vec(), "served scores must be bit-identical");
         assert_eq!(body["class"].as_u64(), Some(argmax(offline.row(0)).unwrap() as u64));
         assert_eq!(body["version"].as_u64(), Some(1));
+
+        // The predict latency surfaced in per-shard and merged series.
+        let metrics = client.get("/metrics").unwrap();
+        let text = metrics.text();
+        assert!(text.contains("nd_serve_predict_quantiles_us{quantile=\"0.99\"}"), "{text}");
 
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
@@ -953,6 +1260,33 @@ mod tests {
         assert_eq!(server.registry().get("likes").unwrap().version, 2);
         assert_eq!(server.metrics().model_swaps.get(), 1);
 
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_shard_config_still_serves() {
+        let dir = tmpdir("oneshard");
+        {
+            let mut db = Database::open(&dir).unwrap();
+            save_checkpoint(&mut db, "likes", &build_mlp(6, 11)).unwrap();
+        }
+        let spec = ModelSpec::new("likes", 6, move || build_mlp(6, 0));
+        let registry = Registry::load(&dir, vec![spec], 2).unwrap();
+        let server = Server::start(
+            ServeConfig {
+                shard: ShardConfig { shards: 1, ..ShardConfig::default() },
+                ..ServeConfig::default()
+            },
+            registry,
+        )
+        .unwrap();
+        assert_eq!(server.shard_count(), 1);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let response = client
+            .post_json("/predict", &json!({"features": vec![0.5; 6]}))
+            .unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
