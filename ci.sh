@@ -69,6 +69,14 @@ else
     echo "BENCH_pipeline.json not found; skipping (generate with ND_BENCH_JSON=BENCH_pipeline.json cargo bench -p nd-bench --bench pipeline)"
 fi
 
+echo "==> incremental stream bench table (advisory: fold-one-slice must dwarf cold re-runs)"
+if [[ -f BENCH_incremental.json ]]; then
+    cargo run -q --release -p nd-bench --bin bench-compare -- BENCH_incremental.json ||
+        echo "WARNING: bench-compare failed on BENCH_incremental.json (advisory only; re-run 'ND_BENCH_JSON=\$PWD/BENCH_incremental.json cargo bench -p nd-bench --bench incremental' on a quiet machine)"
+else
+    echo "BENCH_incremental.json not found; skipping (generate with ND_BENCH_JSON=\$PWD/BENCH_incremental.json cargo bench -p nd-bench --bench incremental)"
+fi
+
 echo "==> serving SLO gate (advisory: 4-shard cold-probe must not regress past single-shard)"
 if [[ -f BENCH_slo.json ]]; then
     cargo run -q --release -p nd-bench --bin bench-compare -- BENCH_slo.json ||

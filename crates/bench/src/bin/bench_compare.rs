@@ -81,6 +81,18 @@ fn main() -> ExitCode {
         },
     };
 
+    // The structural allowlist is part of the gate's contract, so it
+    // is printed on every run — an empty table states outright that
+    // nothing is exempt, instead of leaving the reader to wonder.
+    println!("structural allowlist ({} entries):", STRUCTURAL_ALLOWLIST.len());
+    if STRUCTURAL_ALLOWLIST.is_empty() {
+        println!("  (empty: every scaling group is gated hard)");
+    }
+    for (name, reason) in STRUCTURAL_ALLOWLIST {
+        println!("  {name}: {reason}");
+    }
+    println!();
+
     println!(
         "{:<52} {:>12} {:>12} {:>10} {:>10}",
         "benchmark", "median", "min", "vs serial", "vs base"
@@ -130,12 +142,26 @@ fn main() -> ExitCode {
             );
         }
     }
+    let groups = bench_groups(&cur);
     if regressions > 0 {
         eprintln!("bench-compare: {regressions} parallel configuration(s) slower than serial");
         return ExitCode::from(1);
     }
-    println!("bench-compare: no parallel configuration regresses past {REGRESSION_TOLERANCE}x serial");
+    println!(
+        "bench-compare: {} record(s) in {groups} bench group(s); \
+         no parallel configuration regresses past {REGRESSION_TOLERANCE}x serial",
+        cur.len(),
+    );
     ExitCode::SUCCESS
+}
+
+/// Number of distinct bench groups: the `<group>/...` prefix before
+/// the first `/`, or the whole name for ungrouped entries.
+fn bench_groups(recs: &BTreeMap<String, Rec>) -> usize {
+    recs.keys()
+        .map(|name| name.split_once('/').map_or(name.as_str(), |(g, _)| g))
+        .collect::<std::collections::BTreeSet<&str>>()
+        .len()
 }
 
 /// For `<kernel>/<...>threads/<t>` with `t != "1"`, returns the

@@ -32,6 +32,7 @@ pub mod correlate;
 pub mod error;
 pub mod event_module;
 pub mod features;
+pub mod incremental;
 pub mod matching;
 pub mod patterns_module;
 pub mod pipeline;
@@ -46,5 +47,9 @@ pub mod trending;
 pub use error::{CoreError, Result};
 pub use pipeline::{
     CacheConfig, CacheStatus, Pipeline, PipelineConfig, PipelineOutput, RunReport, StageReport,
+};
+pub use incremental::{
+    fold_stages, FoldReport, FoldStage, StreamArtifact, StreamConfig, StreamPipeline,
+    StreamReport, StreamState,
 };
 pub use stage::{ArtifactSet, ArtifactValue, Stage};

@@ -59,7 +59,7 @@ pub fn decode_corpora(r: &mut ByteReader<'_>) -> Result<Corpora, ArtifactError> 
     Ok(Corpora { news_tm, news_ed: decode_timestamped(r)?, twitter_ed: decode_timestamped(r)? })
 }
 
-fn encode_timestamped(docs: &[TimestampedDoc], out: &mut ByteWriter) {
+pub(crate) fn encode_timestamped(docs: &[TimestampedDoc], out: &mut ByteWriter) {
     out.put_usize(docs.len());
     for d in docs {
         out.put_u64(d.timestamp);
@@ -68,7 +68,7 @@ fn encode_timestamped(docs: &[TimestampedDoc], out: &mut ByteWriter) {
     }
 }
 
-fn decode_timestamped(r: &mut ByteReader<'_>) -> Result<Vec<TimestampedDoc>, ArtifactError> {
+pub(crate) fn decode_timestamped(r: &mut ByteReader<'_>) -> Result<Vec<TimestampedDoc>, ArtifactError> {
     let n = r.len_prefix()?;
     let mut docs = Vec::with_capacity(n);
     for _ in 0..n {

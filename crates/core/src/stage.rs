@@ -186,12 +186,21 @@ pub trait Stage {
     /// # Errors
     /// [`ArtifactError`] on truncation or structural drift.
     fn decode(&self, r: &mut ByteReader<'_>) -> std::result::Result<ArtifactValue, ArtifactError>;
+
+    /// The streaming counterpart of this stage in the incremental
+    /// fold DAG ([`crate::incremental`]), when one exists. Batch-only
+    /// stages (trending, correlation, features, patterns) answer
+    /// `None`: they are cheap projections recomputed per hot-swap
+    /// rather than folded per slice.
+    fn incremental(&self) -> Option<&'static dyn crate::incremental::FoldStage> {
+        None
+    }
 }
 
 /// Hashes a sub-config through its `Debug` rendering — stable for a
 /// fixed config, and float-precise enough because every knob prints
 /// with shortest-roundtrip formatting.
-fn debug_fingerprint(value: &impl std::fmt::Debug) -> u64 {
+pub(crate) fn debug_fingerprint(value: &impl std::fmt::Debug) -> u64 {
     fnv1a64(format!("{value:?}").as_bytes())
 }
 
@@ -208,6 +217,9 @@ fn wrong_variant(stage: &'static str) -> CoreError {
 pub struct CollectStage;
 
 impl Stage for CollectStage {
+    fn incremental(&self) -> Option<&'static dyn crate::incremental::FoldStage> {
+        Some(&crate::incremental::STREAM_COLLECT)
+    }
     fn name(&self) -> &'static str {
         "collect"
     }
@@ -246,6 +258,9 @@ impl Stage for CollectStage {
 pub struct PreprocessStage;
 
 impl Stage for PreprocessStage {
+    fn incremental(&self) -> Option<&'static dyn crate::incremental::FoldStage> {
+        Some(&crate::incremental::STREAM_PREPROCESS)
+    }
     fn name(&self) -> &'static str {
         "preprocess"
     }
@@ -281,6 +296,9 @@ impl Stage for PreprocessStage {
 pub struct TopicStage;
 
 impl Stage for TopicStage {
+    fn incremental(&self) -> Option<&'static dyn crate::incremental::FoldStage> {
+        Some(&crate::incremental::STREAM_TOPICS)
+    }
     fn name(&self) -> &'static str {
         "topics"
     }
@@ -316,6 +334,9 @@ impl Stage for TopicStage {
 pub struct EventStage;
 
 impl Stage for EventStage {
+    fn incremental(&self) -> Option<&'static dyn crate::incremental::FoldStage> {
+        Some(&crate::incremental::STREAM_EVENTS)
+    }
     fn name(&self) -> &'static str {
         "events"
     }
@@ -360,6 +381,9 @@ impl Stage for EventStage {
 pub struct EmbeddingStage;
 
 impl Stage for EmbeddingStage {
+    fn incremental(&self) -> Option<&'static dyn crate::incremental::FoldStage> {
+        Some(&crate::incremental::STREAM_EMBED)
+    }
     fn name(&self) -> &'static str {
         "embeddings"
     }

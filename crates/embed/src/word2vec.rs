@@ -176,6 +176,37 @@ impl Word2Vec {
     /// Trains on a corpus of token streams, returning the input-side
     /// word vectors.
     pub fn train(&self, corpus: &[Vec<String>]) -> WordVectors {
+        self.train_from(corpus, None)
+    }
+
+    /// Online continuation (DESIGN.md §17): trains on `corpus` with
+    /// known words resuming from `prev` and merges the result over
+    /// `prev`, so words absent from this corpus keep their previous
+    /// vectors. The streaming pipeline calls this once per time slice
+    /// with a slice-scoped seed.
+    pub fn train_continue(&self, corpus: &[Vec<String>], prev: &WordVectors) -> WordVectors {
+        let trained = self.train_from(corpus, Some(prev));
+        if prev.dim() != self.config.dim {
+            // Dimension change: nothing to resume from or merge with.
+            return trained;
+        }
+        let mut out = prev.clone();
+        for (w, vec) in trained.iter() {
+            out.insert(w, vec);
+        }
+        out
+    }
+
+    /// Trains on a corpus, optionally seeding input rows from prior
+    /// vectors.
+    ///
+    /// The RNG consumption is independent of `init`: the full random
+    /// initialization is drawn first (bit-identical to a cold run),
+    /// then rows of words present in `init` are overwritten with the
+    /// prior vectors. New-vocabulary rows therefore come from exactly
+    /// the stream positions a cold run would give them, which is what
+    /// makes warm continuation reproducible without replaying history.
+    fn train_from(&self, corpus: &[Vec<String>], init: Option<&WordVectors>) -> WordVectors {
         let cfg = &self.config;
         // --- Vocabulary with counts. BTreeMap: the collect below
         // iterates it, and vocabulary order seeds everything
@@ -222,6 +253,15 @@ impl Word2Vec {
         let bound = 0.5 / cfg.dim as f64;
         let mut syn0: Vec<f64> =
             (0..v * cfg.dim).map(|_| rng.next_range(-bound, bound)).collect();
+        if let Some(iv) = init.filter(|iv| iv.dim() == cfg.dim) {
+            // Warm continuation: known words resume from their prior
+            // vectors; unknown rows keep the fresh draws above.
+            for (i, &(w, _)) in vocab.iter().enumerate() {
+                if let Some(row) = iv.get(w) {
+                    syn0[i * cfg.dim..(i + 1) * cfg.dim].copy_from_slice(row);
+                }
+            }
+        }
         let mut syn1: Vec<f64> = vec![0.0; v * cfg.dim];
 
         // --- Keep-probability for subsampling.
@@ -570,6 +610,84 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits(), "word {w}");
             }
         }
+    }
+
+    #[test]
+    fn continuation_resumes_and_retains_prior_vocabulary() {
+        let corpus = clustered_corpus(120);
+        let trainer = Word2Vec::new(Word2VecConfig {
+            dim: 16,
+            epochs: 3,
+            min_count: 1,
+            subsample: 0.0,
+            seed: 21,
+            ..Default::default()
+        });
+        let base = trainer.train(&corpus);
+        // Continue on a disjoint mini-corpus: its words get vectors,
+        // and every base word keeps one (untouched words bit-exact).
+        let fresh: Vec<Vec<String>> = (0..20)
+            .map(|_| ["brexit", "vote", "poll"].iter().map(|s| s.to_string()).collect())
+            .collect();
+        let cont = trainer.train_continue(&fresh, &base);
+        assert!(cont.contains("brexit"));
+        for (w, v) in base.iter() {
+            let kept = cont.get(w).expect("prior word retained");
+            for (a, b) in v.iter().zip(kept) {
+                assert_eq!(a.to_bits(), b.to_bits(), "untouched word {w} drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn continuation_is_deterministic() {
+        let corpus = clustered_corpus(80);
+        let trainer = Word2Vec::new(Word2VecConfig {
+            dim: 12,
+            epochs: 2,
+            min_count: 1,
+            subsample: 0.0,
+            seed: 33,
+            ..Default::default()
+        });
+        let base = trainer.train(&corpus[..40]);
+        let a = trainer.train_continue(&corpus[40..], &base);
+        let b = trainer.train_continue(&corpus[40..], &base);
+        for (w, va) in a.iter() {
+            let vb = b.get(w).unwrap();
+            for (x, y) in va.iter().zip(vb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "word {w}");
+            }
+        }
+        // And training moved the resumed vectors: continuation is not
+        // a no-op on words the new corpus contains.
+        let moved = corpus[40..]
+            .iter()
+            .flatten()
+            .any(|w| a.get(w).zip(base.get(w)).is_some_and(|(x, y)| x != y));
+        assert!(moved, "continuation left every resumed vector untouched");
+    }
+
+    #[test]
+    fn dimension_change_falls_back_to_cold_training() {
+        let corpus = clustered_corpus(40);
+        let base = Word2Vec::new(Word2VecConfig {
+            dim: 8,
+            epochs: 1,
+            min_count: 1,
+            ..Default::default()
+        })
+        .train(&corpus);
+        let wide = Word2Vec::new(Word2VecConfig {
+            dim: 16,
+            epochs: 1,
+            min_count: 1,
+            ..Default::default()
+        });
+        let cont = wide.train_continue(&corpus, &base);
+        assert_eq!(cont.dim(), 16);
+        let cold = wide.train(&corpus);
+        assert_eq!(cont.get("king"), cold.get("king"));
     }
 
     #[test]

@@ -30,7 +30,9 @@
 pub mod event;
 pub mod mabed;
 pub mod timeslice;
+pub mod window;
 
 pub use event::Event;
 pub use mabed::{AnomalySource, Mabed, MabedConfig};
 pub use timeslice::{SlicedCorpus, TimestampedDoc};
+pub use window::SlidingWindow;

@@ -47,6 +47,7 @@ const HOT_LOOP_FILES: &[&str] = &[
     "crates/embed/src/word2vec.rs",
     "crates/neural/src/layer.rs",
     "crates/patterns/src/prefixspan.rs",
+    "crates/vectorize/src/incremental.rs",
 ];
 
 /// Every rule name, for `--help` and baseline validation.
@@ -841,6 +842,8 @@ mod tests {
         assert!(scope_for("crates/embed/src/word2vec.rs").hot_loop);
         assert!(scope_for("crates/neural/src/layer.rs").hot_loop);
         assert!(scope_for("crates/patterns/src/prefixspan.rs").hot_loop);
+        assert!(scope_for("crates/vectorize/src/incremental.rs").hot_loop);
+        assert!(!scope_for("crates/vectorize/src/lib.rs").hot_loop);
         assert!(!scope_for("crates/patterns/src/cooccur.rs").hot_loop);
         assert!(!scope_for("crates/topics/src/plsi.rs").hot_loop);
         assert!(!scope_for(KERNEL).hot_loop);

@@ -57,6 +57,26 @@ fn sharded_serving_modules_are_in_lint_scope() {
 }
 
 #[test]
+fn streaming_modules_are_in_lint_scope() {
+    // The incremental-recompute path (DESIGN.md §17) spans five
+    // crates; pin every new module into the scan so the fold stages'
+    // determinism / panic-path / hot-loop guarantees stay enforced.
+    let files = workspace_sources(workspace_root()).expect("workspace scan");
+    for needle in [
+        "crates/synth/src/firehose.rs",
+        "crates/vectorize/src/incremental.rs",
+        "crates/events/src/window.rs",
+        "crates/core/src/incremental.rs",
+        "crates/serve/src/stream.rs",
+    ] {
+        assert!(
+            files.iter().any(|p| p.ends_with(needle)),
+            "{needle} missing from nd-lint scope"
+        );
+    }
+}
+
+#[test]
 fn every_function_gets_a_cfg() {
     // Weaker structural check: parsing + CFG construction never panics
     // and yields at least one function per non-trivial file.

@@ -31,6 +31,9 @@
 //!   quantile series, mergeable across shards.
 //! - [`retrain`] — reload-with-retrain: re-run the staged pipeline
 //!   from a cached run directory, refit the served models, hot-swap.
+//! - [`stream`] — the per-slice refresh loop: fold the next firehose
+//!   slice through the incremental DAG (cached prefix replays from
+//!   disk), refit on the new head state, hot-swap.
 //! - [`client`] — a small blocking client used by the tests, the
 //!   demo, and the load generator.
 //! - [`loadgen`] — deterministic closed/open-loop load generation and
@@ -60,6 +63,7 @@ pub mod registry;
 pub mod retrain;
 pub mod server;
 pub mod shard;
+pub mod stream;
 
 pub use batcher::{BatchConfig, Batcher, SubmitError};
 pub use cache::LruCache;
@@ -71,6 +75,7 @@ pub use registry::{ModelHandle, ModelSpec, Registry, SwapEvent};
 pub use retrain::{retrain_from_run, RetrainModel, RetrainSpec};
 pub use server::{ServeConfig, Server};
 pub use shard::{Shard, ShardConfig, ShardSet};
+pub use stream::{SliceRetrain, StreamRetrainSpec, StreamRetrainer};
 
 /// Errors surfaced while configuring or running the service.
 #[derive(Debug)]

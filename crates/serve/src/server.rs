@@ -30,6 +30,7 @@ use crate::metrics::{render_quantiles, Endpoint, Metrics};
 use crate::registry::{ModelHandle, Registry};
 use crate::retrain::{retrain_from_run, RetrainSpec};
 use crate::shard::{Shard, ShardConfig, ShardSet};
+use crate::stream::{SliceRetrain, StreamRetrainSpec, StreamRetrainer};
 use crate::hist::HistSnapshot;
 use crate::ServeError;
 use nd_core::patterns_module::PatternsOutput;
@@ -67,6 +68,11 @@ pub struct ServeConfig {
     /// cache, retrains these models, and hot-swaps them (`None` =
     /// plain checkpoint refresh only).
     pub retrain: Option<RetrainSpec>,
+    /// Enables the streaming refresh loop: `POST /admin/reload` with
+    /// an `advance_stream` body folds the next firehose slice through
+    /// the incremental DAG, retrains these models on the new head,
+    /// and hot-swaps them (`None` = no stream attached).
+    pub stream: Option<StreamRetrainSpec>,
     /// Shard topology: shard count, replication, handler pools.
     pub shard: ShardConfig,
     /// How long a partially received request may trickle in before
@@ -86,6 +92,7 @@ impl Default for ServeConfig {
             max_body_bytes: 1 << 20,
             refresh_interval: None,
             retrain: None,
+            stream: None,
             shard: ShardConfig::default(),
             head_deadline: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(30),
@@ -112,9 +119,14 @@ struct Shared {
     read_params: ReadParams,
     idle_timeout: Duration,
     retrain: Option<RetrainSpec>,
+    /// The per-slice refresh loop, when a stream is attached.
+    stream: Option<StreamRetrainer>,
     /// Per-stage report of the most recent reload-with-retrain,
     /// rendered into `GET /metrics`.
     last_run: Mutex<Option<RunReport>>,
+    /// Record of the most recent stream advance, rendered into
+    /// `GET /metrics` as per-slice fold and staleness gauges.
+    last_slice: Mutex<Option<SliceRetrain>>,
     /// Pattern catalog mined by the most recent reload-with-retrain,
     /// served at `GET /patterns` and summarized in `GET /metrics`.
     patterns: Mutex<Option<Arc<PatternsOutput>>>,
@@ -303,7 +315,9 @@ impl Server {
             },
             idle_timeout: config.idle_timeout,
             retrain: config.retrain.clone(),
+            stream: config.stream.clone().map(StreamRetrainer::new),
             last_run: Mutex::new(None),
+            last_slice: Mutex::new(None),
             patterns: Mutex::new(None),
         });
         let pools: Vec<Arc<ConnPool>> = (0..shared.shards.len())
@@ -673,6 +687,30 @@ fn render_metrics(shared: &Arc<Shared>) -> String {
             ));
         }
     }
+    let last_slice = shared.last_slice.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    if let Some(slice) = last_slice {
+        gauges.push(("nd_stream_head_slice".to_string(), slice.head as u64));
+        gauges.push((
+            "nd_stream_slices_polled".to_string(),
+            slice.stream.slices_polled as u64,
+        ));
+        gauges.push(("nd_stream_dataset_rows".to_string(), slice.dataset_rows as u64));
+        gauges.push(("nd_stream_models_trained".to_string(), slice.trained as u64));
+        gauges.push(("nd_stream_train_ms".to_string(), slice.train_ms as u64));
+        gauges.push((
+            "nd_stream_staleness_ms".to_string(),
+            slice.completed_at.elapsed().as_millis().min(u64::MAX as u128) as u64,
+        ));
+        for f in &slice.stream.folds {
+            let label = format!("{{stage=\"{}\",slice=\"{}\"}}", f.stage, f.slice);
+            gauges.push((format!("nd_stream_fold_wall_ms{label}"), f.wall_ms as u64));
+            gauges.push((
+                format!("nd_stream_fold_cache_hit{label}"),
+                u64::from(!f.cache.executed()),
+            ));
+            gauges.push((format!("nd_stream_fold_bytes{label}"), f.bytes));
+        }
+    }
     let mut text = shared.metrics.render(&gauges);
     // Per-shard predict quantiles, then the cross-shard merge. Shards
     // are visited in fixed id order so the merged series is
@@ -719,10 +757,72 @@ fn handle_reload(
     shared: &Arc<Shared>,
     request: &ConnBufs,
 ) -> (u16, Vec<(&'static str, String)>, Value) {
-    // `{"run_dir": "..."}` selects reload-with-retrain; any other body
-    // (including empty) is the plain checkpoint refresh.
-    let run_dir = serde_json::from_slice::<Value>(request.body())
-        .ok()
+    // `{"advance_stream": true}` folds the next firehose slice;
+    // `{"run_dir": "..."}` selects batch reload-with-retrain; any
+    // other body (including empty) is the plain checkpoint refresh.
+    let body_json = serde_json::from_slice::<Value>(request.body()).ok();
+    let advance_stream = body_json
+        .as_ref()
+        .and_then(|v| v.get("advance_stream").and_then(Value::as_bool))
+        .unwrap_or(false);
+    if advance_stream {
+        let Some(retrainer) = shared.stream.as_ref() else {
+            return (
+                400,
+                Vec::new(),
+                json!({"error": "server has no stream retrain spec configured"}),
+            );
+        };
+        return match retrainer.advance(&shared.registry) {
+            Ok(slice) => {
+                shared.apply_swaps(&slice.swapped);
+                let swapped: Vec<Value> = slice
+                    .swapped
+                    .iter()
+                    .map(|e| {
+                        json!({"model": e.name, "from": e.from, "to": e.to, "pruned": e.pruned})
+                    })
+                    .collect();
+                let folds: Vec<Value> = slice
+                    .stream
+                    .folds
+                    .iter()
+                    .map(|f| {
+                        json!({
+                            "stage": f.stage,
+                            "slice": f.slice,
+                            "cache": f.cache.as_str(),
+                            "wall_ms": f.wall_ms,
+                            "bytes": f.bytes,
+                        })
+                    })
+                    .collect();
+                let executed = slice.stream.executed();
+                let body = json!({
+                    "swapped": swapped,
+                    "stream": {
+                        "head": slice.head,
+                        "horizon": retrainer.horizon(),
+                        "executed": executed,
+                        "replayed": slice.stream.folds.len() - executed,
+                        "slices_polled": slice.stream.slices_polled,
+                        "total_ms": slice.stream.total_ms,
+                        "dataset_rows": slice.dataset_rows,
+                        "trained": slice.trained,
+                        "train_ms": slice.train_ms,
+                        "folds": folds,
+                    },
+                });
+                *shared.last_slice.lock().unwrap_or_else(PoisonError::into_inner) =
+                    Some(slice);
+                (200, Vec::new(), body)
+            }
+            Err(e @ ServeError::Config(_)) => (400, Vec::new(), json!({"error": e.to_string()})),
+            Err(e) => (500, Vec::new(), json!({"error": e.to_string()})),
+        };
+    }
+    let run_dir = body_json
+        .as_ref()
         .and_then(|v| v.get("run_dir").and_then(Value::as_str).map(PathBuf::from));
     if let Some(run_dir) = run_dir {
         let Some(spec) = shared.retrain.as_ref() else {

@@ -48,6 +48,23 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Chains fingerprint words into one 64-bit digest: each word is
+/// appended little-endian and the concatenation is FNV-1a hashed.
+///
+/// This is the streaming pipeline's per-slice cache-key combiner: a
+/// stage's fingerprint at slice `k` chains its fingerprint at slice
+/// `k − 1` (position matters — `chain_fingerprint(&[a, b])` and
+/// `chain_fingerprint(&[b, a])` differ), so invalidating any slice
+/// invalidates every later slice of the same stage without reading a
+/// single artifact payload.
+pub fn chain_fingerprint(words: &[u64]) -> u64 {
+    let mut buf = Vec::with_capacity(words.len() * 8);
+    for &w in words {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    fnv1a64(&buf)
+}
+
 /// A decode failure inside an artifact payload.
 ///
 /// Distinct from [`crate::StoreError`] on purpose: payload decoding
@@ -460,6 +477,18 @@ mod tests {
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"newsdiff"), fnv1a64(b"newsdiff"));
         assert_ne!(fnv1a64(b"newsdiff"), fnv1a64(b"newsdifg"));
+    }
+
+    #[test]
+    fn chain_fingerprint_is_positional_and_stable() {
+        assert_eq!(chain_fingerprint(&[]), fnv1a64(b""));
+        assert_eq!(chain_fingerprint(&[1, 2]), chain_fingerprint(&[1, 2]));
+        assert_ne!(chain_fingerprint(&[1, 2]), chain_fingerprint(&[2, 1]));
+        // Chaining is not concatenation-ambiguous: [a] then b differs
+        // from a fresh [b] then a.
+        let a = chain_fingerprint(&[7]);
+        let b = chain_fingerprint(&[9]);
+        assert_ne!(chain_fingerprint(&[a, 9]), chain_fingerprint(&[b, 7]));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod error;
 pub mod query;
 pub mod wal;
 
-pub use artifact::{fnv1a64, ArtifactError, ArtifactStore, ByteReader, ByteWriter};
+pub use artifact::{chain_fingerprint, fnv1a64, ArtifactError, ArtifactStore, ByteReader, ByteWriter};
 pub use collection::Collection;
 pub use db::Database;
 pub use error::{Result, StoreError};

@@ -37,6 +37,7 @@
 pub mod api;
 pub mod engagement;
 pub mod events;
+pub mod firehose;
 pub mod news_gen;
 pub mod serial;
 pub mod time;
@@ -48,7 +49,10 @@ pub mod world;
 
 pub use engagement::{bucket_count, EngagementModel};
 pub use events::GroundTruthEvent;
-pub use serial::{decode_world, encode_world};
+pub use firehose::{Firehose, FirehoseConfig, TimeSlice};
+pub use serial::{
+    decode_articles, decode_tweets, decode_world, encode_articles, encode_tweets, encode_world,
+};
 pub use time::day_of_week;
 pub use topics::{topic_inventory, TopicKind, TopicSpec};
 pub use trajectories::{

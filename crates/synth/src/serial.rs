@@ -44,8 +44,15 @@ pub fn encode_world(world: &World, out: &mut ByteWriter) {
         out.put_u64(u.friends);
         out.put_u64(u.retweets_total);
     }
-    out.put_usize(world.articles.len());
-    for a in &world.articles {
+    encode_articles(&world.articles, out);
+    encode_tweets(&world.tweets, out);
+}
+
+/// Encodes a length-prefixed article list (shared between the batch
+/// world artifact and the streaming slice artifacts).
+pub fn encode_articles(articles: &[NewsArticle], out: &mut ByteWriter) {
+    out.put_usize(articles.len());
+    for a in articles {
         out.put_u64(a.id);
         out.put_u64(a.timestamp);
         out.put_str(&a.source);
@@ -54,8 +61,34 @@ pub fn encode_world(world: &World, out: &mut ByteWriter) {
         out.put_str(&a.snippet);
         out.put_usize(a.gt_topic);
     }
-    out.put_usize(world.tweets.len());
-    for t in &world.tweets {
+}
+
+/// Decodes a list encoded by [`encode_articles`].
+///
+/// # Errors
+/// Truncation or structural mismatch yields an [`ArtifactError`].
+pub fn decode_articles(r: &mut ByteReader<'_>) -> Result<Vec<NewsArticle>, ArtifactError> {
+    let n = r.len_prefix()?;
+    let mut articles = Vec::with_capacity(n);
+    for _ in 0..n {
+        articles.push(NewsArticle {
+            id: r.u64()?,
+            timestamp: r.u64()?,
+            source: r.str()?,
+            title: r.str()?,
+            content: r.str()?,
+            snippet: r.str()?,
+            gt_topic: r.usize()?,
+        });
+    }
+    Ok(articles)
+}
+
+/// Encodes a length-prefixed tweet list (shared between the batch
+/// world artifact and the streaming slice artifacts).
+pub fn encode_tweets(tweets: &[Tweet], out: &mut ByteWriter) {
+    out.put_usize(tweets.len());
+    for t in tweets {
         out.put_u64(t.id);
         out.put_u64(t.timestamp);
         out.put_u32(t.author_id);
@@ -67,6 +100,30 @@ pub fn encode_world(world: &World, out: &mut ByteWriter) {
         out.put_usize(t.gt_topic);
         out.put_f64(t.gt_virality);
     }
+}
+
+/// Decodes a list encoded by [`encode_tweets`].
+///
+/// # Errors
+/// Truncation or structural mismatch yields an [`ArtifactError`].
+pub fn decode_tweets(r: &mut ByteReader<'_>) -> Result<Vec<Tweet>, ArtifactError> {
+    let n = r.len_prefix()?;
+    let mut tweets = Vec::with_capacity(n);
+    for _ in 0..n {
+        tweets.push(Tweet {
+            id: r.u64()?,
+            timestamp: r.u64()?,
+            author_id: r.u32()?,
+            author_handle: r.str()?,
+            author_followers: r.u64()?,
+            text: r.str()?,
+            likes: r.u64()?,
+            retweets: r.u64()?,
+            gt_topic: r.usize()?,
+            gt_virality: r.f64()?,
+        });
+    }
+    Ok(tweets)
 }
 
 /// Decodes a world encoded by [`encode_world`].
@@ -104,35 +161,8 @@ pub fn decode_world(r: &mut ByteReader<'_>) -> Result<World, ArtifactError> {
             retweets_total: r.u64()?,
         });
     }
-    let n_articles = r.len_prefix()?;
-    let mut articles = Vec::with_capacity(n_articles);
-    for _ in 0..n_articles {
-        articles.push(NewsArticle {
-            id: r.u64()?,
-            timestamp: r.u64()?,
-            source: r.str()?,
-            title: r.str()?,
-            content: r.str()?,
-            snippet: r.str()?,
-            gt_topic: r.usize()?,
-        });
-    }
-    let n_tweets = r.len_prefix()?;
-    let mut tweets = Vec::with_capacity(n_tweets);
-    for _ in 0..n_tweets {
-        tweets.push(Tweet {
-            id: r.u64()?,
-            timestamp: r.u64()?,
-            author_id: r.u32()?,
-            author_handle: r.str()?,
-            author_followers: r.u64()?,
-            text: r.str()?,
-            likes: r.u64()?,
-            retweets: r.u64()?,
-            gt_topic: r.usize()?,
-            gt_virality: r.f64()?,
-        });
-    }
+    let articles = decode_articles(r)?;
+    let tweets = decode_tweets(r)?;
     Ok(World { config, topics, events, users, articles, tweets })
 }
 

@@ -24,4 +24,4 @@ pub mod nmf;
 pub mod plsi;
 
 pub use model::{Topic, TopicModel};
-pub use nmf::{Nmf, NmfConfig};
+pub use nmf::{Nmf, NmfConfig, WarmStart};

@@ -49,6 +49,22 @@ pub struct Nmf {
     config: NmfConfig,
 }
 
+/// Previous factors to warm-start a fit from (DESIGN.md §17).
+///
+/// The streaming pipeline folds one time slice at a time: documents
+/// and vocabulary only ever *grow*, and the incremental DTM keeps
+/// term ids stable, so the previous `W` rows / `H` columns are a
+/// valid prefix of the new factor shapes. Rows/columns beyond the
+/// warm prefix (new documents, new terms) get the usual scaled-
+/// uniform random initialization from the fit seed.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmStart<'a> {
+    /// Previous document-topic factor (`n₀ × k`).
+    pub doc_topic: &'a Mat,
+    /// Previous topic-term factor (`k × m₀`).
+    pub topic_term: &'a Mat,
+}
+
 /// Small constant guarding the multiplicative-update denominators.
 const EPS: f64 = 1e-10;
 
@@ -111,6 +127,26 @@ impl Nmf {
     /// `vocab` must be the vocabulary that produced `a`'s columns; it
     /// is cloned into the returned [`TopicModel`] for keyword decoding.
     pub fn fit(&self, a: &CsrMatrix, vocab: &Vocabulary) -> TopicModel {
+        self.fit_warm(a, vocab, None)
+    }
+
+    /// Fits the factorization, optionally warm-starting from previous
+    /// factors.
+    ///
+    /// When `warm` is given and its topic count matches the clamped
+    /// `k`, the previous `W` rows and `H` columns seed the
+    /// corresponding prefix of the new factors (floored at `EPS` so
+    /// multiplicative updates cannot lock a copied zero); fresh rows
+    /// and columns draw from the configured seed exactly as a cold
+    /// fit would. A shape-incompatible warm start falls back to the
+    /// cold initialization. With `warm = None` this IS the cold path:
+    /// `fit` delegates here, bit for bit.
+    pub fn fit_warm(
+        &self,
+        a: &CsrMatrix,
+        vocab: &Vocabulary,
+        warm: Option<WarmStart<'_>>,
+    ) -> TopicModel {
         let (n, m) = (a.rows(), a.cols());
         let k = self.config.n_topics.max(1).min(n.max(1)).min(m.max(1));
 
@@ -123,6 +159,22 @@ impl Nmf {
         let scale = (mean / k as f64).sqrt().max(1e-3);
         let mut w = Mat::random_uniform(n, k, 0.1 * scale, scale, self.config.seed);
         let mut h = Mat::random_uniform(k, m, 0.1 * scale, scale, self.config.seed ^ 0xDEAD);
+        if let Some(ws) = warm {
+            if ws.doc_topic.cols() == k && ws.topic_term.rows() == k {
+                let n0 = ws.doc_topic.rows().min(n);
+                for i in 0..n0 {
+                    for j in 0..k {
+                        w.set(i, j, ws.doc_topic.get(i, j).max(EPS));
+                    }
+                }
+                let m0 = ws.topic_term.cols().min(m);
+                for t in 0..k {
+                    for j in 0..m0 {
+                        h.set(t, j, ws.topic_term.get(t, j).max(EPS));
+                    }
+                }
+            }
+        }
 
         let a_fro2 = a.frobenius_norm_sq();
         let mut prev_obj = f64::INFINITY;
@@ -350,6 +402,88 @@ mod tests {
         let a = dtm.weighted(Weighting::Tf);
         let m = Nmf::with_topics(3).fit(&a, dtm.vocab());
         assert_eq!(m.doc_topic.rows(), 0);
+    }
+
+    #[test]
+    fn fit_warm_none_is_bitwise_the_cold_path() {
+        let dtm = DtmBuilder::new().build(&planted_corpus());
+        let a = dtm.weighted(Weighting::TfIdfNormalized);
+        let solver = Nmf::new(NmfConfig { n_topics: 2, max_iter: 40, tol: 1e-7, seed: 9 });
+        let cold = solver.fit(&a, dtm.vocab());
+        let warm_none = solver.fit_warm(&a, dtm.vocab(), None);
+        assert_eq!(cold.doc_topic, warm_none.doc_topic);
+        assert_eq!(cold.topic_term, warm_none.topic_term);
+    }
+
+    #[test]
+    fn warm_start_refines_from_previous_factors() {
+        let dtm = DtmBuilder::new().build(&planted_corpus());
+        let a = dtm.weighted(Weighting::TfIdfNormalized);
+        let converged = Nmf::new(NmfConfig { n_topics: 2, max_iter: 300, tol: 1e-9, seed: 4 })
+            .fit(&a, dtm.vocab());
+        // A handful of warm iterations from the converged factors must
+        // land (essentially) back at the converged objective; the same
+        // budget from a cold start generally cannot.
+        let refine = Nmf::new(NmfConfig { n_topics: 2, max_iter: 3, tol: 0.0, seed: 4 });
+        let warm = refine.fit_warm(
+            &a,
+            dtm.vocab(),
+            Some(WarmStart { doc_topic: &converged.doc_topic, topic_term: &converged.topic_term }),
+        );
+        assert!(
+            warm.objective <= converged.objective * 1.001 + 1e-12,
+            "warm refinement regressed: {} vs {}",
+            warm.objective,
+            converged.objective
+        );
+        assert!(warm.doc_topic.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn warm_start_handles_grown_corpus_and_vocab() {
+        // Fit on a prefix, then warm-start on the grown matrix: prior
+        // rows/cols seed the prefix, new ones draw fresh.
+        let all = planted_corpus();
+        let dtm_small = DtmBuilder::new().min_df(1).build(&all[..10]);
+        let a_small = dtm_small.weighted(Weighting::TfIdfNormalized);
+        let prev = Nmf::new(NmfConfig { n_topics: 2, max_iter: 200, tol: 1e-9, seed: 8 })
+            .fit(&a_small, dtm_small.vocab());
+        let dtm_full = DtmBuilder::new().min_df(1).build(&all);
+        let a_full = dtm_full.weighted(Weighting::TfIdfNormalized);
+        let solver = Nmf::new(NmfConfig { n_topics: 2, max_iter: 25, tol: 0.0, seed: 8 });
+        let warm = solver.fit_warm(
+            &a_full,
+            dtm_full.vocab(),
+            Some(WarmStart { doc_topic: &prev.doc_topic, topic_term: &prev.topic_term }),
+        );
+        assert_eq!(warm.doc_topic.rows(), a_full.rows());
+        assert_eq!(warm.topic_term.cols(), a_full.cols());
+        assert!(warm.objective.is_finite());
+        // Determinism: the same warm start reproduces bit-identically.
+        let again = solver.fit_warm(
+            &a_full,
+            dtm_full.vocab(),
+            Some(WarmStart { doc_topic: &prev.doc_topic, topic_term: &prev.topic_term }),
+        );
+        assert_eq!(warm.doc_topic, again.doc_topic);
+        assert_eq!(warm.topic_term, again.topic_term);
+    }
+
+    #[test]
+    fn shape_mismatched_warm_start_falls_back_cold() {
+        let dtm = DtmBuilder::new().build(&planted_corpus());
+        let a = dtm.weighted(Weighting::TfIdfNormalized);
+        let solver = Nmf::new(NmfConfig { n_topics: 2, max_iter: 20, tol: 1e-7, seed: 6 });
+        let cold = solver.fit(&a, dtm.vocab());
+        let bad_w = Mat::zeros(5, 7); // wrong k
+        let bad_h = Mat::zeros(7, 3);
+        let fallback = solver.fit_warm(
+            &a,
+            dtm.vocab(),
+            Some(WarmStart { doc_topic: &bad_w, topic_term: &bad_h }),
+        );
+        assert_eq!(cold.doc_topic, fallback.doc_topic);
+        assert_eq!(cold.topic_term, fallback.topic_term);
     }
 
     #[test]

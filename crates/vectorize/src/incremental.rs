@@ -1,0 +1,385 @@
+//! Incremental document-term matrix: append docs, fold DF counts,
+//! recompute weights only for touched terms.
+//!
+//! [`DtmBuilder`](crate::DtmBuilder) is a batch construct: it makes
+//! two passes over the whole corpus and orders the vocabulary by
+//! global collection frequency, so adding one document invalidates
+//! every term id. [`IncrementalDtm`] is the streaming replacement
+//! (DESIGN.md §17):
+//!
+//! * **Append-only vocabulary.** Term ids are assigned in first-seen
+//!   order and never change — the invariant that lets warm-started
+//!   NMF keep its `H` columns aligned across folds.
+//! * **Folded DF counts.** Each [`IncrementalDtm::push_docs`] call
+//!   adds the new documents' rows and increments document
+//!   frequencies; no earlier row is revisited.
+//! * **Touched-term IDF maintenance.** `idf(n, df) = log2 n − log2 df`
+//!   separates into a corpus-size part (identical for every term) and
+//!   a per-term part (changes only when the term's DF changes). A
+//!   fold therefore shifts the cached IDF vector by the scalar
+//!   `log2(n′/n)` and recomputes entries exactly only for the terms
+//!   the new slice touched.
+//!
+//! The cached IDF is part of the fold state and is serialized
+//! bit-exactly with the rest of the matrix: replaying a fold sequence
+//! reproduces the weights down to the last bit, which is what the
+//! incremental pipeline's bit-identity guarantee rests on. (The cache
+//! can drift from a *fresh* batch IDF computation by float-rounding
+//! ulps — the fold chain, not the batch formula, is the canonical
+//! semantics.)
+
+use crate::sparse::CsrMatrix;
+use crate::vocab::Vocabulary;
+use crate::weighting::{idf, tf_transform, uses_idf, uses_l2_norm, Weighting};
+
+/// Reused per-fold workspace: token-id and touched-term buffers live
+/// here so folds allocate nothing per document.
+#[derive(Debug, Clone, Default)]
+pub struct DtmScratch {
+    /// Interned token ids of the document being folded.
+    ids: Vec<usize>,
+    /// Term ids whose DF changed in the current fold (sorted,
+    /// deduplicated at the end of the fold).
+    touched: Vec<usize>,
+}
+
+impl DtmScratch {
+    /// Empty workspace.
+    pub fn new() -> Self {
+        DtmScratch { ids: Vec::with_capacity(256), touched: Vec::with_capacity(256) }
+    }
+}
+
+/// Borrowed view of an [`IncrementalDtm`]'s serializable state:
+/// `(scheme, terms in id order, df, idf bits, rows)`.
+pub type DtmParts<'a> = (Weighting, Vec<&'a str>, &'a [usize], &'a [f64], &'a [Vec<(usize, f64)>]);
+
+/// A growable document-term matrix with incrementally maintained
+/// weights.
+#[derive(Debug, Clone)]
+pub struct IncrementalDtm {
+    scheme: Weighting,
+    vocab: Vocabulary,
+    /// Per-term document frequency.
+    df: Vec<usize>,
+    /// Cached IDF vector, maintained via the touched-term update.
+    idf: Vec<f64>,
+    /// Per-document sparse rows: sorted `(term id, raw count)`.
+    rows: Vec<Vec<(usize, f64)>>,
+    /// Terms touched by the most recent fold (observability/tests;
+    /// not part of the serialized state).
+    last_touched: Vec<usize>,
+    scratch: DtmScratch,
+}
+
+impl IncrementalDtm {
+    /// Empty matrix under the given weighting scheme.
+    pub fn new(scheme: Weighting) -> Self {
+        IncrementalDtm {
+            scheme,
+            vocab: Vocabulary::new(),
+            df: Default::default(),
+            idf: Default::default(),
+            rows: Default::default(),
+            last_touched: Default::default(),
+            scratch: DtmScratch::new(),
+        }
+    }
+
+    /// Folds a batch of tokenized documents into the matrix.
+    ///
+    /// Appends one sparse row per document, increments DF counts, and
+    /// updates the cached IDF: a scalar `log2(n′/n)` shift for
+    /// untouched terms plus an exact recompute for the touched ones.
+    pub fn push_docs(&mut self, docs: &[Vec<String>]) {
+        let old_n = self.rows.len();
+        self.scratch.touched.clear();
+        for doc in docs {
+            self.scratch.ids.clear();
+            for tok in doc {
+                self.scratch.ids.push(self.vocab.intern(tok));
+            }
+            self.scratch.ids.sort_unstable();
+            let mut row: Vec<(usize, f64)> = Default::default();
+            for &id in &self.scratch.ids {
+                match row.last_mut() {
+                    Some((last, count)) if *last == id => *count += 1.0,
+                    _ => row.push((id, 1.0)),
+                }
+            }
+            self.df.resize(self.vocab.len(), 0);
+            for &(id, _) in &row {
+                self.df[id] += 1;
+                self.scratch.touched.push(id);
+            }
+            self.rows.push(row);
+        }
+        self.scratch.touched.sort_unstable();
+        self.scratch.touched.dedup();
+        let new_n = self.rows.len();
+
+        // IDF maintenance. From an empty matrix every term is fresh,
+        // so the cache is exact; on later folds untouched terms see
+        // only the corpus-size shift.
+        self.idf.resize(self.vocab.len(), 0.0);
+        if old_n == 0 {
+            for (t, slot) in self.idf.iter_mut().enumerate() {
+                *slot = idf(new_n, self.df[t]);
+            }
+        } else if new_n > old_n {
+            let shift = (new_n as f64 / old_n as f64).log2();
+            for slot in self.idf.iter_mut() {
+                *slot += shift;
+            }
+            for &t in &self.scratch.touched {
+                self.idf[t] = idf(new_n, self.df[t]);
+            }
+        }
+        std::mem::swap(&mut self.last_touched, &mut self.scratch.touched);
+    }
+
+    /// Number of documents folded so far.
+    pub fn n_docs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Vocabulary size (columns).
+    pub fn n_terms(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The append-only vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Per-term document frequencies.
+    pub fn doc_freqs(&self) -> &[usize] {
+        &self.df
+    }
+
+    /// The cached IDF vector (fold-chain semantics — see module docs).
+    pub fn cached_idf(&self) -> &[f64] {
+        &self.idf
+    }
+
+    /// Term ids the most recent [`IncrementalDtm::push_docs`] touched.
+    pub fn touched(&self) -> &[usize] {
+        &self.last_touched
+    }
+
+    /// The weighted matrix over the full (stable-id) column space.
+    ///
+    /// Terms outside the `[min_df, max_df_ratio · n]` document-
+    /// frequency band are masked to weight 0 — the column *exists*
+    /// (ids never move) but carries no mass, which is how streaming
+    /// pruning keeps warm-started factor columns aligned.
+    pub fn weighted(&self, min_df: usize, max_df_ratio: f64) -> CsrMatrix {
+        let n = self.rows.len();
+        let max_df = max_df_ratio * n as f64;
+        let keep = |t: usize| self.df[t] >= min_df && (self.df[t] as f64) <= max_df;
+        let weighted_rows: Vec<Vec<(usize, f64)>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut out: Vec<(usize, f64)> = row
+                    .iter()
+                    .map(|&(t, c)| {
+                        let w = if !keep(t) {
+                            0.0
+                        } else {
+                            let tf = tf_transform(self.scheme, c);
+                            if uses_idf(self.scheme) {
+                                tf * self.idf[t]
+                            } else {
+                                tf
+                            }
+                        };
+                        (t, w)
+                    })
+                    .collect();
+                if uses_l2_norm(self.scheme) {
+                    let norm = out.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+                    if norm > 0.0 {
+                        for (_, w) in out.iter_mut() {
+                            *w /= norm;
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        CsrMatrix::from_rows(self.vocab.len(), &weighted_rows)
+    }
+
+    /// Decomposes the serializable state:
+    /// `(scheme, terms in id order, df, idf bits, rows)`.
+    pub fn parts(&self) -> DtmParts<'_> {
+        let terms: Vec<&str> = self.vocab.iter().map(|(_, t)| t).collect();
+        (self.scheme, terms, &self.df, &self.idf, &self.rows)
+    }
+
+    /// Rebuilds a matrix from [`IncrementalDtm::parts`] output. The
+    /// reconstruction is bit-exact: folding further documents into it
+    /// behaves identically to folding into the original.
+    pub fn from_parts(
+        scheme: Weighting,
+        terms: &[String],
+        df: Vec<usize>,
+        idf: Vec<f64>,
+        rows: Vec<Vec<(usize, f64)>>,
+    ) -> Self {
+        let mut vocab = Vocabulary::new();
+        for t in terms {
+            vocab.intern(t);
+        }
+        IncrementalDtm {
+            scheme,
+            vocab,
+            df,
+            idf,
+            rows,
+            last_touched: Default::default(),
+            scratch: DtmScratch::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighting::idf_vector;
+
+    fn docs(texts: &[&str]) -> Vec<Vec<String>> {
+        texts
+            .iter()
+            .map(|t| t.split_whitespace().map(str::to_string).collect())
+            .collect()
+    }
+
+    fn matrix_bits(m: &CsrMatrix) -> Vec<(usize, usize, u64)> {
+        (0..m.rows())
+            .flat_map(|i| {
+                m.row(i)
+                    .iter()
+                    .map(move |(j, v)| (i, j, v.to_bits()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_push_matches_exact_idf() {
+        let mut dtm = IncrementalDtm::new(Weighting::TfIdf);
+        dtm.push_docs(&docs(&["a b a", "b c", "a c d"]));
+        let exact = idf_vector(dtm.n_docs(), dtm.doc_freqs());
+        for (t, (&cached, &want)) in dtm.cached_idf().iter().zip(&exact).enumerate() {
+            assert_eq!(cached.to_bits(), want.to_bits(), "term {t}");
+        }
+    }
+
+    #[test]
+    fn vocabulary_ids_are_stable_across_folds() {
+        let mut dtm = IncrementalDtm::new(Weighting::TfIdfNormalized);
+        dtm.push_docs(&docs(&["brexit vote", "tariff vote"]));
+        let brexit = dtm.vocab().get("brexit").unwrap();
+        let vote = dtm.vocab().get("vote").unwrap();
+        dtm.push_docs(&docs(&["huawei ban brexit", "iran oil"]));
+        assert_eq!(dtm.vocab().get("brexit").unwrap(), brexit);
+        assert_eq!(dtm.vocab().get("vote").unwrap(), vote);
+        assert!(dtm.vocab().get("huawei").unwrap() > vote);
+    }
+
+    #[test]
+    fn touched_terms_are_exact_untouched_within_ulps() {
+        let mut dtm = IncrementalDtm::new(Weighting::TfIdf);
+        dtm.push_docs(&docs(&["a b", "a c", "b c", "a d"]));
+        dtm.push_docs(&docs(&["a e", "e f"]));
+        let exact = idf_vector(dtm.n_docs(), dtm.doc_freqs());
+        let touched = dtm.touched().to_vec();
+        assert!(touched.contains(&dtm.vocab().get("a").unwrap()));
+        assert!(touched.contains(&dtm.vocab().get("e").unwrap()));
+        assert!(!touched.contains(&dtm.vocab().get("b").unwrap()));
+        for (t, (&cached, &want)) in dtm.cached_idf().iter().zip(&exact).enumerate() {
+            if touched.contains(&t) {
+                assert_eq!(cached.to_bits(), want.to_bits(), "touched term {t} must be exact");
+            } else {
+                assert!((cached - want).abs() < 1e-9, "untouched term {t} drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_fold_sequences_are_bit_identical() {
+        let chunks = [docs(&["a b a", "b c"]), docs(&["a c d"]), docs(&["d e", "a e f"])];
+        let mut x = IncrementalDtm::new(Weighting::TfIdfNormalized);
+        let mut y = IncrementalDtm::new(Weighting::TfIdfNormalized);
+        for c in &chunks {
+            x.push_docs(c);
+            y.push_docs(c);
+        }
+        assert_eq!(
+            matrix_bits(&x.weighted(1, 1.0)),
+            matrix_bits(&y.weighted(1, 1.0))
+        );
+    }
+
+    #[test]
+    fn chunked_folds_track_batch_weights_closely() {
+        let all = docs(&["a b a", "b c", "a c d", "d e", "a e f", "b f g"]);
+        let mut batch = IncrementalDtm::new(Weighting::TfIdfNormalized);
+        batch.push_docs(&all);
+        let mut chunked = IncrementalDtm::new(Weighting::TfIdfNormalized);
+        for c in all.chunks(2) {
+            chunked.push_docs(c);
+        }
+        let (a, b) = (batch.weighted(1, 1.0), chunked.weighted(1, 1.0));
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.nnz(), b.nnz());
+        for i in 0..a.rows() {
+            for ((ja, va), (jb, vb)) in a.row(i).iter().zip(b.row(i).iter()) {
+                assert_eq!(ja, jb);
+                assert!((va - vb).abs() < 1e-9, "row {i} col {ja}: {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn df_band_masks_columns_without_moving_ids() {
+        let mut dtm = IncrementalDtm::new(Weighting::Tf);
+        // "a" in every doc (df = 4), "rare" in one.
+        dtm.push_docs(&docs(&["a rare b", "a b", "a c", "a c"]));
+        let m = dtm.weighted(2, 0.9);
+        let a_col = dtm.vocab().get("a").unwrap();
+        let rare_col = dtm.vocab().get("rare").unwrap();
+        assert_eq!(m.cols(), dtm.n_terms());
+        for i in 0..m.rows() {
+            assert_eq!(m.get(i, a_col), 0.0, "df=4/4 exceeds max_df_ratio 0.9");
+            assert_eq!(m.get(i, rare_col), 0.0, "df=1 < min_df=2");
+        }
+        let b_col = dtm.vocab().get("b").unwrap();
+        assert!(m.get(0, b_col) > 0.0);
+    }
+
+    #[test]
+    fn parts_roundtrip_then_fold_is_bit_identical() {
+        let chunks = [docs(&["a b a", "b c"]), docs(&["a c d", "e f"])];
+        let mut whole = IncrementalDtm::new(Weighting::TfIdfNormalized);
+        whole.push_docs(&chunks[0]);
+        let (scheme, terms, df, idfv, rows) = whole.parts();
+        let owned_terms: Vec<String> = terms.iter().map(|s| s.to_string()).collect();
+        let mut revived = IncrementalDtm::from_parts(
+            scheme,
+            &owned_terms,
+            df.to_vec(),
+            idfv.to_vec(),
+            rows.to_vec(),
+        );
+        whole.push_docs(&chunks[1]);
+        revived.push_docs(&chunks[1]);
+        assert_eq!(
+            matrix_bits(&whole.weighted(1, 1.0)),
+            matrix_bits(&revived.weighted(1, 1.0))
+        );
+    }
+}

@@ -28,11 +28,13 @@
 #![forbid(unsafe_code)]
 
 pub mod dtm;
+pub mod incremental;
 pub mod sparse;
 pub mod vocab;
 pub mod weighting;
 
 pub use dtm::{DocumentTermMatrix, DtmBuilder};
+pub use incremental::{DtmScratch, IncrementalDtm};
 pub use sparse::CsrMatrix;
 pub use vocab::Vocabulary;
 pub use weighting::Weighting;

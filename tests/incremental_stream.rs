@@ -1,0 +1,136 @@
+//! Streaming bit-identity suite (DESIGN.md §17).
+//!
+//! The incremental pipeline's contract: replaying slices `0..k` from
+//! the artifact cache and folding slice `k` live is **bit-identical**
+//! to folding all of `0..=k` cold — same artifact bytes, same content
+//! digest, and identical downstream model predictions — at any
+//! `NEWSDIFF_THREADS` setting. Env-var mutations serialize through a
+//! file-local mutex, the `tests/determinism.rs` idiom.
+
+use newsdiff::core::incremental::{StreamConfig, StreamPipeline, StreamState};
+use newsdiff::core::predict::build_mlp;
+use newsdiff::neural::{Sgd, Trainer, TrainerConfig};
+use newsdiff::synth::{FirehoseConfig, WorldConfig};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// A 6-day world in 48-hour slices (3 slices), with cheap NMF /
+/// Word2Vec budgets — enough data for every stage to produce
+/// something, small enough to fold cold several times.
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        firehose: FirehoseConfig {
+            world: WorldConfig { days: 6, n_users: 80, min_influencers: 8, ..WorldConfig::small() },
+            slice_hours: 48,
+        },
+        refine_iters: 15,
+        embed_dim: 8,
+        embed_epochs: 1,
+        ..StreamConfig::small()
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nd-stream-bitid-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Trains a small MLP on the head state's document-topic memberships
+/// (labels derived deterministically from the data itself) and
+/// returns the prediction matrix as raw bits. Two states that are
+/// bit-identical must produce bit-identical predictions; a state that
+/// drifted anywhere upstream will not.
+fn model_prediction_bits(state: &StreamState) -> Vec<u64> {
+    let x = &state.topics.model.doc_topic;
+    let y: Vec<usize> = (0..x.rows())
+        .map(|i| {
+            let row = x.row(i);
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(j, _)| j)
+                .unwrap_or(0);
+            argmax % 3
+        })
+        .collect();
+    let mut network = build_mlp(x.cols(), 42);
+    let trainer = Trainer::new(TrainerConfig {
+        batch_size: 64,
+        max_epochs: 3,
+        early_stopping: None,
+        seed: 42,
+    });
+    trainer.fit(&mut network, x, &y, &mut Sgd::new(0.05));
+    network.predict_batch(x).as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// The tentpole acceptance test: for each thread count, populate the
+/// cache over slices `0..2`, then fold slice 2 on top of the cached
+/// replay — the head state must be byte-identical (content digest
+/// over every artifact's bit-exact encoding) to a cold fold over all
+/// three slices, and a model trained on either state must predict
+/// identical bits. A fully warm re-run then replays without folding.
+#[test]
+fn cached_replay_plus_fold_equals_cold_run_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+
+    // Cold reference at one thread, no cache.
+    std::env::set_var("NEWSDIFF_THREADS", "1");
+    let (cold, cold_report) = StreamPipeline::new(stream_config()).run(3).expect("cold run");
+    assert_eq!(cold_report.executed(), 18, "cold run must fold every (stage, slice)");
+    let cold_digest = cold.content_digest();
+    let cold_preds = model_prediction_bits(&cold);
+
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("NEWSDIFF_THREADS", threads);
+        let dir = fresh_dir(threads);
+        let pipeline = StreamPipeline::new(stream_config().with_cache_dir(&dir));
+
+        // Populate the prefix 0..2, then extend: the cached prefix
+        // replays and only slice 2 folds.
+        pipeline.run(2).expect("prefix run");
+        let (state, report) = pipeline.run(3).expect("extend run");
+        let executed = report.executed_folds();
+        assert!(
+            executed.iter().all(|&(_, k)| k == 2) && executed.len() == 6,
+            "at {threads} threads only slice 2 may fold, got {executed:?}"
+        );
+        assert_eq!(
+            state.content_digest(),
+            cold_digest,
+            "replay+fold differs from cold at {threads} threads"
+        );
+        assert_eq!(
+            model_prediction_bits(&state),
+            cold_preds,
+            "model predictions differ from cold at {threads} threads"
+        );
+
+        // Fully warm: six head decodes, zero folds, zero polls.
+        let (warm, warm_report) = pipeline.run(3).expect("warm run");
+        assert_eq!(warm_report.executed(), 0, "warm run folded at {threads} threads");
+        assert_eq!(warm_report.slices_polled, 0);
+        assert_eq!(warm.content_digest(), cold_digest);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::env::remove_var("NEWSDIFF_THREADS");
+}
+
+/// The firehose contract the whole fold rests on: slice `k` is
+/// bit-identical whether polled in order, out of order, or from a
+/// fresh instance — and an uncached incremental run is deterministic.
+#[test]
+fn uncached_stream_runs_are_deterministic() {
+    let pipeline = StreamPipeline::new(stream_config());
+    let (a, _) = pipeline.run(2).expect("run a");
+    let (b, _) = StreamPipeline::new(stream_config()).run(2).expect("run b");
+    assert_eq!(a.content_digest(), b.content_digest());
+    // The accumulated world equals the slices' concatenation.
+    assert_eq!(a.world.slices.len(), 2);
+    let n: usize = a.world.slices.iter().map(|s| s.n_articles).sum();
+    assert_eq!(a.world.articles.len(), n);
+}

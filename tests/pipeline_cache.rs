@@ -148,6 +148,86 @@ fn corrupted_artifact_recomputes_and_heals_instead_of_erroring() {
     assert_eq!(std::fs::metadata(&victim).expect("metadata").len(), full);
 }
 
+/// Streaming counterpart of the heal test above: damaging one slice
+/// artifact in the incremental cache must recompute exactly that
+/// artifact's cone — the corrupted `(stage, slice)` plus the folds
+/// that demand it — and nothing upstream or on unrelated stages.
+#[test]
+fn corrupted_stream_slice_artifact_heals_by_recomputing_exactly_its_cone() {
+    use newsdiff::core::incremental::{StreamConfig, StreamPipeline};
+    use newsdiff::core::pipeline::CacheStatus;
+    use newsdiff::synth::{FirehoseConfig, WorldConfig};
+
+    // Private to this test (its own directory), so no mutex needed.
+    let dir = std::env::temp_dir().join(format!("nd-stream-heal-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // A 6-day world in 48-hour slices: 3 slices, cheap fold budgets.
+    let base = StreamConfig {
+        firehose: FirehoseConfig {
+            world: WorldConfig {
+                days: 6,
+                n_users: 60,
+                min_influencers: 6,
+                ..WorldConfig::small()
+            },
+            slice_hours: 48,
+        },
+        refine_iters: 12,
+        embed_dim: 8,
+        embed_epochs: 1,
+        ..StreamConfig::small()
+    };
+    let pipeline = StreamPipeline::new(base.clone().with_cache_dir(&dir));
+
+    // Reference: a cold, uncached fold over all three slices.
+    let (cold, _) = StreamPipeline::new(base).run(3).expect("cold run");
+    let cold_digest = cold.content_digest();
+
+    // Populate slices 0..2, then truncate the head topics artifact.
+    pipeline.run(2).expect("prefix run");
+    let victim = pipeline.artifact_path("stream-topics", 1).expect("victim path");
+    let full = std::fs::metadata(&victim).expect("metadata").len();
+    let file = std::fs::OpenOptions::new().write(true).open(&victim).expect("open");
+    file.set_len(full / 2).expect("truncate");
+    drop(file);
+
+    // Extending to slice 2 demands topics@1: the torn frame reads as
+    // a miss, topics@1 refolds from topics@0 + vectorize@1 (both
+    // replayed hits), and every stage folds slice 2. Exactly that
+    // cone — seven folds — executes.
+    let (state, report) = pipeline.run(3).expect("healing run");
+    assert_eq!(
+        report.executed_folds(),
+        vec![
+            ("stream-collect", 2),
+            ("stream-embed", 2),
+            ("stream-events", 2),
+            ("stream-preprocess", 2),
+            ("stream-topics", 1),
+            ("stream-topics", 2),
+            ("stream-vectorize", 2),
+        ],
+        "healing must recompute exactly the corrupted cone: {report:?}"
+    );
+    let hit = |stage: &str, k: usize| {
+        report.fold(stage, k).unwrap_or_else(|| panic!("no fold record for {stage}@{k}")).cache
+    };
+    assert_eq!(hit("stream-topics", 0), CacheStatus::Hit, "topics@0 must replay");
+    assert_eq!(hit("stream-vectorize", 1), CacheStatus::Hit, "vectorize@1 must replay");
+    assert!(
+        report.fold("stream-collect", 0).is_none(),
+        "collect@0 is outside the demanded cone and must not even be probed"
+    );
+    assert_eq!(state.content_digest(), cold_digest, "healed fold must equal cold");
+
+    // The refold healed the cache in place: fully warm, frame restored.
+    let (_, healed) = pipeline.run(3).expect("healed run");
+    assert_eq!(healed.executed(), 0);
+    assert_eq!(std::fs::metadata(&victim).expect("metadata").len(), full);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn force_from_and_until_steer_the_executor() {
     let _guard = LOCK.lock().unwrap();
